@@ -1,0 +1,58 @@
+//! Timed design-choice ablations (DESIGN.md §7): each bench toggles one
+//! mechanism the paper's §3.1 configured (or one substrate substitution) and
+//! prints the measured effect alongside the timing.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpw_experiments::ablations;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10).warm_up_time(Duration::from_millis(500));
+
+    g.bench_function("ssthresh_64k_vs_infinite", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            ablations::ablate_ssthresh(1, seed)
+        })
+    });
+    g.bench_function("penalization_off_vs_on", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            ablations::ablate_penalization(1, seed)
+        })
+    });
+    g.bench_function("scheduler_minrtt_vs_roundrobin", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            ablations::ablate_scheduler(1, seed)
+        })
+    });
+    g.bench_function("cellular_arq_on_vs_off", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            ablations::ablate_cellular_arq(1, seed)
+        })
+    });
+    g.bench_function("recv_buffer_8mb_vs_192kb", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            ablations::ablate_recv_buffer(1, seed)
+        })
+    });
+    g.finish();
+
+    // Print one full ablation table so `cargo bench` output records the
+    // effect sizes, not just the wall-clock cost of measuring them.
+    let (table, _) = ablations::run_all(2, 1);
+    eprintln!("\n{table}");
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Micro-benchmarks of the simulation and protocol hot paths.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mpw_experiments::{run_measurement, FlowConfig, Scenario, WifiKind};
+use mpw_link::{Carrier, DayPeriod};
+use mpw_mptcp::Coupling;
+use mpw_sim::trace::TraceLevel;
+use mpw_sim::{Agent, Ctx, Event, SimDuration, SimTime, World};
+use mpw_tcp::buf::Assembler;
+use mpw_tcp::wire::{self, tcp_flags, DssMapping, MptcpOption, TcpOption, TcpSegment};
+use mpw_tcp::SeqNum;
+
+/// A pair of agents ping-ponging a timer — pure engine overhead.
+struct PingPong {
+    peer: u32,
+    remaining: u32,
+}
+
+impl Agent for PingPong {
+    fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        match ev {
+            Event::Start => {}
+            Event::Timer { .. } | Event::Frame { .. } => {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    ctx.send_frame(
+                        self.peer,
+                        0,
+                        SimDuration::from_micros(10),
+                        mpw_sim::Frame::new(Bytes::new()),
+                    );
+                }
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    const EVENTS: u64 = 100_000;
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("event_loop_100k", |b| {
+        b.iter(|| {
+            let mut w = World::new(1, TraceLevel::Off);
+            let a = w.add_agent(Box::new(PingPong { peer: 1, remaining: EVENTS as u32 / 2 }));
+            let bb = w.add_agent(Box::new(PingPong { peer: a, remaining: EVENTS as u32 / 2 }));
+            w.schedule(SimTime::ZERO, bb, Event::Timer { token: 0 });
+            w.run_until_idle();
+            assert!(w.events_processed() >= EVENTS);
+        })
+    });
+    g.finish();
+}
+
+fn data_segment() -> TcpSegment {
+    let mut seg = TcpSegment::bare(8080, 40000, SeqNum(12345), SeqNum(999), tcp_flags::ACK);
+    seg.window = 5000;
+    seg.payload = Bytes::from(vec![0x5a; 1400]);
+    seg.options = vec![TcpOption::Mptcp(MptcpOption::Dss {
+        data_ack: Some(1 << 33),
+        mapping: Some(DssMapping {
+            dseq: 1 << 32,
+            subflow_seq: SeqNum(12345),
+            len: 1400,
+        }),
+        data_fin: false,
+    })];
+    seg
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let ip = wire::IpHeader {
+        src: wire::Addr::new(10, 0, 1, 2),
+        dst: wire::Addr::new(192, 168, 1, 1),
+        protocol: wire::PROTO_TCP,
+        ttl: 64,
+    };
+    let seg = data_segment();
+    g.throughput(Throughput::Bytes(1452));
+    g.bench_function("encode_data_segment", |b| {
+        b.iter(|| wire::encode_packet(&ip, &seg))
+    });
+    let bytes = wire::encode_packet(&ip, &seg);
+    g.bench_function("parse_data_segment", |b| {
+        b.iter(|| wire::parse_packet(&bytes).expect("valid"))
+    });
+    g.finish();
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("assembler");
+    // Worst-ish case: interleaved two-source arrival with a lagging source.
+    g.bench_function("interleaved_insert_1000", |b| {
+        b.iter_batched(
+            || Assembler::new(0, true),
+            |mut a| {
+                let mut t = SimTime::ZERO;
+                for i in 0..500u64 {
+                    t += SimDuration::from_micros(100);
+                    // Fast source: in-order block far ahead.
+                    a.insert(700_000 + i * 1400, Bytes::from(vec![0u8; 1400]), t);
+                    // Slow source: fills the head.
+                    a.insert(i * 1400, Bytes::from(vec![0u8; 1400]), t);
+                    while a.pop_ready().is_some() {}
+                }
+                a
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_full_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    let scenario = Scenario {
+        wifi: WifiKind::Home,
+        carrier: Carrier::Att,
+        flow: FlowConfig::mp2(Coupling::Coupled),
+        size: 1 << 20,
+        period: DayPeriod::Night,
+        warmup: true,
+    };
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("mptcp_1mb_download_sim", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let m = run_measurement(&scenario, seed);
+            assert_eq!(m.bytes, 1 << 20);
+            m
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_wire,
+    bench_assembler,
+    bench_full_transfer
+);
+criterion_main!(benches);

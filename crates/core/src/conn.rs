@@ -1,0 +1,1241 @@
+//! The MPTCP connection: subflow management, DSS data-sequence mapping,
+//! connection-level reassembly, scheduling, and reinjection.
+//!
+//! One [`MptcpConnection`] owns N [`Subflow`]s (each wrapping an
+//! `mpw_tcp::TcpSocket` whose hooks attach/harvest MPTCP options). The
+//! connection keeps a single data-sequence space: application bytes enter
+//! `conn_buf`, the scheduler assigns MSS-sized chunks to subflows (recording
+//! the DSS mapping), and the receiving side reassembles by data sequence
+//! number in a *shared* receive buffer whose occupancy backs every subflow's
+//! advertised window (§3.1 of the paper). The connection-level reassembler
+//! timestamps arrivals to produce the paper's out-of-order-delay metric.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use mpw_sim::{SimDuration, SimRng, SimTime};
+use mpw_tcp::buf::{Assembler, OfoSample, SendBuffer};
+use mpw_tcp::wire::{tcp_flags, DssMapping};
+use mpw_tcp::{
+    Addr, CcConfig, Endpoint, MptcpOption, SeqNum, TcpConfig, TcpHooks, TcpOption, TcpSegment,
+    TcpSocket, TxKind,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::coupling::{CoupledCc, Coupling, CouplingState};
+use crate::key::{key_from_seed, token_from_key};
+use crate::scheduler::{Scheduler, SchedulerState, SubflowView};
+
+/// When additional subflows send their SYNs (paper §4.1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SynMode {
+    /// Standard MPTCP: extra subflows join only after the first subflow's
+    /// handshake completes.
+    Delayed,
+    /// The paper's modification: SYNs go out on every path simultaneously.
+    Simultaneous,
+}
+
+/// MPTCP connection configuration.
+#[derive(Clone, Debug)]
+pub struct MptcpConfig {
+    /// Per-subflow TCP configuration.
+    pub tcp: TcpConfig,
+    /// Congestion-control parameters (ssthresh 64 KB, IW 10 — §3.1).
+    pub cc: CcConfig,
+    /// Coupling algorithm.
+    pub coupling: Coupling,
+    /// Packet scheduler.
+    pub scheduler: Scheduler,
+    /// SYN timing for additional subflows.
+    pub syn_mode: SynMode,
+    /// Connection-level send buffer (bytes held until data-acked).
+    pub conn_send_buffer: usize,
+    /// Shared connection-level receive buffer (8 MB in the paper).
+    pub recv_buffer: usize,
+    /// The Linux v0.86 penalization mechanism; the paper *removed* it
+    /// (§3.1), so it defaults to off, but the ablation benches re-enable it.
+    pub penalization: bool,
+    /// Maximum number of subflows (2 or 4 in the paper).
+    pub max_subflows: usize,
+    /// Client interfaces whose subflows join as *backup* paths (RFC 6824 'B'
+    /// bit): the scheduler uses them only when every regular subflow is dead
+    /// or stalled — the "backup mode" of Paasch et al. that the paper
+    /// contrasts with full-MPTCP mode (§7).
+    pub backup_ifs: Vec<u8>,
+}
+
+impl Default for MptcpConfig {
+    fn default() -> Self {
+        MptcpConfig {
+            tcp: TcpConfig::default(),
+            cc: CcConfig::default(),
+            coupling: Coupling::Coupled,
+            scheduler: Scheduler::MinRtt,
+            syn_mode: SynMode::Delayed,
+            conn_send_buffer: 2 * 1024 * 1024,
+            recv_buffer: 8 * 1024 * 1024,
+            penalization: false,
+            max_subflows: 2,
+            backup_ifs: Vec::new(),
+        }
+    }
+}
+
+/// Role a subflow's hooks play in the MPTCP handshake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HsRole {
+    /// Client side of the first subflow (sends MP_CAPABLE).
+    CapableClient,
+    /// Server side of the first subflow.
+    CapableServer,
+    /// Client side of an MP_JOIN subflow.
+    JoinClient,
+    /// Server side of an MP_JOIN subflow.
+    JoinServer,
+}
+
+/// Per-subflow state shared between the connection and the hooks.
+#[derive(Debug, Default)]
+struct SubflowShared {
+    /// Sorted (subflow abs offset, len, dseq) mappings for transmitted data.
+    tx_maps: Vec<(u64, u32, u64)>,
+    /// ADD_ADDR advertisements queued for the next outgoing segment.
+    pending_add_addr: Vec<(u8, Endpoint)>,
+    /// MP_PRIO change queued for the next outgoing segment.
+    pending_prio: Option<bool>,
+    /// MP_PRIO received from the peer, to apply to this subflow.
+    prio_rx: Option<bool>,
+    /// Subflow handshake completed.
+    established: bool,
+    /// Subflow saw a connection reset / close.
+    closed: bool,
+    /// Novel payload bytes this subflow delivered into the connection-level
+    /// receive buffer (traffic-share metric, Figures 3/5/7/10).
+    delivered_bytes: u64,
+    /// When the subflow reached established.
+    established_at: Option<SimTime>,
+}
+
+/// Connection state shared between subflow hooks and the connection.
+#[derive(Debug)]
+struct ConnShared {
+    local_key: u64,
+    remote_key: Option<u64>,
+    token: u32,
+    /// None = outcome unknown; Some(false) = peer not MPTCP-capable
+    /// (fallback to plain TCP, as behind the paper's AT&T proxy).
+    remote_capable: Option<bool>,
+    recv_buffer: usize,
+    /// Connection-level receive reassembly in dseq space, with OFO-delay
+    /// sampling enabled (§3.3).
+    rx: Assembler,
+    /// Highest data-ack received from the peer.
+    peer_data_ack: u64,
+    /// dseq position of the peer's DATA_FIN, once seen.
+    peer_data_fin: Option<u64>,
+    /// A DATA_FIN just arrived and has not been data-acked yet; the
+    /// connection must push an ACK or the peer deadlocks awaiting it.
+    data_fin_needs_ack: bool,
+    /// Our DATA_FIN position, once closing and fully assigned.
+    tx_data_fin: Option<u64>,
+    /// Addresses the peer advertised via ADD_ADDR.
+    peer_addrs: Vec<(u8, Endpoint)>,
+    flows: Vec<SubflowShared>,
+}
+
+impl ConnShared {
+    fn free_rx_window(&self) -> usize {
+        self.recv_buffer.saturating_sub(self.rx.buffered_bytes())
+    }
+
+    fn data_ack_value(&self) -> u64 {
+        let mut ack = self.rx.next_expected();
+        if let Some(fin) = self.peer_data_fin {
+            if ack == fin {
+                ack += 1; // the DATA_FIN consumes one data sequence slot
+            }
+        }
+        ack
+    }
+}
+
+/// The hooks object installed into each subflow socket.
+struct SubflowHooks {
+    shared: Rc<RefCell<ConnShared>>,
+    idx: usize,
+    role: HsRole,
+    nonce: u32,
+    backup: bool,
+}
+
+impl std::fmt::Debug for SubflowHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SubflowHooks(idx={}, role={:?})", self.idx, self.role)
+    }
+}
+
+impl SubflowHooks {
+    fn dss_for_data(&self, shared: &ConnShared, abs_start: u64, len: usize) -> Option<DssMapping> {
+        let maps = &shared.flows[self.idx].tx_maps;
+        // Find the mapping containing abs_start.
+        let i = maps.partition_point(|&(s, l, _)| s + l as u64 <= abs_start);
+        let &(s, l, dseq) = maps.get(i)?;
+        if abs_start < s || abs_start + len as u64 > s + l as u64 {
+            return None;
+        }
+        Some(DssMapping {
+            dseq: dseq + (abs_start - s),
+            subflow_seq: SeqNum(0), // filled by convention: equals segment seq
+            len: len as u16,
+        })
+    }
+}
+
+impl TcpHooks for SubflowHooks {
+    fn tx_options(&mut self, kind: TxKind, _now: SimTime) -> Vec<TcpOption> {
+        let mut shared = self.shared.borrow_mut();
+        if shared.remote_capable == Some(false) {
+            return Vec::new(); // fallback: plain TCP from here on
+        }
+        let mut opts = Vec::new();
+        match kind {
+            TxKind::Syn => match self.role {
+                HsRole::CapableClient => opts.push(TcpOption::Mptcp(MptcpOption::Capable {
+                    key_local: shared.local_key,
+                    key_remote: None,
+                })),
+                HsRole::JoinClient => opts.push(TcpOption::Mptcp(MptcpOption::Join {
+                    token: shared.token,
+                    nonce: self.nonce,
+                    backup: self.backup,
+                })),
+                _ => {}
+            },
+            TxKind::SynAck => match self.role {
+                HsRole::CapableServer => opts.push(TcpOption::Mptcp(MptcpOption::Capable {
+                    key_local: shared.local_key,
+                    key_remote: None,
+                })),
+                HsRole::JoinServer => opts.push(TcpOption::Mptcp(MptcpOption::Join {
+                    token: shared.token,
+                    nonce: self.nonce,
+                    backup: self.backup,
+                })),
+                _ => {}
+            },
+            TxKind::HandshakeAck => {
+                if self.role == HsRole::CapableClient {
+                    opts.push(TcpOption::Mptcp(MptcpOption::Capable {
+                        key_local: shared.local_key,
+                        key_remote: shared.remote_key,
+                    }));
+                }
+            }
+            TxKind::Data {
+                abs_start, len, ..
+            } => {
+                let mapping = self.dss_for_data(&shared, abs_start, len);
+                debug_assert!(mapping.is_some(), "data segment without DSS mapping");
+                let fin_here = shared
+                    .tx_data_fin
+                    .is_some_and(|f| mapping.map(|m| m.dseq + m.len as u64) == Some(f));
+                opts.push(TcpOption::Mptcp(MptcpOption::Dss {
+                    data_ack: Some(shared.data_ack_value()),
+                    mapping,
+                    data_fin: fin_here,
+                }));
+            }
+            TxKind::Ack | TxKind::Fin => {
+                // Pure data-ack; if we are closing and everything is
+                // assigned, signal DATA_FIN with a zero-length mapping.
+                let data_fin = shared.tx_data_fin;
+                opts.push(TcpOption::Mptcp(MptcpOption::Dss {
+                    data_ack: Some(shared.data_ack_value()),
+                    mapping: data_fin.map(|f| DssMapping {
+                        dseq: f,
+                        subflow_seq: SeqNum(0),
+                        len: 0,
+                    }),
+                    data_fin: data_fin.is_some(),
+                }));
+            }
+        }
+        // Attach any queued ADD_ADDR advertisements.
+        let pending = std::mem::take(&mut shared.flows[self.idx].pending_add_addr);
+        for (id, ep) in pending {
+            opts.push(TcpOption::Mptcp(MptcpOption::AddAddr {
+                addr_id: id,
+                addr: ep.addr,
+                port: ep.port,
+            }));
+        }
+        // And any queued MP_PRIO change.
+        if let Some(backup) = shared.flows[self.idx].pending_prio.take() {
+            opts.push(TcpOption::Mptcp(MptcpOption::Prio { backup }));
+        }
+        opts
+    }
+
+    fn on_rx(&mut self, seg: &TcpSegment, _payload_abs_start: u64, now: SimTime) {
+        let mut shared = self.shared.borrow_mut();
+        let mut saw_mptcp = false;
+        for opt in &seg.options {
+            let TcpOption::Mptcp(m) = opt else { continue };
+            saw_mptcp = true;
+            match m {
+                MptcpOption::Capable { key_local, .. } => {
+                    if self.role == HsRole::CapableClient && shared.remote_key.is_none() {
+                        shared.remote_key = Some(*key_local);
+                        shared.remote_capable = Some(true);
+                    }
+                    if self.role == HsRole::CapableServer {
+                        shared.remote_capable = Some(true);
+                    }
+                }
+                MptcpOption::Join { .. } => {}
+                MptcpOption::Prio { backup } => {
+                    shared.flows[self.idx].prio_rx = Some(*backup);
+                }
+                MptcpOption::AddAddr { addr_id, addr, port } => {
+                    let ep = Endpoint::new(*addr, *port);
+                    if !shared.peer_addrs.iter().any(|(_, e)| *e == ep) {
+                        shared.peer_addrs.push((*addr_id, ep));
+                    }
+                }
+                MptcpOption::Dss {
+                    data_ack,
+                    mapping,
+                    data_fin,
+                } => {
+                    if let Some(ack) = data_ack {
+                        shared.peer_data_ack = shared.peer_data_ack.max(*ack);
+                    }
+                    if let Some(map) = mapping {
+                        if map.len > 0 && !seg.payload.is_empty() {
+                            let take = (map.len as usize).min(seg.payload.len());
+                            let accepted = shared.rx.insert(
+                                map.dseq,
+                                seg.payload.slice(..take),
+                                now,
+                            );
+                            shared.flows[self.idx].delivered_bytes += accepted as u64;
+                        }
+                        if *data_fin {
+                            let fin_at = map.dseq + map.len as u64;
+                            if shared.peer_data_fin.is_none() {
+                                shared.data_fin_needs_ack = true;
+                            }
+                            shared.peer_data_fin = Some(fin_at);
+                        }
+                    } else if *data_fin {
+                        // DATA_FIN without mapping: at current data ack edge.
+                        let at = shared.rx.next_expected();
+                        if shared.peer_data_fin.is_none() {
+                            shared.data_fin_needs_ack = true;
+                        }
+                        shared.peer_data_fin.get_or_insert(at);
+                    }
+                }
+            }
+        }
+        // Detect fallback: the first subflow's SYN-ACK without any MPTCP
+        // option means a middlebox stripped it (or the peer is plain TCP).
+        if self.role == HsRole::CapableClient
+            && seg.has(tcp_flags::SYN)
+            && seg.has(tcp_flags::ACK)
+            && !saw_mptcp
+            && shared.remote_capable.is_none()
+        {
+            shared.remote_capable = Some(false);
+        }
+    }
+
+    fn rcv_window(&self) -> Option<usize> {
+        let shared = self.shared.borrow();
+        if shared.remote_capable == Some(false) {
+            None
+        } else {
+            Some(shared.free_rx_window())
+        }
+    }
+
+    fn tx_segment_limit(&self, abs_start: u64) -> Option<usize> {
+        let shared = self.shared.borrow();
+        if shared.remote_capable == Some(false) {
+            return None;
+        }
+        let maps = &shared.flows[self.idx].tx_maps;
+        let i = maps.partition_point(|&(s, l, _)| s + l as u64 <= abs_start);
+        maps.get(i).map(|&(s, l, _)| {
+            debug_assert!(abs_start >= s);
+            (s + l as u64 - abs_start) as usize
+        })
+    }
+
+    fn on_established(&mut self, now: SimTime) {
+        let mut shared = self.shared.borrow_mut();
+        let fl = &mut shared.flows[self.idx];
+        fl.established = true;
+        fl.established_at = Some(now);
+    }
+
+    fn on_closed(&mut self, _now: SimTime) {
+        self.shared.borrow_mut().flows[self.idx].closed = true;
+    }
+}
+
+/// One subflow of an MPTCP connection.
+pub struct Subflow {
+    /// The TCP state machine carrying this subflow.
+    pub sock: TcpSocket,
+    /// Client-side interface index (0 = default/WiFi, 1 = cellular, …).
+    pub if_index: u8,
+    /// Local endpoint.
+    pub local: Endpoint,
+    /// Remote endpoint.
+    pub remote: Endpoint,
+    /// Backup path ('B' bit): scheduled only when regular paths are gone.
+    pub backup: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Assignment {
+    subflow: usize,
+    len: u32,
+}
+
+/// Statistics snapshot of an MPTCP connection.
+#[derive(Clone, Debug, Default)]
+pub struct ConnStats {
+    /// Bytes delivered in order to the application.
+    pub bytes_delivered: u64,
+    /// Per-subflow delivered payload bytes (traffic share).
+    pub per_subflow_delivered: Vec<u64>,
+    /// Whether the connection fell back to plain TCP.
+    pub fell_back: bool,
+}
+
+/// An MPTCP connection endpoint (client or server side).
+pub struct MptcpConnection {
+    /// Configuration in force.
+    pub cfg: MptcpConfig,
+    /// Connection identifier (unique per run, used in traces).
+    pub conn_id: u32,
+    shared: Rc<RefCell<ConnShared>>,
+    /// Subflows in creation order; index 0 is the MP_CAPABLE subflow.
+    pub subflows: Vec<Subflow>,
+    coupling: Rc<RefCell<CouplingState>>,
+    sched: SchedulerState,
+    conn_buf: SendBuffer,
+    /// dseq → assignment, for reinjection bookkeeping.
+    assignments: BTreeMap<u64, Assignment>,
+    /// Next dseq not yet assigned to any subflow.
+    next_unassigned: u64,
+    /// dseq ranges queued for reinjection on another subflow.
+    reinject: Vec<(u64, u32)>,
+    is_client: bool,
+    app_closed: bool,
+    /// Local interface addresses (client) or host addresses (server).
+    local_addrs: Vec<Addr>,
+    /// Remote addresses known (server primary + any ADD_ADDR learnt).
+    remote_addrs: Vec<Endpoint>,
+    joins_launched: bool,
+    addr_advertised: bool,
+    rng: SimRng,
+    next_port: u16,
+    last_penalty_at: SimTime,
+    /// Download bookkeeping: when the first SYN left (paper's download-time
+    /// start point).
+    pub opened_at: SimTime,
+}
+
+impl MptcpConnection {
+    /// Active (client) open. `local_addrs[0]` is the default path (WiFi in
+    /// the paper); `remote` is the server's primary endpoint.
+    pub fn connect(
+        cfg: MptcpConfig,
+        conn_id: u32,
+        local_addrs: Vec<Addr>,
+        remote: Endpoint,
+        mut rng: SimRng,
+        now: SimTime,
+    ) -> Self {
+        let local_key = key_from_seed(rng.next_u64());
+        let shared = Rc::new(RefCell::new(ConnShared {
+            local_key,
+            remote_key: None,
+            token: token_from_key(local_key),
+            remote_capable: None,
+            recv_buffer: cfg.recv_buffer,
+            rx: Assembler::new(0, true),
+            peer_data_ack: 0,
+            peer_data_fin: None,
+            data_fin_needs_ack: false,
+            tx_data_fin: None,
+            peer_addrs: Vec::new(),
+            flows: Vec::new(),
+        }));
+        let coupling = CouplingState::new(cfg.coupling, cfg.cc.mss);
+        let next_port = 40_000u16.wrapping_add((conn_id as u16).wrapping_mul(31));
+        let mut conn = MptcpConnection {
+            cfg,
+            conn_id,
+            shared,
+            subflows: Vec::new(),
+            coupling,
+            sched: SchedulerState::default(),
+            conn_buf: SendBuffer::new(),
+            assignments: BTreeMap::new(),
+            next_unassigned: 0,
+            reinject: Vec::new(),
+            is_client: true,
+            app_closed: false,
+            local_addrs,
+            remote_addrs: vec![remote],
+            joins_launched: false,
+            addr_advertised: true, // clients do not advertise in our testbed
+            rng,
+            next_port,
+            last_penalty_at: SimTime::ZERO,
+            opened_at: now,
+        };
+        conn.spawn_subflow(0, remote, HsRole::CapableClient, now);
+        if conn.cfg.syn_mode == SynMode::Simultaneous {
+            conn.launch_joins(now);
+        }
+        conn
+    }
+
+    /// Passive (server) open from an MP_CAPABLE SYN. `local_addrs` lists
+    /// every server interface address (the secondary is advertised via
+    /// ADD_ADDR for 4-path experiments).
+    #[allow(clippy::too_many_arguments)]
+    pub fn accept(
+        cfg: MptcpConfig,
+        conn_id: u32,
+        local: Endpoint,
+        remote: Endpoint,
+        local_addrs: Vec<Addr>,
+        syn: &TcpSegment,
+        mut rng: SimRng,
+        now: SimTime,
+    ) -> Option<Self> {
+        let client_key = syn.options.iter().find_map(|o| match o {
+            TcpOption::Mptcp(MptcpOption::Capable { key_local, .. }) => Some(*key_local),
+            _ => None,
+        })?;
+        let local_key = key_from_seed(rng.next_u64());
+        let shared = Rc::new(RefCell::new(ConnShared {
+            local_key,
+            remote_key: Some(client_key),
+            token: token_from_key(client_key),
+            remote_capable: Some(true),
+            recv_buffer: cfg.recv_buffer,
+            rx: Assembler::new(0, true),
+            peer_data_ack: 0,
+            peer_data_fin: None,
+            data_fin_needs_ack: false,
+            tx_data_fin: None,
+            peer_addrs: Vec::new(),
+            flows: Vec::new(),
+        }));
+        let coupling = CouplingState::new(cfg.coupling, cfg.cc.mss);
+        // A multi-homed server advertises its secondary interface; whether
+        // the client joins it is capped by the client's max_subflows (the
+        // paper's 2-path vs 4-path axis is "is the second server NIC up").
+        let advertise = local_addrs.len() > 1;
+        let mut conn = MptcpConnection {
+            cfg,
+            conn_id,
+            shared,
+            subflows: Vec::new(),
+            coupling,
+            sched: SchedulerState::default(),
+            conn_buf: SendBuffer::new(),
+            assignments: BTreeMap::new(),
+            next_unassigned: 0,
+            reinject: Vec::new(),
+            is_client: false,
+            app_closed: false,
+            local_addrs,
+            remote_addrs: vec![remote],
+            joins_launched: true, // servers never initiate joins
+            addr_advertised: !advertise,
+            rng,
+            next_port: 0,
+            last_penalty_at: SimTime::ZERO,
+            opened_at: now,
+        };
+        conn.accept_subflow(local, remote, HsRole::CapableServer, syn, now);
+        Some(conn)
+    }
+
+    /// The connection token (server join demultiplexing key).
+    pub fn token(&self) -> u32 {
+        self.shared.borrow().token
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        let p = self.next_port;
+        self.next_port = self.next_port.wrapping_add(1);
+        40_000 + (p % 20_000)
+    }
+
+    fn make_cc(&self) -> Box<CoupledCc> {
+        Box::new(CoupledCc::new(self.coupling.clone(), self.cfg.cc))
+    }
+
+    fn spawn_subflow(&mut self, if_index: u8, remote: Endpoint, role: HsRole, now: SimTime) {
+        let idx = self.subflows.len();
+        let backup = self.cfg.backup_ifs.contains(&if_index);
+        self.shared.borrow_mut().flows.push(SubflowShared::default());
+        let hooks = Box::new(SubflowHooks {
+            shared: self.shared.clone(),
+            idx,
+            role,
+            nonce: self.rng.next_u64() as u32,
+            backup,
+        });
+        let local = Endpoint::new(self.local_addrs[if_index as usize], self.alloc_port());
+        let iss = SeqNum(self.rng.next_u64() as u32);
+        let sock = TcpSocket::connect(
+            self.cfg.tcp.clone(),
+            self.make_cc(),
+            hooks,
+            local,
+            remote,
+            if_index,
+            iss,
+            now,
+        );
+        self.subflows.push(Subflow {
+            sock,
+            if_index,
+            local,
+            remote,
+            backup,
+        });
+    }
+
+    fn accept_subflow(
+        &mut self,
+        local: Endpoint,
+        remote: Endpoint,
+        role: HsRole,
+        syn: &TcpSegment,
+        now: SimTime,
+    ) {
+        let idx = self.subflows.len();
+        // The peer's JOIN carries the backup ('B') bit.
+        let backup = syn.options.iter().any(|o| {
+            matches!(
+                o,
+                TcpOption::Mptcp(MptcpOption::Join { backup: true, .. })
+            )
+        });
+        self.shared.borrow_mut().flows.push(SubflowShared::default());
+        let hooks = Box::new(SubflowHooks {
+            shared: self.shared.clone(),
+            idx,
+            role,
+            nonce: self.rng.next_u64() as u32,
+            backup,
+        });
+        let iss = SeqNum(self.rng.next_u64() as u32);
+        // The server-side if_index is the index of the local address.
+        let if_index = self
+            .local_addrs
+            .iter()
+            .position(|a| *a == local.addr)
+            .unwrap_or(0) as u8;
+        let sock = TcpSocket::accept(
+            self.cfg.tcp.clone(),
+            self.make_cc(),
+            hooks,
+            local,
+            remote,
+            if_index,
+            iss,
+            syn,
+            now,
+        );
+        self.subflows.push(Subflow {
+            sock,
+            if_index,
+            local,
+            remote,
+            backup,
+        });
+    }
+
+    /// Server side: attach an MP_JOIN subflow arriving on `local`/`remote`.
+    pub fn accept_join(
+        &mut self,
+        local: Endpoint,
+        remote: Endpoint,
+        syn: &TcpSegment,
+        now: SimTime,
+    ) {
+        if self.subflows.len() >= self.cfg.max_subflows {
+            return;
+        }
+        self.accept_subflow(local, remote, HsRole::JoinServer, syn, now);
+    }
+
+    /// Launch MP_JOIN subflows for every unused (local interface, remote
+    /// address) pair, respecting `max_subflows`.
+    fn launch_joins(&mut self, now: SimTime) {
+        if !self.is_client || self.joins_launched {
+            return;
+        }
+        self.joins_launched = true;
+        // Path order: alternate interfaces first (WiFi already has the
+        // capable subflow), then the same pairs against secondary remote
+        // addresses (the 4-path configuration).
+        let remotes = self.remote_addrs.clone();
+        let n_ifs = self.local_addrs.len();
+        let mut pairs: Vec<(u8, Endpoint)> = Vec::new();
+        for &r in &remotes {
+            for i in 0..n_ifs {
+                if (i, r) == (0, remotes[0]) {
+                    continue; // the capable subflow's pair
+                }
+                pairs.push((i as u8, r));
+            }
+        }
+        for (if_index, remote) in pairs {
+            if self.subflows.len() >= self.cfg.max_subflows {
+                break;
+            }
+            let exists = self
+                .subflows
+                .iter()
+                .any(|s| s.if_index == if_index && s.remote == remote);
+            if !exists {
+                self.spawn_subflow(if_index, remote, HsRole::JoinClient, now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Application API
+    // ------------------------------------------------------------------
+
+    /// Space available in the connection-level send buffer.
+    pub fn send_space(&self) -> usize {
+        self.cfg.conn_send_buffer.saturating_sub(self.conn_buf.len())
+    }
+
+    /// Write application data, returning the bytes accepted.
+    pub fn send(&mut self, data: Bytes) -> usize {
+        if self.app_closed {
+            return 0;
+        }
+        let take = data.len().min(self.send_space());
+        if take > 0 {
+            self.conn_buf.push(data.slice(..take));
+        }
+        take
+    }
+
+    /// Total bytes written by the application so far.
+    pub fn write_offset(&self) -> u64 {
+        self.conn_buf.end()
+    }
+
+    /// Close the sending direction (queues DATA_FIN after pending data).
+    pub fn close(&mut self) {
+        self.app_closed = true;
+    }
+
+    /// Pop in-order connection-level data for the application.
+    pub fn recv(&mut self) -> Option<Bytes> {
+        if self.fell_back() {
+            return self.subflows[0].sock.recv().map(|(_, d)| d);
+        }
+        let mut shared = self.shared.borrow_mut();
+        shared.rx.pop_ready().map(|(_, d)| d)
+    }
+
+    /// In-order bytes delivered so far (download progress).
+    pub fn delivered_offset(&self) -> u64 {
+        if self.fell_back() {
+            return self.subflows[0].sock.recv_offset();
+        }
+        self.shared.borrow().rx.next_expected()
+    }
+
+    /// Whether the peer signalled DATA_FIN and all data was delivered.
+    pub fn peer_closed(&self) -> bool {
+        if self.fell_back() {
+            return self.subflows[0].sock.peer_closed();
+        }
+        let shared = self.shared.borrow();
+        shared
+            .peer_data_fin
+            .is_some_and(|f| shared.rx.next_expected() >= f)
+    }
+
+    /// Whether this connection fell back to single-path TCP.
+    pub fn fell_back(&self) -> bool {
+        self.shared.borrow().remote_capable == Some(false)
+    }
+
+    /// Whether the connection is fully terminated (all subflows closed).
+    pub fn is_finished(&self) -> bool {
+        !self.subflows.is_empty() && self.subflows.iter().all(|s| s.sock.is_finished())
+    }
+
+    /// Whether at least one subflow is established.
+    pub fn is_established(&self) -> bool {
+        self.subflows.iter().any(|s| s.sock.is_established())
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ConnStats {
+        let shared = self.shared.borrow();
+        ConnStats {
+            bytes_delivered: if self.fell_back() {
+                self.subflows[0].sock.recv_offset()
+            } else {
+                shared.rx.next_expected()
+            },
+            per_subflow_delivered: if self.fell_back() {
+                vec![self.subflows[0].sock.recv_offset()]
+            } else {
+                shared.flows.iter().map(|f| f.delivered_bytes).collect()
+            },
+            fell_back: self.fell_back(),
+        }
+    }
+
+    /// Drain connection-level out-of-order delay samples (§3.3).
+    pub fn take_ofo_samples(&mut self) -> Vec<OfoSample> {
+        self.shared.borrow_mut().rx.take_ofo_samples()
+    }
+
+    // ------------------------------------------------------------------
+    // Event plumbing (driven by the host)
+    // ------------------------------------------------------------------
+
+    /// Feed a segment to subflow `idx`.
+    pub fn on_segment(&mut self, idx: usize, seg: &TcpSegment, now: SimTime) {
+        if let Some(sf) = self.subflows.get_mut(idx) {
+            sf.sock.on_segment(seg, now);
+        }
+        self.post_event(now);
+    }
+
+    /// Fire due timers on every subflow.
+    pub fn on_timer(&mut self, now: SimTime) {
+        for sf in &mut self.subflows {
+            if sf.sock.next_timeout().is_some_and(|d| d <= now) {
+                sf.sock.on_timer(now);
+            }
+        }
+        self.post_event(now);
+    }
+
+    /// Earliest timer deadline over all subflows.
+    pub fn next_timeout(&self) -> Option<SimTime> {
+        self.subflows
+            .iter()
+            .filter_map(|s| s.sock.next_timeout())
+            .min()
+    }
+
+    /// Emit the next owed segment from any subflow. Runs the full
+    /// housekeeping pass first, so application-level actions (send/close)
+    /// take effect on the next poll regardless of how the connection is
+    /// driven.
+    pub fn poll_transmit(&mut self, now: SimTime) -> Option<(usize, TcpSegment)> {
+        self.post_event(now);
+        for (i, sf) in self.subflows.iter_mut().enumerate() {
+            if let Some(seg) = sf.sock.poll_transmit(now) {
+                return Some((i, seg));
+            }
+        }
+        None
+    }
+
+    /// Housekeeping after any event: advance acks, launch joins, advertise
+    /// addresses, reinject from dead subflows, schedule new data.
+    pub fn post_event(&mut self, now: SimTime) {
+        // Fallback short-circuits all MPTCP machinery.
+        if self.fell_back() {
+            self.pump_fallback();
+            return;
+        }
+        let (peer_data_ack, first_established, data_flowing) = {
+            let shared = self.shared.borrow();
+            (
+                shared.peer_data_ack,
+                shared.flows.first().is_some_and(|f| f.established),
+                // Data has moved in either direction on the first subflow.
+                shared.rx.next_expected() > 0 || shared.peer_data_ack > 0,
+            )
+        };
+        // Trim the connection-level buffer on data-acks.
+        if peer_data_ack > self.conn_buf.base() {
+            let upto = peer_data_ack.min(self.conn_buf.end());
+            self.conn_buf.advance(upto);
+            // Prune assignment and mapping entries fully below the ack.
+            while let Some((&d, &a)) = self.assignments.first_key_value() {
+                if d + a.len as u64 <= upto {
+                    self.assignments.remove(&d);
+                } else {
+                    break;
+                }
+            }
+        }
+        // Prune DSS mappings by *subflow-level* acknowledgment: a mapping is
+        // only safe to forget once its subflow bytes can never be
+        // retransmitted. (Connection-level data-acks are not enough — the
+        // subflow must still complete its own byte stream.)
+        {
+            let mut shared = self.shared.borrow_mut();
+            for (i, fl) in shared.flows.iter_mut().enumerate() {
+                let acked = self.subflows[i].sock.acked_offset();
+                fl.tx_maps.retain(|&(s, l, _)| s + l as u64 > acked);
+            }
+        }
+        // Drain (and discard) subflow-level in-order payload: MPTCP delivery
+        // happens through the connection-level reassembler, fed per packet.
+        for sf in &mut self.subflows {
+            while sf.sock.recv().is_some() {}
+        }
+        // A freshly arrived DATA_FIN must be data-acked even if no data or
+        // subflow-level ACK is otherwise owed, or the closing peer waits
+        // forever for `peer_data_ack` to cover its FIN.
+        {
+            let needs_ack = {
+                let mut shared = self.shared.borrow_mut();
+                std::mem::take(&mut shared.data_fin_needs_ack)
+            };
+            if needs_ack {
+                for sf in &mut self.subflows {
+                    sf.sock.push_ack();
+                }
+            }
+        }
+        // Apply MP_PRIO changes the peer requested for our subflows.
+        {
+            let mut shared = self.shared.borrow_mut();
+            for (i, fl) in shared.flows.iter_mut().enumerate() {
+                if let Some(backup) = fl.prio_rx.take() {
+                    if let Some(sf) = self.subflows.get_mut(i) {
+                        sf.backup = backup;
+                    }
+                }
+            }
+        }
+        // Delayed joins: Linux v0.86 fired the MP_JOINs from its worker
+        // only once the first subflow was established *and carrying data*
+        // (roughly one RTT after establishment) — the latency the paper's
+        // simultaneous-SYN modification removes (§4.1.2).
+        if self.is_client
+            && !self.joins_launched
+            && first_established
+            && data_flowing
+            && self.cfg.syn_mode == SynMode::Delayed
+        {
+            self.launch_joins(now);
+        }
+        // Client: join toward addresses the server advertised (4-path).
+        if self.is_client && self.joins_launched {
+            let new_remotes: Vec<Endpoint> = {
+                let shared = self.shared.borrow();
+                shared
+                    .peer_addrs
+                    .iter()
+                    .map(|&(_, ep)| ep)
+                    .filter(|ep| !self.remote_addrs.contains(ep))
+                    .collect()
+            };
+            if !new_remotes.is_empty() {
+                self.remote_addrs.extend(new_remotes);
+                self.joins_launched = false;
+                self.launch_joins(now);
+            }
+        }
+        // Server: advertise the secondary interface once established.
+        if !self.is_client && !self.addr_advertised && first_established {
+            self.addr_advertised = true;
+            let secondary = Endpoint::new(self.local_addrs[1], self.subflows[0].local.port);
+            {
+                let mut shared = self.shared.borrow_mut();
+                shared.flows[0].pending_add_addr.push((2, secondary));
+            }
+            self.subflows[0].sock.push_ack();
+        }
+        self.reinject_from_dead_subflows();
+        self.maybe_penalize(now);
+        self.pump(now);
+        self.progress_close();
+    }
+
+    fn pump_fallback(&mut self) {
+        // Any join subflows spawned before fallback was detected
+        // (simultaneous-SYN mode) are orphans: delete them now instead of
+        // letting their SYN retries run to RTO exhaustion.
+        for sf in &mut self.subflows[1..] {
+            sf.sock.close();
+        }
+        // Plain TCP on subflow 0: shovel conn_buf into the socket directly.
+        let sock = &mut self.subflows[0].sock;
+        while self.next_unassigned < self.conn_buf.end() {
+            let space = sock.send_space();
+            if space == 0 {
+                break;
+            }
+            let len = ((self.conn_buf.end() - self.next_unassigned) as usize).min(space);
+            let data = self.conn_buf.read(self.next_unassigned, len);
+            let pushed = sock.send(data);
+            self.next_unassigned += pushed as u64;
+            if pushed < len {
+                break;
+            }
+        }
+        self.conn_buf.advance(sock.acked_offset());
+        if self.app_closed && self.next_unassigned == self.conn_buf.end() {
+            sock.close();
+        }
+    }
+
+    /// Mark chunks assigned to dead or stalled subflows for reinjection
+    /// elsewhere. Linux reinjects on the first retransmission timeout; we
+    /// use the stall signal (≥2 consecutive RTOs) or socket death — waiting
+    /// for full RTO exhaustion would stall handover for minutes.
+    fn reinject_from_dead_subflows(&mut self) {
+        let dead: Vec<usize> = self
+            .subflows
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.sock.is_finished() || s.sock.is_stalled())
+            .map(|(i, _)| i)
+            .collect();
+        if dead.is_empty() {
+            return;
+        }
+        let live_exists = self
+            .subflows
+            .iter()
+            .any(|s| !s.sock.is_finished() && !s.sock.is_stalled() && s.sock.is_established());
+        if !live_exists {
+            return;
+        }
+        let base = self.conn_buf.base();
+        let mut moved = Vec::new();
+        for (&dseq, a) in &self.assignments {
+            if dead.contains(&a.subflow) && dseq + a.len as u64 > base {
+                moved.push((dseq, a.len));
+            }
+        }
+        for (dseq, len) in &moved {
+            self.assignments.remove(dseq);
+            self.reinject.push((*dseq, *len));
+        }
+        // Retire dead subflows from the coupling registry is handled by the
+        // coupling itself (windows stop being acked); nothing more here.
+    }
+
+    /// The Linux v0.86 penalization mechanism (off by default, §3.1): when
+    /// the shared receive window stalls the connection, halve the window of
+    /// the slowest subflow.
+    fn maybe_penalize(&mut self, now: SimTime) {
+        if !self.cfg.penalization || self.subflows.len() < 2 {
+            return;
+        }
+        if now.saturating_since(self.last_penalty_at) < SimDuration::from_millis(100) {
+            return;
+        }
+        let have_data = self.next_unassigned < self.conn_buf.end();
+        if !have_data {
+            return;
+        }
+        // Receive-window limited: no subflow can take new data, and for at
+        // least one of them the *peer's* advertised (shared-buffer) window
+        // is the binding constraint — the situation mptcp_rcv_buf_optimization
+        // reacted to in v0.86.
+        let all_blocked = self
+            .subflows
+            .iter()
+            .all(|s| !s.sock.is_established() || s.sock.tx_window_space() == 0);
+        let rwnd_binding = self.subflows.iter().any(|s| s.sock.rwnd_limited());
+        if !all_blocked || !rwnd_binding {
+            return;
+        }
+        // Halve the window of the slowest established subflow.
+        let slowest = self
+            .subflows
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.sock.is_established())
+            .max_by_key(|(_, s)| s.sock.rtt().srtt().unwrap_or(SimDuration::MAX));
+        if let Some((i, _)) = slowest {
+            let mut st = self.coupling.borrow_mut();
+            if i < st.flows_len() {
+                st.halve_flow(i, self.cfg.cc.mss);
+                self.last_penalty_at = now;
+            }
+        }
+    }
+
+    /// Assign pending data (reinjections first) to subflows per the
+    /// scheduler, recording DSS mappings.
+    fn pump(&mut self, _now: SimTime) {
+        if self.fell_back() {
+            self.pump_fallback();
+            return;
+        }
+        let mss = self.cfg.cc.mss;
+        loop {
+            // Drop or clip reinjection chunks the peer has meanwhile
+            // data-acked (their bytes left the connection buffer).
+            while let Some(&(d, l)) = self.reinject.first() {
+                let base = self.conn_buf.base();
+                if d + l as u64 <= base {
+                    self.reinject.remove(0);
+                } else if d < base {
+                    self.reinject[0] = (base, (d + l as u64 - base) as u32);
+                } else {
+                    break;
+                }
+            }
+            // What to send next: a reinjection chunk or fresh data.
+            let (dseq, len, is_reinject) = if let Some(&(d, l)) = self.reinject.first() {
+                (d, l as usize, true)
+            } else if self.next_unassigned < self.conn_buf.end() {
+                let len = ((self.conn_buf.end() - self.next_unassigned) as usize).min(mss);
+                (self.next_unassigned, len, false)
+            } else {
+                break;
+            };
+
+            let views: Vec<SubflowView> = self
+                .subflows
+                .iter()
+                .map(|s| SubflowView {
+                    index: 0, // set below
+                    established: s.sock.is_established(),
+                    srtt: s.sock.rtt().srtt(),
+                    cwnd_space: s.sock.tx_window_space(),
+                    buffer_space: s.sock.send_space(),
+                    backup: s.backup,
+                    stalled: s.sock.is_stalled() || s.sock.is_finished(),
+                })
+                .enumerate()
+                .map(|(i, mut v)| {
+                    v.index = i;
+                    v
+                })
+                .collect();
+            let Some(pick) = self.sched.pick(self.cfg.scheduler, &views, len) else {
+                break;
+            };
+            let data = self.conn_buf.read(dseq, len);
+            debug_assert_eq!(data.len(), len);
+            let sf = &mut self.subflows[pick];
+            let sub_abs = sf.sock.write_offset();
+            let pushed = sf.sock.send(data);
+            if pushed == 0 {
+                break;
+            }
+            {
+                let mut shared = self.shared.borrow_mut();
+                shared.flows[pick]
+                    .tx_maps
+                    .push((sub_abs, pushed as u32, dseq));
+            }
+            self.assignments.insert(
+                dseq,
+                Assignment {
+                    subflow: pick,
+                    len: pushed as u32,
+                },
+            );
+            if is_reinject {
+                let (d, l) = self.reinject.remove(0);
+                if pushed < l as usize {
+                    self.reinject
+                        .insert(0, (d + pushed as u64, l - pushed as u32));
+                }
+            } else {
+                self.next_unassigned += pushed as u64;
+            }
+        }
+    }
+
+    /// Drive DATA_FIN and subflow teardown once the application closed.
+    fn progress_close(&mut self) {
+        let all_assigned = self.next_unassigned >= self.conn_buf.end() && self.reinject.is_empty();
+        if self.app_closed && all_assigned {
+            let mut shared = self.shared.borrow_mut();
+            if shared.tx_data_fin.is_none() {
+                shared.tx_data_fin = Some(self.conn_buf.end());
+                drop(shared);
+                // Nudge a pure ACK out so the DATA_FIN travels even with no
+                // data pending.
+                for sf in &mut self.subflows {
+                    sf.sock.push_ack();
+                }
+            }
+        }
+        // Once our DATA_FIN is data-acked and the peer's (if any) consumed,
+        // close the subflow sockets.
+        let shared = self.shared.borrow();
+        let ours_done = match shared.tx_data_fin {
+            // Closed once the peer data-acks the FIN, or once every subflow
+            // stream is fully acknowledged at the subflow level (the peer
+            // then provably holds all data and the FIN signal travels on
+            // the reliable subflow FINs themselves).
+            Some(f) => {
+                shared.peer_data_ack > f
+                    || self
+                        .subflows
+                        .iter()
+                        .all(|s| s.sock.unacked_len() == 0 && !s.sock.is_finished())
+            }
+            None => false,
+        };
+        drop(shared);
+        if ours_done {
+            for sf in &mut self.subflows {
+                sf.sock.close();
+            }
+        }
+        // Receiver side: if the peer is done and we have nothing to send
+        // (pure download client), close our direction too.
+        if self.peer_closed() && !self.app_closed && self.conn_buf.end() == 0 {
+            self.app_closed = true;
+            let mut shared = self.shared.borrow_mut();
+            shared.tx_data_fin = Some(0);
+            drop(shared);
+            for sf in &mut self.subflows {
+                sf.sock.push_ack();
+                sf.sock.close();
+            }
+        }
+    }
+
+    /// Change a subflow's priority mid-connection (RFC 6824 MP_PRIO): the
+    /// new state applies to our scheduler immediately and is signalled to
+    /// the peer on the subflow's next segment — e.g. demote WiFi to backup
+    /// when signal weakens, the dynamic-handover policy of Paasch et al.
+    pub fn set_subflow_backup(&mut self, idx: usize, backup: bool) {
+        if let Some(sf) = self.subflows.get_mut(idx) {
+            sf.backup = backup;
+            self.shared.borrow_mut().flows[idx].pending_prio = Some(backup);
+            sf.sock.push_ack();
+        }
+    }
+
+    /// Per-subflow established timestamps (subflow utilization analysis).
+    pub fn subflow_established_at(&self, idx: usize) -> Option<SimTime> {
+        self.shared.borrow().flows.get(idx)?.established_at
+    }
+}
+

@@ -1,0 +1,534 @@
+//! MPTCP congestion controllers (paper §2.2.2).
+//!
+//! Three algorithms, exactly the set the paper compares:
+//!
+//! - **reno** — uncoupled TCP New Reno on every subflow (the baseline; more
+//!   aggressive than fair).
+//! - **coupled** — the LIA controller of RFC 6356, MPTCP's default: coupled
+//!   window increases with `min(α·/w_total, 1/w_i)`, unmodified halving.
+//! - **olia** — the opportunistic linked-increases algorithm of Khalili et
+//!   al., which adds the `α_i` re-balancing term that moves window from
+//!   max-window paths to "best" paths.
+//!
+//! Subflows each own a [`CoupledCc`] handle; handles share a
+//! [`CouplingState`] registry through `Rc<RefCell<…>>` (the simulation is
+//! single-threaded by design). Slow start is per-subflow standard TCP, as in
+//! the Linux MPTCP implementation the paper measured.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mpw_sim::{SimDuration, SimTime};
+use mpw_tcp::{CcConfig, CongestionControl};
+use serde::{Deserialize, Serialize};
+
+/// Which coupling algorithm to run — the experiment axis of Figures 4/9.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Coupling {
+    /// Uncoupled New Reno per subflow.
+    Reno,
+    /// Coupled / LIA (RFC 6356) — MPTCP's default.
+    Coupled,
+    /// OLIA (Khalili et al., CoNEXT 2012).
+    Olia,
+}
+
+impl Coupling {
+    /// All algorithms in the paper's order.
+    pub const ALL: [Coupling; 3] = [Coupling::Coupled, Coupling::Olia, Coupling::Reno];
+
+    /// Lower-case name used in result tables ("coupled", "olia", "reno").
+    pub fn name(self) -> &'static str {
+        match self {
+            Coupling::Reno => "reno",
+            Coupling::Coupled => "coupled",
+            Coupling::Olia => "olia",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SubflowCc {
+    /// Congestion window in bytes.
+    cwnd: usize,
+    ssthresh: usize,
+    /// Smoothed RTT in seconds (default until first sample).
+    rtt: f64,
+    /// Bytes acked since the last loss (OLIA's l1).
+    epoch_bytes: f64,
+    /// Bytes acked in the previous loss epoch (OLIA's l0).
+    prev_epoch_bytes: f64,
+    alive: bool,
+}
+
+/// Shared registry of all subflows of one MPTCP connection.
+#[derive(Debug)]
+pub struct CouplingState {
+    algo: Coupling,
+    mss: usize,
+    flows: Vec<SubflowCc>,
+}
+
+impl CouplingState {
+    /// New shared state for the given algorithm.
+    pub fn new(algo: Coupling, mss: usize) -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(CouplingState {
+            algo,
+            mss,
+            flows: Vec::new(),
+        }))
+    }
+
+    fn register(&mut self, cfg: &CcConfig) -> usize {
+        self.flows.push(SubflowCc {
+            cwnd: cfg.mss * cfg.initial_window_segments,
+            ssthresh: cfg.initial_ssthresh,
+            rtt: 0.1,
+            epoch_bytes: 0.0,
+            prev_epoch_bytes: 0.0,
+            alive: true,
+        });
+        self.flows.len() - 1
+    }
+
+    /// Total congestion window over live subflows, in bytes.
+    pub fn total_cwnd(&self) -> usize {
+        self.flows.iter().filter(|f| f.alive).map(|f| f.cwnd).sum()
+    }
+
+    /// Number of registered subflows.
+    pub fn flows_len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Externally halve one subflow's window (the v0.86 penalization
+    /// mechanism acts from outside the normal loss path).
+    pub fn halve_flow(&mut self, idx: usize, mss: usize) {
+        if let Some(f) = self.flows.get_mut(idx) {
+            f.cwnd = (f.cwnd / 2).max(2 * mss);
+            f.ssthresh = f.cwnd;
+        }
+    }
+
+    /// Windows in MSS units with RTTs, for the coupling formulas.
+    fn live(&self) -> impl Iterator<Item = (usize, f64, f64)> + '_ {
+        // (index, w in MSS, rtt seconds)
+        self.flows.iter().enumerate().filter(|(_, f)| f.alive).map(|(i, f)| {
+            (i, f.cwnd as f64 / self.mss as f64, f.rtt.max(1e-4))
+        })
+    }
+
+    /// RFC 6356 alpha: `w_total * max(w_i/rtt_i²) / (Σ w_i/rtt_i)²`,
+    /// windows in MSS units.
+    fn lia_alpha(&self) -> f64 {
+        let mut w_total = 0.0;
+        let mut max_term: f64 = 0.0;
+        let mut denom = 0.0;
+        for (_, w, rtt) in self.live() {
+            w_total += w;
+            max_term = max_term.max(w / (rtt * rtt));
+            denom += w / rtt;
+        }
+        if denom == 0.0 {
+            return 1.0;
+        }
+        (w_total * max_term / (denom * denom)).max(f64::MIN_POSITIVE)
+    }
+
+    /// OLIA per-ack increase for flow `i` in MSS-per-MSS-acked units.
+    fn olia_increase(&self, i: usize) -> f64 {
+        let mut denom = 0.0;
+        for (_, w, rtt) in self.live() {
+            denom += w / rtt;
+        }
+        if denom == 0.0 {
+            return 0.0;
+        }
+        let me = &self.flows[i];
+        let w_i = me.cwnd as f64 / self.mss as f64;
+        let rtt_i = me.rtt.max(1e-4);
+        let base = (w_i / (rtt_i * rtt_i)) / (denom * denom);
+
+        // α_i from the best-path / max-window set comparison.
+        let n = self.flows.iter().filter(|f| f.alive).count() as f64;
+        let li = |f: &SubflowCc| f.epoch_bytes.max(f.prev_epoch_bytes).max(1.0);
+        // Best paths maximize l_i² / rtt_i (the OLIA path-quality proxy).
+        let quality = |f: &SubflowCc| li(f) * li(f) / f.rtt.max(1e-4);
+        let eps = 1e-9;
+        let best_q = self
+            .flows
+            .iter()
+            .filter(|f| f.alive)
+            .map(quality)
+            .fold(0.0f64, f64::max);
+        let max_w = self
+            .flows
+            .iter()
+            .filter(|f| f.alive)
+            .map(|f| f.cwnd)
+            .max()
+            .unwrap_or(0);
+        let in_best = |f: &SubflowCc| quality(f) >= best_q * (1.0 - 1e-9) - eps;
+        let in_max = |f: &SubflowCc| f.cwnd == max_w;
+        // B \ M: best paths that do not have the maximum window.
+        let collected: Vec<usize> = self
+            .flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.alive && in_best(f) && !in_max(f))
+            .map(|(j, _)| j)
+            .collect();
+        let max_set: Vec<usize> = self
+            .flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.alive && in_max(f))
+            .map(|(j, _)| j)
+            .collect();
+        let alpha = if collected.is_empty() {
+            0.0
+        } else if collected.contains(&i) {
+            1.0 / (n * collected.len() as f64)
+        } else if max_set.contains(&i) {
+            -1.0 / (n * max_set.len() as f64)
+        } else {
+            0.0
+        };
+        let inc = base + alpha / w_i.max(1e-9);
+        // OLIA never decreases the window on an ACK below zero growth; the
+        // negative α term may cancel growth but must not shrink the window.
+        inc.max(-1.0 / w_i.max(1e-9) * 0.5)
+    }
+}
+
+/// A per-subflow congestion controller coupled through a shared
+/// [`CouplingState`].
+#[derive(Debug)]
+pub struct CoupledCc {
+    shared: Rc<RefCell<CouplingState>>,
+    idx: usize,
+    cfg: CcConfig,
+    ca_frac: f64,
+}
+
+impl CoupledCc {
+    /// Register a new subflow in the shared state.
+    pub fn new(shared: Rc<RefCell<CouplingState>>, cfg: CcConfig) -> Self {
+        let idx = shared.borrow_mut().register(&cfg);
+        CoupledCc {
+            shared,
+            idx,
+            cfg,
+            ca_frac: 0.0,
+        }
+    }
+
+    /// Subflow index within the shared registry.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// Mark the subflow dead (it stops counting toward coupling terms).
+    pub fn retire(&mut self) {
+        self.shared.borrow_mut().flows[self.idx].alive = false;
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut SubflowCc) -> R) -> R {
+        f(&mut self.shared.borrow_mut().flows[self.idx])
+    }
+}
+
+impl CongestionControl for CoupledCc {
+    fn on_ack(&mut self, bytes_acked: usize, _now: SimTime) {
+        let mss = self.cfg.mss;
+        let mut st = self.shared.borrow_mut();
+        st.flows[self.idx].epoch_bytes += bytes_acked as f64;
+        let (cwnd, ssthresh) = {
+            let fl = &st.flows[self.idx];
+            (fl.cwnd, fl.ssthresh)
+        };
+        if cwnd < ssthresh {
+            // Per-subflow standard slow start, full byte counting.
+            st.flows[self.idx].cwnd = cwnd + bytes_acked.min(cwnd);
+            return;
+        }
+        let algo = st.algo;
+        let w_i_mss = cwnd as f64 / mss as f64;
+        let inc_per_mss_acked = match algo {
+            Coupling::Reno => 1.0 / w_i_mss,
+            Coupling::Coupled => {
+                let alpha = st.lia_alpha();
+                let w_total_mss = st.total_cwnd() as f64 / mss as f64;
+                (alpha / w_total_mss).min(1.0 / w_i_mss)
+            }
+            Coupling::Olia => st.olia_increase(self.idx),
+        };
+        drop(st);
+        // Accumulate fractional MSS growth.
+        self.ca_frac += bytes_acked as f64 / mss as f64 * inc_per_mss_acked;
+        if self.ca_frac.abs() >= 1.0 {
+            let whole = self.ca_frac.trunc();
+            self.ca_frac -= whole;
+            let delta = (whole * mss as f64) as i64;
+            self.with(|fl| {
+                let next = fl.cwnd as i64 + delta;
+                fl.cwnd = next.max(2 * mss as i64) as usize;
+            });
+        }
+    }
+
+    fn on_loss_event(&mut self, flight_bytes: usize, _now: SimTime) {
+        let mss = self.cfg.mss;
+        self.with(|fl| {
+            fl.ssthresh = (flight_bytes.max(fl.cwnd) / 2).max(2 * mss);
+            fl.cwnd = fl.ssthresh;
+            fl.prev_epoch_bytes = fl.epoch_bytes;
+            fl.epoch_bytes = 0.0;
+        });
+        self.ca_frac = 0.0;
+    }
+
+    fn on_rto(&mut self, flight_bytes: usize, _now: SimTime) {
+        let mss = self.cfg.mss;
+        self.with(|fl| {
+            fl.ssthresh = (flight_bytes.max(fl.cwnd) / 2).max(2 * mss);
+            fl.cwnd = mss;
+            fl.prev_epoch_bytes = fl.epoch_bytes;
+            fl.epoch_bytes = 0.0;
+        });
+        self.ca_frac = 0.0;
+    }
+
+    fn on_rtt_update(&mut self, srtt: SimDuration) {
+        self.with(|fl| fl.rtt = srtt.as_secs_f64().max(1e-4));
+    }
+
+    fn cwnd(&self) -> usize {
+        self.shared.borrow().flows[self.idx].cwnd
+    }
+
+    fn ssthresh(&self) -> usize {
+        self.shared.borrow().flows[self.idx].ssthresh
+    }
+
+    fn name(&self) -> &'static str {
+        self.shared.borrow().algo.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CcConfig {
+        CcConfig {
+            mss: 1400,
+            initial_window_segments: 10,
+            initial_ssthresh: 64 * 1024,
+        }
+    }
+
+    fn two_flows(algo: Coupling) -> (CoupledCc, CoupledCc) {
+        let shared = CouplingState::new(algo, 1400);
+        (
+            CoupledCc::new(shared.clone(), cfg()),
+            CoupledCc::new(shared, cfg()),
+        )
+    }
+
+    fn drive_to_ca(cc: &mut CoupledCc) {
+        // Ack until out of slow start.
+        for _ in 0..200 {
+            cc.on_ack(1400, SimTime::ZERO);
+        }
+        assert!(!cc.in_slow_start());
+    }
+
+    #[test]
+    fn slow_start_is_uncoupled_and_standard() {
+        let (mut a, _b) = two_flows(Coupling::Coupled);
+        let w0 = a.cwnd();
+        let mut acked = 0;
+        while acked < w0 {
+            a.on_ack(1400, SimTime::ZERO);
+            acked += 1400;
+        }
+        assert_eq!(a.cwnd(), 2 * w0);
+    }
+
+    #[test]
+    fn reno_coupling_matches_single_path_growth() {
+        let (mut a, _b) = two_flows(Coupling::Reno);
+        drive_to_ca(&mut a);
+        let w = a.cwnd();
+        let mut acked = 0;
+        while acked < w {
+            a.on_ack(1400, SimTime::ZERO);
+            acked += 1400;
+        }
+        // +1 MSS per window per RTT, like plain New Reno.
+        assert!(
+            (a.cwnd() as i64 - (w + 1400) as i64).abs() <= 1400,
+            "w {w} -> {}",
+            a.cwnd()
+        );
+    }
+
+    #[test]
+    fn coupled_grows_slower_than_reno() {
+        let grow = |algo| {
+            let (mut a, mut b) = two_flows(algo);
+            a.on_rtt_update(SimDuration::from_millis(50));
+            b.on_rtt_update(SimDuration::from_millis(50));
+            drive_to_ca(&mut a);
+            drive_to_ca(&mut b);
+            let w = a.cwnd();
+            // Eight windows' worth of acks on each flow (LIA's increase is
+            // fractional per window; give it room to materialize).
+            for _ in 0..(8 * w / 1400) {
+                a.on_ack(1400, SimTime::ZERO);
+                b.on_ack(1400, SimTime::ZERO);
+            }
+            a.cwnd() - w
+        };
+        let reno = grow(Coupling::Reno);
+        let coupled = grow(Coupling::Coupled);
+        assert!(
+            coupled < reno,
+            "coupled growth {coupled} should be below reno {reno}"
+        );
+        // With two identical paths, LIA's per-path growth is about a quarter
+        // of reno's (aggregate ≈ half of one TCP).
+        assert!(
+            coupled >= reno / 8,
+            "coupled {coupled} collapsed vs reno {reno}"
+        );
+    }
+
+    #[test]
+    fn lia_alpha_on_identical_paths() {
+        let shared = CouplingState::new(Coupling::Coupled, 1400);
+        let a = CoupledCc::new(shared.clone(), cfg());
+        let _b = CoupledCc::new(shared.clone(), cfg());
+        let _ = a; // windows equal, rtts equal (defaults)
+        let alpha = shared.borrow().lia_alpha();
+        // w_total * (w/rtt²) / (2w/rtt)² = 2w * w/rtt² / 4w²/rtt² = 1/2.
+        assert!((alpha - 0.5).abs() < 1e-9, "alpha {alpha}");
+    }
+
+    #[test]
+    fn coupled_prefers_lower_rtt_path() {
+        let (mut fast, mut slow) = two_flows(Coupling::Coupled);
+        fast.on_rtt_update(SimDuration::from_millis(20));
+        slow.on_rtt_update(SimDuration::from_millis(200));
+        drive_to_ca(&mut fast);
+        drive_to_ca(&mut slow);
+        // Equal windows; ack both at rates proportional to 1/rtt: the fast
+        // path sees 10× the acks.
+        let wf = fast.cwnd();
+        let ws = slow.cwnd();
+        for _ in 0..1000 {
+            for _ in 0..10 {
+                fast.on_ack(1400, SimTime::ZERO);
+            }
+            slow.on_ack(1400, SimTime::ZERO);
+        }
+        let df = fast.cwnd() as i64 - wf as i64;
+        let ds = slow.cwnd() as i64 - ws as i64;
+        assert!(df > ds, "fast path should grow more: {df} vs {ds}");
+    }
+
+    #[test]
+    fn olia_rebalances_toward_better_path() {
+        let shared = CouplingState::new(Coupling::Olia, 1400);
+        let mut good = CoupledCc::new(shared.clone(), cfg());
+        let mut congested = CoupledCc::new(shared.clone(), cfg());
+        good.on_rtt_update(SimDuration::from_millis(50));
+        congested.on_rtt_update(SimDuration::from_millis(50));
+        drive_to_ca(&mut good);
+        drive_to_ca(&mut congested);
+        // The congested path loses regularly (short epochs); the good path
+        // never loses (long epochs) but was left with a smaller window.
+        for _ in 0..6 {
+            for _ in 0..50 {
+                congested.on_ack(1400, SimTime::ZERO);
+            }
+            congested.on_loss_event(congested.cwnd(), SimTime::ZERO);
+        }
+        for _ in 0..400 {
+            good.on_ack(1400, SimTime::ZERO);
+        }
+        // Force the asymmetry OLIA reacts to: congested somehow holds the
+        // larger window (e.g. after the good path collapsed).
+        {
+            let mut st = shared.borrow_mut();
+            st.flows[0].cwnd = 30 * 1400; // good, best quality
+            st.flows[1].cwnd = 80 * 1400; // congested, max window
+            st.flows[0].ssthresh = 1400;
+            st.flows[1].ssthresh = 1400;
+        }
+        let inc_good = shared.borrow().olia_increase(0);
+        let inc_congested = shared.borrow().olia_increase(1);
+        assert!(
+            inc_good > inc_congested,
+            "OLIA should favour the best path: {inc_good} vs {inc_congested}"
+        );
+        assert!(inc_good > 0.0);
+    }
+
+    #[test]
+    fn olia_total_increase_bounded_by_lia_style_cap() {
+        // On two identical paths OLIA's base term gives 1/4 of reno's
+        // per-path growth for each (denominator is the doubled rate sum),
+        // i.e., aggregate growth ≈ half of a single TCP — non-aggressive.
+        let (mut a, mut b) = two_flows(Coupling::Olia);
+        a.on_rtt_update(SimDuration::from_millis(50));
+        b.on_rtt_update(SimDuration::from_millis(50));
+        drive_to_ca(&mut a);
+        drive_to_ca(&mut b);
+        let w = a.cwnd();
+        for _ in 0..(w / 1400) {
+            a.on_ack(1400, SimTime::ZERO);
+            b.on_ack(1400, SimTime::ZERO);
+        }
+        let growth = a.cwnd() as i64 - w as i64;
+        assert!(
+            growth <= 1400,
+            "OLIA per-window growth {growth} exceeds one MSS"
+        );
+    }
+
+    #[test]
+    fn loss_halves_and_rto_collapses() {
+        let (mut a, _b) = two_flows(Coupling::Olia);
+        drive_to_ca(&mut a);
+        let w = a.cwnd();
+        a.on_loss_event(a.cwnd(), SimTime::ZERO);
+        assert_eq!(a.cwnd(), w / 2);
+        a.on_rto(a.cwnd(), SimTime::ZERO);
+        assert_eq!(a.cwnd(), 1400);
+    }
+
+    #[test]
+    fn retired_flow_leaves_coupling_terms() {
+        let shared = CouplingState::new(Coupling::Coupled, 1400);
+        let a = CoupledCc::new(shared.clone(), cfg());
+        let mut b = CoupledCc::new(shared.clone(), cfg());
+        let total_before = shared.borrow().total_cwnd();
+        b.retire();
+        let total_after = shared.borrow().total_cwnd();
+        assert_eq!(total_after, a.cwnd());
+        assert!(total_after < total_before);
+    }
+
+    #[test]
+    fn single_path_coupled_behaves_like_reno() {
+        // With one subflow, alpha = w * (w/rtt²) / (w/rtt)² = 1 → increase
+        // min(1/w, 1/w) = reno.
+        let shared = CouplingState::new(Coupling::Coupled, 1400);
+        let mut a = CoupledCc::new(shared.clone(), cfg());
+        drive_to_ca(&mut a);
+        let alpha = shared.borrow().lia_alpha();
+        assert!((alpha - 1.0).abs() < 1e-9, "alpha {alpha}");
+    }
+}

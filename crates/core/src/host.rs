@@ -1,0 +1,919 @@
+//! The host agent: interfaces, routing, socket/connection demultiplexing,
+//! listeners, ping (antenna warm-up), and application driving.
+//!
+//! A [`Host`] is an [`mpw_sim::Agent`] owning any number of transports
+//! (MPTCP connections or plain TCP sockets) plus the applications using
+//! them. It serializes outgoing segments to wire bytes, routes them out the
+//! correct interface (clients route by the socket's bound interface, servers
+//! by destination address), and parses/demultiplexes everything that
+//! arrives — including MP_JOIN SYNs matched by connection token, exactly as
+//! the kernel implementation does.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use mpw_sim::trace::{Dir, DropReason, SegmentRecord, TraceEvent, TraceLevel};
+use mpw_sim::{Agent, AgentId, Ctx, Event, Frame, SimDuration, SimRng, SimTime};
+use mpw_tcp::wire::{tcp_flags, PingPacket};
+use mpw_tcp::{
+    encode_packet, encode_ping, parse_any, Addr, CcConfig, Endpoint, IpHeader, MptcpOption,
+    NewReno, NoHooks, Packet, SeqNum, TcpConfig, TcpOption, TcpSegment, TcpSocket,
+};
+
+use crate::conn::{MptcpConfig, MptcpConnection};
+
+/// How a new outgoing connection should be transported — the experiment
+/// axis of every figure: single-path TCP vs 2-/4-path MPTCP.
+#[derive(Clone, Debug)]
+pub enum TransportSpec {
+    /// Plain single-path TCP bound to one interface.
+    Plain {
+        /// TCP configuration.
+        tcp: TcpConfig,
+        /// Congestion-control parameters.
+        cc: CcConfig,
+        /// Which local interface to bind.
+        if_index: u8,
+    },
+    /// MPTCP across the host's interfaces.
+    Mptcp(MptcpConfig),
+}
+
+/// A live transport: either an MPTCP connection or a plain TCP socket.
+pub enum Transport {
+    /// MPTCP connection.
+    Mp(MptcpConnection),
+    /// Plain TCP.
+    Sp(TcpSocket),
+}
+
+impl Transport {
+    /// Write application bytes; returns bytes accepted.
+    pub fn send(&mut self, data: bytes::Bytes) -> usize {
+        match self {
+            Transport::Mp(c) => c.send(data),
+            Transport::Sp(s) => s.send(data),
+        }
+    }
+
+    /// Send-buffer space available.
+    pub fn send_space(&self) -> usize {
+        match self {
+            Transport::Mp(c) => c.send_space(),
+            Transport::Sp(s) => s.send_space(),
+        }
+    }
+
+    /// Pop in-order received bytes.
+    pub fn recv(&mut self) -> Option<bytes::Bytes> {
+        match self {
+            Transport::Mp(c) => c.recv(),
+            Transport::Sp(s) => s.recv().map(|(_, d)| d),
+        }
+    }
+
+    /// Close the sending direction.
+    pub fn close(&mut self) {
+        match self {
+            Transport::Mp(c) => c.close(),
+            Transport::Sp(s) => s.close(),
+        }
+    }
+
+    /// Peer finished sending and everything was delivered.
+    pub fn peer_closed(&self) -> bool {
+        match self {
+            Transport::Mp(c) => c.peer_closed(),
+            Transport::Sp(s) => s.peer_closed(),
+        }
+    }
+
+    /// In-order bytes delivered so far.
+    pub fn delivered_offset(&self) -> u64 {
+        match self {
+            Transport::Mp(c) => c.delivered_offset(),
+            Transport::Sp(s) => s.recv_offset(),
+        }
+    }
+
+    /// At least one path is established.
+    pub fn is_established(&self) -> bool {
+        match self {
+            Transport::Mp(c) => c.is_established(),
+            Transport::Sp(s) => s.is_established(),
+        }
+    }
+
+    /// Fully closed.
+    pub fn is_finished(&self) -> bool {
+        match self {
+            Transport::Mp(c) => c.is_finished(),
+            Transport::Sp(s) => s.is_finished(),
+        }
+    }
+
+    /// The MPTCP connection, if this is one.
+    pub fn as_mp(&self) -> Option<&MptcpConnection> {
+        match self {
+            Transport::Mp(c) => Some(c),
+            Transport::Sp(_) => None,
+        }
+    }
+
+    /// Mutable MPTCP connection access.
+    pub fn as_mp_mut(&mut self) -> Option<&mut MptcpConnection> {
+        match self {
+            Transport::Mp(c) => Some(c),
+            Transport::Sp(_) => None,
+        }
+    }
+
+    /// The plain socket, if single-path.
+    pub fn as_sp(&self) -> Option<&TcpSocket> {
+        match self {
+            Transport::Sp(s) => Some(s),
+            Transport::Mp(_) => None,
+        }
+    }
+
+    /// When the first SYN of this transport left — the paper's download-time
+    /// start point (§3.3).
+    pub fn opened_at(&self) -> SimTime {
+        match self {
+            Transport::Mp(c) => c.opened_at,
+            Transport::Sp(s) => s.stats().opened_at,
+        }
+    }
+
+    fn next_timeout(&self) -> Option<SimTime> {
+        match self {
+            Transport::Mp(c) => c.next_timeout(),
+            Transport::Sp(s) => s.next_timeout(),
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime) {
+        match self {
+            Transport::Mp(c) => c.on_timer(now),
+            Transport::Sp(s) => s.on_timer(now),
+        }
+    }
+}
+
+/// An application driven by the host whenever its transport makes progress.
+pub trait App: 'static {
+    /// Advance the application state machine.
+    fn poll(&mut self, conn: &mut Transport, now: SimTime);
+    /// Next instant this app wants to be polled even without network events
+    /// (periodic workloads like the paper's video-streaming model, §6).
+    fn next_wakeup(&self) -> Option<SimTime> {
+        None
+    }
+    /// Downcast support so the harness can read results.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A no-op application (server side of raw byte sinks, tests).
+pub struct NullApp;
+
+impl App for NullApp {
+    fn poll(&mut self, _conn: &mut Transport, _now: SimTime) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Factory producing the server-side application for each accepted
+/// connection.
+pub type AppFactory = Box<dyn FnMut(u32) -> Box<dyn App>>;
+
+struct Slot {
+    transport: Transport,
+    app: Box<dyn App>,
+    conn_id: u32,
+}
+
+/// A queued outgoing connection request (activated by a scheduled timer).
+pub struct OpenRequest {
+    /// When to begin (the harness schedules a matching timer event).
+    pub at: SimTime,
+    /// Transport to use.
+    pub spec: TransportSpec,
+    /// Server endpoint to connect to.
+    pub remote: Endpoint,
+    /// Client application.
+    pub app: Box<dyn App>,
+    /// Send this many warm-up pings first (2 in the paper, §3.2) and wait
+    /// for the replies (or 2 s) before opening the connection.
+    pub warmup_pings: u8,
+    /// Which interface carries the warm-up pings (the cellular one).
+    pub warmup_if: u8,
+}
+
+enum PendingOpen {
+    /// Waiting for its activation time.
+    Queued(OpenRequest),
+    /// Pings sent; waiting for replies or deadline.
+    Warming {
+        req: OpenRequest,
+        tokens_left: u8,
+        deadline: SimTime,
+    },
+}
+
+const TOKEN_HOST_TIMER: u64 = 0x1000_0000_0000_0001;
+const TOKEN_OPEN: u64 = 0x1000_0000_0000_0002;
+
+/// Host agent. See module docs.
+pub struct Host {
+    /// Interface addresses, indexed by `if_index`.
+    addrs: Vec<Addr>,
+    /// Per-interface egress link agent (clients; also server default).
+    iface_links: Vec<Option<AgentId>>,
+    /// Destination-address routes (servers: client addr → downlink agent).
+    routes: Vec<(Addr, AgentId)>,
+    /// Listening port (servers).
+    listen_port: Option<u16>,
+    listen_mptcp_cfg: MptcpConfig,
+    listen_plain_tcp: (TcpConfig, CcConfig),
+    app_factory: Option<AppFactory>,
+    slots: Vec<Slot>,
+    /// (local, remote) → (slot, subflow) demux.
+    demux: HashMap<(Endpoint, Endpoint), (usize, usize)>,
+    /// MPTCP token → slot (for MP_JOIN).
+    tokens: HashMap<u32, usize>,
+    /// JOIN SYNs that arrived before their MP_CAPABLE (simultaneous mode).
+    pending_joins: Vec<(u32, Endpoint, Endpoint, TcpSegment, SimTime)>,
+    pending_opens: Vec<PendingOpen>,
+    /// Ping replies expected: token → (if_index asked).
+    pings_inflight: HashMap<u64, u8>,
+    /// Completed ping RTTs.
+    pub ping_rtts: Vec<SimDuration>,
+    ping_sent_at: HashMap<u64, SimTime>,
+    next_conn_id: u32,
+    conn_id_base: u32,
+    rng: SimRng,
+    earliest_armed: Option<SimTime>,
+    is_client_role: bool,
+    /// Count of frames that found no matching socket.
+    pub no_socket_drops: u64,
+}
+
+impl Host {
+    /// Create a host with the given interface addresses. `conn_id_base`
+    /// namespaces this host's locally initiated connection ids; `is_client`
+    /// orients trace direction labels.
+    pub fn new(addrs: Vec<Addr>, conn_id_base: u32, is_client: bool, rng: SimRng) -> Self {
+        let n = addrs.len();
+        Host {
+            addrs,
+            iface_links: vec![None; n],
+            routes: Vec::new(),
+            listen_port: None,
+            listen_mptcp_cfg: MptcpConfig::default(),
+            listen_plain_tcp: (TcpConfig::default(), CcConfig::default()),
+            app_factory: None,
+            slots: Vec::new(),
+            demux: HashMap::new(),
+            tokens: HashMap::new(),
+            pending_joins: Vec::new(),
+            pending_opens: Vec::new(),
+            pings_inflight: HashMap::new(),
+            ping_rtts: Vec::new(),
+            ping_sent_at: HashMap::new(),
+            next_conn_id: conn_id_base,
+            conn_id_base,
+            rng,
+            earliest_armed: None,
+            is_client_role: is_client,
+            no_socket_drops: 0,
+        }
+    }
+
+    /// Attach interface `if_index` to its uplink link agent.
+    pub fn set_iface_link(&mut self, if_index: usize, link: AgentId) {
+        self.iface_links[if_index] = Some(link);
+    }
+
+    /// Add a destination route (server → client access network).
+    pub fn add_route(&mut self, dst: Addr, link: AgentId) {
+        self.routes.push((dst, link));
+    }
+
+    /// Listen on `port`, accepting both MPTCP and plain TCP, creating one
+    /// app per accepted connection.
+    pub fn listen(
+        &mut self,
+        port: u16,
+        mptcp_cfg: MptcpConfig,
+        plain: (TcpConfig, CcConfig),
+        factory: AppFactory,
+    ) {
+        self.listen_port = Some(port);
+        self.listen_mptcp_cfg = mptcp_cfg;
+        self.listen_plain_tcp = plain;
+        self.app_factory = Some(factory);
+    }
+
+    /// Queue an outgoing connection. The caller must also schedule
+    /// `Event::Timer { token: Host::open_token() }` on this host at
+    /// `req.at` (or any time ≥ it).
+    pub fn queue_open(&mut self, req: OpenRequest) {
+        self.pending_opens.push(PendingOpen::Queued(req));
+    }
+
+    /// The timer token that activates queued opens.
+    pub fn open_token() -> u64 {
+        TOKEN_OPEN
+    }
+
+    /// Primary address of this host.
+    pub fn addr(&self, if_index: usize) -> Addr {
+        self.addrs[if_index]
+    }
+
+    /// Number of transports (established or not).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Queued opens not yet activated (they will take the next slots in
+    /// queue order).
+    pub fn pending_open_count(&self) -> usize {
+        self.pending_opens.len()
+    }
+
+    /// Access a transport by slot.
+    pub fn transport(&self, slot: usize) -> Option<&Transport> {
+        self.slots.get(slot).map(|s| &s.transport)
+    }
+
+    /// Mutable transport access.
+    pub fn transport_mut(&mut self, slot: usize) -> Option<&mut Transport> {
+        self.slots.get_mut(slot).map(|s| &mut s.transport)
+    }
+
+    /// Access an application by slot, downcast to `T`.
+    pub fn app<T: 'static>(&self, slot: usize) -> Option<&T> {
+        self.slots.get(slot)?.app.as_any().downcast_ref()
+    }
+
+    /// Mutable application access.
+    pub fn app_mut<T: 'static>(&mut self, slot: usize) -> Option<&mut T> {
+        self.slots.get_mut(slot)?.app.as_any_mut().downcast_mut()
+    }
+
+    /// Connection id of a slot.
+    pub fn conn_id(&self, slot: usize) -> Option<u32> {
+        self.slots.get(slot).map(|s| s.conn_id)
+    }
+
+    // ------------------------------------------------------------------
+
+    fn egress_for(&self, if_index: u8, dst: Addr) -> Option<AgentId> {
+        if let Some(&(_, link)) = self.routes.iter().find(|(a, _)| *a == dst) {
+            return Some(link);
+        }
+        self.iface_links
+            .get(if_index as usize)
+            .copied()
+            .flatten()
+            .or_else(|| self.iface_links.iter().flatten().next().copied())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_segment(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn_id: u32,
+        subflow: usize,
+        local: Endpoint,
+        remote: Endpoint,
+        if_index: u8,
+        seg: &TcpSegment,
+    ) {
+        let ip = IpHeader {
+            src: local.addr,
+            dst: remote.addr,
+            protocol: mpw_tcp::wire::PROTO_TCP,
+            ttl: 64,
+        };
+        let bytes = encode_packet(&ip, seg);
+        if ctx.trace_level() == TraceLevel::Full {
+            ctx.trace(TraceEvent::SegSent(record(
+                conn_id,
+                subflow,
+                seg,
+                self.is_client_role,
+            )));
+        }
+        let Some(egress) = self.egress_for(if_index, remote.addr) else {
+            return;
+        };
+        ctx.send_frame(egress, 0, SimDuration::ZERO, Frame::new(bytes));
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        for i in 0..self.slots.len() {
+            // Drive the app first (it may produce data / close).
+            {
+                let slot = &mut self.slots[i];
+                slot.app.poll(&mut slot.transport, now);
+                if let Transport::Mp(c) = &mut slot.transport {
+                    c.post_event(now);
+                }
+            }
+            loop {
+                let slot = &mut self.slots[i];
+                let out = match &mut slot.transport {
+                    Transport::Mp(c) => c
+                        .poll_transmit(now)
+                        .map(|(sf, seg)| {
+                            let s = &c.subflows[sf];
+                            (sf, s.local, s.remote, s.if_index, seg)
+                        }),
+                    Transport::Sp(s) => s
+                        .poll_transmit(now)
+                        .map(|seg| (0usize, s.local(), s.remote(), s.if_index, seg)),
+                };
+                let Some((sf, local, remote, if_index, seg)) = out else {
+                    break;
+                };
+                let conn_id = slot.conn_id;
+                self.emit_segment(ctx, conn_id, sf, local, remote, if_index, &seg);
+            }
+            // New subflows may have appeared while polling; refresh the
+            // demux once per slot (their responses only arrive on later
+            // events, so registering after the burst is early enough).
+            self.register_demux(i);
+            {
+                let slot = &mut self.slots[i];
+                slot.app.poll(&mut slot.transport, now);
+            }
+        }
+        self.rearm_timer(ctx);
+    }
+
+    fn register_demux(&mut self, slot: usize) {
+        match &self.slots[slot].transport {
+            Transport::Mp(c) => {
+                for (sf, s) in c.subflows.iter().enumerate() {
+                    self.demux.insert((s.local, s.remote), (slot, sf));
+                }
+                self.tokens.insert(c.token(), slot);
+            }
+            Transport::Sp(s) => {
+                self.demux.insert((s.local(), s.remote()), (slot, 0));
+            }
+        }
+    }
+
+    fn rearm_timer(&mut self, ctx: &mut Ctx<'_>) {
+        let mut next: Option<SimTime> = None;
+        let mut fold = |t: Option<SimTime>| {
+            if let Some(t) = t {
+                next = Some(next.map_or(t, |c: SimTime| c.min(t)));
+            }
+        };
+        for s in &self.slots {
+            fold(s.transport.next_timeout());
+            fold(s.app.next_wakeup());
+        }
+        for p in &self.pending_opens {
+            match p {
+                PendingOpen::Queued(r) => fold(Some(r.at)),
+                PendingOpen::Warming { deadline, .. } => fold(Some(*deadline)),
+            }
+        }
+        let Some(next) = next else { return };
+        let now = ctx.now();
+        let due = next.max(now);
+        if self.earliest_armed.is_none_or(|armed| due < armed || armed <= now) {
+            self.earliest_armed = Some(due);
+            ctx.set_timer(due.saturating_since(now), TOKEN_HOST_TIMER);
+        }
+    }
+
+    fn on_host_timer(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        self.earliest_armed = None;
+        for s in &mut self.slots {
+            if s.transport.next_timeout().is_some_and(|d| d <= now) {
+                s.transport.on_timer(now);
+            }
+        }
+        self.process_opens(ctx);
+        self.flush(ctx);
+    }
+
+    fn process_opens(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let mut pending = std::mem::take(&mut self.pending_opens);
+        let mut keep = Vec::new();
+        for p in pending.drain(..) {
+            match p {
+                PendingOpen::Queued(req) if req.at <= now => {
+                    if req.warmup_pings > 0 {
+                        let mut tokens_left = 0;
+                        for _ in 0..req.warmup_pings {
+                            let token = self.rng.next_u64();
+                            let ip = IpHeader {
+                                src: self.addrs[req.warmup_if as usize % self.addrs.len()],
+                                dst: req.remote.addr,
+                                protocol: mpw_tcp::wire::PROTO_PING,
+                                ttl: 64,
+                            };
+                            let bytes = encode_ping(&ip, &PingPacket { token, reply: false });
+                            if let Some(egress) = self.egress_for(req.warmup_if, req.remote.addr)
+                            {
+                                ctx.send_frame(egress, 0, SimDuration::ZERO, Frame::new(bytes));
+                                self.pings_inflight.insert(token, req.warmup_if);
+                                self.ping_sent_at.insert(token, now);
+                                tokens_left += 1;
+                            }
+                        }
+                        if tokens_left > 0 {
+                            keep.push(PendingOpen::Warming {
+                                req,
+                                tokens_left,
+                                deadline: now + SimDuration::from_secs(2),
+                            });
+                            continue;
+                        }
+                    }
+                    self.open_now(req, now);
+                }
+                PendingOpen::Warming {
+                    req,
+                    tokens_left,
+                    deadline,
+                } => {
+                    if tokens_left == 0 || now >= deadline {
+                        self.open_now(req, now);
+                    } else {
+                        keep.push(PendingOpen::Warming {
+                            req,
+                            tokens_left,
+                            deadline,
+                        });
+                    }
+                }
+                other => keep.push(other),
+            }
+        }
+        self.pending_opens = keep;
+    }
+
+    fn open_now(&mut self, req: OpenRequest, now: SimTime) {
+        let conn_id = self.next_conn_id;
+        self.next_conn_id += 1;
+        let transport = match req.spec {
+            TransportSpec::Plain { tcp, cc, if_index } => {
+                let local = Endpoint::new(
+                    self.addrs[if_index as usize],
+                    30_000 + (conn_id as u16 % 20_000),
+                );
+                let iss = SeqNum(self.rng.next_u64() as u32);
+                Transport::Sp(TcpSocket::connect(
+                    tcp,
+                    Box::new(NewReno::new(cc)),
+                    Box::new(NoHooks),
+                    local,
+                    req.remote,
+                    if_index,
+                    iss,
+                    now,
+                ))
+            }
+            TransportSpec::Mptcp(cfg) => {
+                let rng = SimRng::seeded(self.rng.next_u64());
+                Transport::Mp(MptcpConnection::connect(
+                    cfg,
+                    conn_id,
+                    self.addrs.clone(),
+                    req.remote,
+                    rng,
+                    now,
+                ))
+            }
+        };
+        let slot = self.slots.len();
+        self.slots.push(Slot {
+            transport,
+            app: req.app,
+            conn_id,
+        });
+        self.register_demux(slot);
+    }
+
+    fn handle_ping(&mut self, ctx: &mut Ctx<'_>, ip: IpHeader, ping: PingPacket) {
+        if !ping.reply {
+            // Echo it back.
+            let reply_ip = IpHeader {
+                src: ip.dst,
+                dst: ip.src,
+                protocol: mpw_tcp::wire::PROTO_PING,
+                ttl: 64,
+            };
+            let bytes = encode_ping(&reply_ip, &PingPacket { token: ping.token, reply: true });
+            // Route the reply; the destination decides the egress.
+            if let Some(egress) = self.egress_for(0, ip.src) {
+                ctx.send_frame(egress, 0, SimDuration::ZERO, Frame::new(bytes));
+            }
+            return;
+        }
+        // A reply to one of our warm-up pings.
+        if self.pings_inflight.remove(&ping.token).is_some() {
+            if let Some(sent) = self.ping_sent_at.remove(&ping.token) {
+                self.ping_rtts.push(ctx.now().saturating_since(sent));
+            }
+            for p in &mut self.pending_opens {
+                if let PendingOpen::Warming { tokens_left, .. } = p {
+                    *tokens_left = tokens_left.saturating_sub(1);
+                }
+            }
+            self.process_opens(ctx);
+        }
+    }
+
+    fn handle_tcp(&mut self, ctx: &mut Ctx<'_>, ip: IpHeader, seg: TcpSegment) {
+        let now = ctx.now();
+        let local = Endpoint::new(ip.dst, seg.dst_port);
+        let remote = Endpoint::new(ip.src, seg.src_port);
+        if ctx.trace_level() == TraceLevel::Full {
+            // Record receive with the owning conn, if known.
+            let conn_id = self
+                .demux
+                .get(&(local, remote))
+                .map(|&(s, _)| self.slots[s].conn_id)
+                .unwrap_or(u32::MAX);
+            let sf = self.demux.get(&(local, remote)).map(|&(_, f)| f).unwrap_or(0);
+            ctx.trace(TraceEvent::SegRecvd(record(
+                conn_id,
+                sf,
+                &seg,
+                !self.is_client_role,
+            )));
+        }
+
+        if let Some(&(slot, sf)) = self.demux.get(&(local, remote)) {
+            match &mut self.slots[slot].transport {
+                Transport::Mp(c) => c.on_segment(sf, &seg, now),
+                Transport::Sp(s) => s.on_segment(&seg, now),
+            }
+            self.register_demux(slot);
+            return;
+        }
+
+        // No socket: maybe a listener can take it.
+        if seg.has(tcp_flags::SYN)
+            && !seg.has(tcp_flags::ACK)
+            && Some(seg.dst_port) == self.listen_port
+        {
+            let is_join = seg.options.iter().any(|o| {
+                matches!(o, TcpOption::Mptcp(MptcpOption::Join { .. }))
+            });
+            if is_join {
+                let token = seg
+                    .options
+                    .iter()
+                    .find_map(|o| match o {
+                        TcpOption::Mptcp(MptcpOption::Join { token, .. }) => Some(*token),
+                        _ => None,
+                    })
+                    .expect("join checked above");
+                if let Some(&slot) = self.tokens.get(&token) {
+                    if let Transport::Mp(c) = &mut self.slots[slot].transport {
+                        c.accept_join(local, remote, &seg, now);
+                        c.post_event(now);
+                    }
+                    self.register_demux(slot);
+                } else {
+                    // Simultaneous-SYN mode: the JOIN may beat the
+                    // MP_CAPABLE here; hold it briefly.
+                    self.pending_joins.push((token, local, remote, seg, now));
+                }
+                return;
+            }
+            let is_capable = seg.options.iter().any(|o| {
+                matches!(o, TcpOption::Mptcp(MptcpOption::Capable { .. }))
+            });
+            let conn_id = self.next_conn_id;
+            self.next_conn_id += 1;
+            let app = match &mut self.app_factory {
+                Some(f) => f(conn_id),
+                None => Box::new(NullApp),
+            };
+            let transport = if is_capable {
+                let rng = SimRng::seeded(self.rng.next_u64());
+                match MptcpConnection::accept(
+                    self.listen_mptcp_cfg.clone(),
+                    conn_id,
+                    local,
+                    remote,
+                    self.addrs.clone(),
+                    &seg,
+                    rng,
+                    now,
+                ) {
+                    Some(c) => Transport::Mp(c),
+                    None => return,
+                }
+            } else {
+                let (tcp, cc) = self.listen_plain_tcp.clone();
+                let if_index = self
+                    .addrs
+                    .iter()
+                    .position(|a| *a == local.addr)
+                    .unwrap_or(0) as u8;
+                let iss = SeqNum(self.rng.next_u64() as u32);
+                Transport::Sp(TcpSocket::accept(
+                    tcp,
+                    Box::new(NewReno::new(cc)),
+                    Box::new(NoHooks),
+                    local,
+                    remote,
+                    if_index,
+                    iss,
+                    &seg,
+                    now,
+                ))
+            };
+            let slot = self.slots.len();
+            self.slots.push(Slot {
+                transport,
+                app,
+                conn_id,
+            });
+            self.register_demux(slot);
+            // Any JOINs that raced ahead of this MP_CAPABLE?
+            let token = match &self.slots[slot].transport {
+                Transport::Mp(c) => Some(c.token()),
+                _ => None,
+            };
+            if let Some(token) = token {
+                let mut held = std::mem::take(&mut self.pending_joins);
+                held.retain(|(t, l, r, syn, at)| {
+                    if *t == token {
+                        if let Transport::Mp(c) = &mut self.slots[slot].transport {
+                            c.accept_join(*l, *r, syn, *at.max(&now));
+                        }
+                        false
+                    } else {
+                        now.saturating_since(*at) < SimDuration::from_secs(2)
+                    }
+                });
+                self.pending_joins = held;
+                self.register_demux(slot);
+            }
+            return;
+        }
+
+        // Nothing matched: count it and answer non-RST segments with RST.
+        self.no_socket_drops += 1;
+        ctx.trace(TraceEvent::Drop {
+            component: ctx.self_id(),
+            reason: DropReason::NoSocket,
+            bytes: seg.payload.len() as u32,
+        });
+        if !seg.has(tcp_flags::RST) {
+            let rst = TcpSegment::bare(
+                local.port,
+                remote.port,
+                seg.ack,
+                seg.seq + seg.seq_len(),
+                tcp_flags::RST | tcp_flags::ACK,
+            );
+            let if_index = self
+                .addrs
+                .iter()
+                .position(|a| *a == local.addr)
+                .unwrap_or(0) as u8;
+            self.emit_segment(ctx, u32::MAX, 0, local, remote, if_index, &rst);
+        }
+    }
+}
+
+fn record(conn_id: u32, subflow: usize, seg: &TcpSegment, sent_by_client: bool) -> SegmentRecord {
+    use mpw_sim::trace::flags as tf;
+    let mut flags = 0u8;
+    if seg.has(tcp_flags::SYN) {
+        flags |= tf::SYN;
+    }
+    if seg.has(tcp_flags::ACK) {
+        flags |= tf::ACK;
+    }
+    if seg.has(tcp_flags::FIN) {
+        flags |= tf::FIN;
+    }
+    if seg.has(tcp_flags::RST) {
+        flags |= tf::RST;
+    }
+    SegmentRecord {
+        conn: conn_id,
+        subflow: subflow as u8,
+        dir: if sent_by_client {
+            Dir::ClientToServer
+        } else {
+            Dir::ServerToClient
+        },
+        seq: seg.seq.0,
+        ack: seg.ack.0,
+        len: seg.payload.len() as u32,
+        flags,
+        dseq: seg.dss().and_then(|(_, m, _)| m.map(|mm| mm.dseq)),
+        is_rexmit: false,
+    }
+}
+
+impl Agent for Host {
+    fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        match ev {
+            Event::Start => {
+                self.rearm_timer(ctx);
+            }
+            Event::Frame { frame, .. } => {
+                match parse_any(&frame.bytes) {
+                    Ok(Packet::Tcp(ip, seg)) => self.handle_tcp(ctx, ip, seg),
+                    Ok(Packet::Ping(ip, ping)) => self.handle_ping(ctx, ip, ping),
+                    Err(_) => {
+                        // Corrupt or foreign frame: drop silently.
+                    }
+                }
+                self.flush(ctx);
+            }
+            Event::Timer { token } => {
+                if token == TOKEN_OPEN {
+                    self.process_opens(ctx);
+                    self.flush(ctx);
+                } else if token == TOKEN_HOST_TIMER {
+                    self.on_host_timer(ctx);
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A transparent middlebox that strips MPTCP options from every TCP segment
+/// passing through — modelling the AT&T port-80 web proxy that forced the
+/// paper's testbed onto port 8080 (§3.1). Insert one per direction.
+pub struct OptionStrippingMiddlebox {
+    egress: (AgentId, u16),
+    /// Segments rewritten so far.
+    pub stripped: u64,
+}
+
+impl OptionStrippingMiddlebox {
+    /// Forward frames to `egress` after stripping MPTCP options.
+    pub fn new(egress: (AgentId, u16)) -> Self {
+        OptionStrippingMiddlebox { egress, stripped: 0 }
+    }
+}
+
+impl Agent for OptionStrippingMiddlebox {
+    fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        if let Event::Frame { frame, .. } = ev {
+            let out = mpw_tcp::strip_mptcp_options(&frame.bytes);
+            if out.len() != frame.bytes.len() {
+                self.stripped += 1;
+            }
+            ctx.send_frame(
+                self.egress.0,
+                self.egress.1,
+                SimDuration::ZERO,
+                Frame::tagged(out, frame.meta),
+            );
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl std::fmt::Debug for Host {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Host(addrs={:?}, slots={}, base={})",
+            self.addrs,
+            self.slots.len(),
+            self.conn_id_base
+        )
+    }
+}

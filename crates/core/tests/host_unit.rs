@@ -1,0 +1,215 @@
+//! Host-agent behaviours in isolation: ping echo, RST generation for
+//! unknown destinations, listener demux, and middlebox stripping counters.
+
+use std::any::Any;
+
+use mpw_link::NullSink;
+use mpw_mptcp::host::OptionStrippingMiddlebox;
+use mpw_mptcp::{Host, MptcpConfig};
+use mpw_sim::trace::TraceLevel;
+use mpw_sim::{Agent, AgentId, Ctx, Event, Frame, SimTime, World};
+use mpw_tcp::wire::{self, tcp_flags, PingPacket};
+use mpw_tcp::{Addr, MptcpOption, SeqNum, TcpOption, TcpSegment};
+
+const HOST_ADDR: Addr = Addr::new(192, 168, 1, 1);
+const OTHER_ADDR: Addr = Addr::new(10, 0, 1, 2);
+
+/// Captures every frame it receives, parsed.
+#[derive(Default)]
+struct Capture {
+    packets: Vec<wire::Packet>,
+}
+
+impl Agent for Capture {
+    fn handle(&mut self, ev: Event, _ctx: &mut Ctx<'_>) {
+        if let Event::Frame { frame, .. } = ev {
+            if let Ok(p) = wire::parse_any(&frame.bytes) {
+                self.packets.push(p);
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn world_with_host() -> (World, AgentId, AgentId) {
+    let mut w = World::new(3, TraceLevel::Drops);
+    let cap = w.add_agent(Box::new(Capture::default()));
+    let rng = w.rng().stream("host");
+    let mut host = Host::new(vec![HOST_ADDR], 0, false, rng);
+    host.set_iface_link(0, cap);
+    let host = w.add_agent(Box::new(host));
+    (w, host, cap)
+}
+
+fn tcp_frame(seg: &TcpSegment, src: Addr, dst: Addr) -> Frame {
+    let ip = wire::IpHeader {
+        src,
+        dst,
+        protocol: wire::PROTO_TCP,
+        ttl: 64,
+    };
+    Frame::new(wire::encode_packet(&ip, seg))
+}
+
+#[test]
+fn ping_requests_are_echoed() {
+    let (mut w, host, cap) = world_with_host();
+    let ip = wire::IpHeader {
+        src: OTHER_ADDR,
+        dst: HOST_ADDR,
+        protocol: wire::PROTO_PING,
+        ttl: 64,
+    };
+    let frame = Frame::new(wire::encode_ping(&ip, &PingPacket { token: 99, reply: false }));
+    w.schedule(SimTime::ZERO, host, Event::Frame { port: 0, frame });
+    w.run_until_idle();
+    let cap = w.agent::<Capture>(cap).unwrap();
+    assert_eq!(cap.packets.len(), 1);
+    match &cap.packets[0] {
+        wire::Packet::Ping(ip, p) => {
+            assert!(p.reply);
+            assert_eq!(p.token, 99);
+            assert_eq!(ip.dst, OTHER_ADDR);
+            assert_eq!(ip.src, HOST_ADDR);
+        }
+        other => panic!("expected ping reply, got {other:?}"),
+    }
+}
+
+#[test]
+fn segment_to_closed_port_draws_rst() {
+    let (mut w, host, cap) = world_with_host();
+    let seg = TcpSegment::bare(40_000, 9_999, SeqNum(5), SeqNum(0), tcp_flags::ACK);
+    w.schedule(
+        SimTime::ZERO,
+        host,
+        Event::Frame { port: 0, frame: tcp_frame(&seg, OTHER_ADDR, HOST_ADDR) },
+    );
+    w.run_until_idle();
+    let hostref = w.agent::<Host>(host).unwrap();
+    assert_eq!(hostref.no_socket_drops, 1);
+    let cap = w.agent::<Capture>(cap).unwrap();
+    match &cap.packets[0] {
+        wire::Packet::Tcp(_, s) => assert!(s.has(tcp_flags::RST), "expected RST"),
+        other => panic!("expected TCP RST, got {other:?}"),
+    }
+}
+
+#[test]
+fn rst_to_closed_port_is_not_answered() {
+    // No RST storms: an incoming RST to nowhere is silently dropped.
+    let (mut w, host, cap) = world_with_host();
+    let seg = TcpSegment::bare(40_000, 9_999, SeqNum(5), SeqNum(0), tcp_flags::RST);
+    w.schedule(
+        SimTime::ZERO,
+        host,
+        Event::Frame { port: 0, frame: tcp_frame(&seg, OTHER_ADDR, HOST_ADDR) },
+    );
+    w.run_until_idle();
+    assert!(w.agent::<Capture>(cap).unwrap().packets.is_empty());
+}
+
+#[test]
+fn listener_accepts_capable_syn_and_answers_synack() {
+    let (mut w, host, cap) = world_with_host();
+    {
+        let h = w.agent_mut::<Host>(host).unwrap();
+        h.listen(
+            8080,
+            MptcpConfig::default(),
+            Default::default(),
+            Box::new(|_| Box::new(mpw_mptcp::NullApp)),
+        );
+    }
+    let mut syn = TcpSegment::bare(40_000, 8080, SeqNum(1), SeqNum(0), tcp_flags::SYN);
+    syn.options = vec![
+        TcpOption::Mss(1400),
+        TcpOption::SackPermitted,
+        TcpOption::Mptcp(MptcpOption::Capable { key_local: 77, key_remote: None }),
+    ];
+    w.schedule(
+        SimTime::ZERO,
+        host,
+        Event::Frame { port: 0, frame: tcp_frame(&syn, OTHER_ADDR, HOST_ADDR) },
+    );
+    w.run_until(SimTime::from_secs(1));
+    let cap = w.agent::<Capture>(cap).unwrap();
+    let synack = cap
+        .packets
+        .iter()
+        .find_map(|p| match p {
+            wire::Packet::Tcp(_, s) if s.has(tcp_flags::SYN) && s.has(tcp_flags::ACK) => Some(s),
+            _ => None,
+        })
+        .expect("SYN-ACK");
+    assert!(
+        matches!(synack.mptcp(), Some(MptcpOption::Capable { .. })),
+        "SYN-ACK must carry MP_CAPABLE"
+    );
+    let h = w.agent::<Host>(host).unwrap();
+    assert_eq!(h.slot_count(), 1);
+}
+
+#[test]
+fn plain_syn_is_accepted_as_plain_tcp() {
+    let (mut w, host, cap) = world_with_host();
+    {
+        let h = w.agent_mut::<Host>(host).unwrap();
+        h.listen(
+            8080,
+            MptcpConfig::default(),
+            Default::default(),
+            Box::new(|_| Box::new(mpw_mptcp::NullApp)),
+        );
+    }
+    let mut syn = TcpSegment::bare(40_001, 8080, SeqNum(1), SeqNum(0), tcp_flags::SYN);
+    syn.options = vec![TcpOption::Mss(1400), TcpOption::SackPermitted];
+    w.schedule(
+        SimTime::ZERO,
+        host,
+        Event::Frame { port: 0, frame: tcp_frame(&syn, OTHER_ADDR, HOST_ADDR) },
+    );
+    w.run_until(SimTime::from_secs(1));
+    let cap = w.agent::<Capture>(cap).unwrap();
+    let synack = cap
+        .packets
+        .iter()
+        .find_map(|p| match p {
+            wire::Packet::Tcp(_, s) if s.has(tcp_flags::SYN) && s.has(tcp_flags::ACK) => Some(s),
+            _ => None,
+        })
+        .expect("SYN-ACK");
+    assert!(synack.mptcp().is_none(), "plain TCP gets no MPTCP options");
+}
+
+#[test]
+fn middlebox_strips_and_counts() {
+    let mut w = World::new(1, TraceLevel::Off);
+    let sink = w.add_agent(Box::new(NullSink::recording()));
+    let mbox = w.add_agent(Box::new(OptionStrippingMiddlebox::new((sink, 0))));
+    let mut syn = TcpSegment::bare(1, 2, SeqNum(0), SeqNum(0), tcp_flags::SYN);
+    syn.options = vec![
+        TcpOption::Mss(1400),
+        TcpOption::Mptcp(MptcpOption::Capable { key_local: 1, key_remote: None }),
+    ];
+    w.schedule(
+        SimTime::ZERO,
+        mbox,
+        Event::Frame { port: 0, frame: tcp_frame(&syn, OTHER_ADDR, HOST_ADDR) },
+    );
+    // A bare segment without MPTCP options passes untouched.
+    let bare = TcpSegment::bare(1, 2, SeqNum(9), SeqNum(0), tcp_flags::ACK);
+    w.schedule(
+        SimTime::ZERO,
+        mbox,
+        Event::Frame { port: 0, frame: tcp_frame(&bare, OTHER_ADDR, HOST_ADDR) },
+    );
+    w.run_until_idle();
+    assert_eq!(w.agent::<NullSink>(sink).unwrap().frames, 2);
+    assert_eq!(w.agent::<OptionStrippingMiddlebox>(mbox).unwrap().stripped, 1);
+}

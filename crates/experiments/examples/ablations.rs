@@ -1,0 +1,9 @@
+//! Run the design-choice ablations and print the comparison table.
+//!
+//! ```text
+//! cargo run --release -p mpw-experiments --example ablations
+//! ```
+fn main() {
+    let (table, _results) = mpw_experiments::ablations::run_all(3, 9);
+    println!("{table}");
+}

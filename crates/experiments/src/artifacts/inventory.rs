@@ -1,0 +1,70 @@
+//! Table 1: the device/carrier inventory, rendered from the preset
+//! registry, plus the calibrated path parameters each preset models.
+
+use mpw_link::Carrier;
+use mpw_metrics::Table;
+use serde::Serialize;
+
+use crate::artifacts::{Artifact, Check};
+use crate::campaign::Scale;
+
+#[derive(Serialize)]
+struct InventoryJson {
+    carriers: Vec<(String, String, String, f64, f64)>,
+}
+
+/// Render tab1 from the preset registry.
+pub fn run(_scale: Scale, _seed: u64, _workers: usize) -> Vec<Artifact> {
+    let mut tab1 = Table::new(
+        "Table 1 — Cellular devices used for each carrier (and modeled path parameters)",
+        &["carrier", "device", "technology", "mean down (Mbps)", "base RTT (ms)"],
+    );
+    let mut rows = Vec::new();
+    for c in Carrier::ALL {
+        let spec = c.preset();
+        let down_mbps = spec.down.rate.mean_rate() / 1e6;
+        let base_rtt = spec.base_rtt(1452).as_millis_f64();
+        tab1.row(vec![
+            c.name().into(),
+            c.device().into(),
+            format!("{:?}", c.technology()),
+            format!("{down_mbps:.1}"),
+            format!("{base_rtt:.0}"),
+        ]);
+        rows.push((
+            c.name().to_string(),
+            c.device().to_string(),
+            format!("{:?}", c.technology()),
+            down_mbps,
+            base_rtt,
+        ));
+    }
+    let att = Carrier::Att.preset();
+    let sprint = Carrier::Sprint.preset();
+    let checks = vec![
+        Check::new(
+            "Technologies match Table 1 (two LTE, one EVDO)",
+            Carrier::Att.technology() == mpw_link::Technology::Lte
+                && Carrier::Verizon.technology() == mpw_link::Technology::Lte
+                && Carrier::Sprint.technology() == mpw_link::Technology::Evdo,
+            "AT&T/Verizon LTE, Sprint EVDO".to_string(),
+        ),
+        Check::new(
+            "LTE an order of magnitude faster than 3G EVDO",
+            att.down.rate.mean_rate() > 5.0 * sprint.down.rate.mean_rate(),
+            format!(
+                "AT&T {:.1} Mbps vs Sprint {:.1} Mbps",
+                att.down.rate.mean_rate() / 1e6,
+                sprint.down.rate.mean_rate() / 1e6
+            ),
+        ),
+    ];
+    let json = mpw_metrics::to_json(&InventoryJson { carriers: rows });
+    vec![Artifact {
+        id: "tab1",
+        title: "Cellular devices used for each carrier".into(),
+        text: tab1.render(),
+        json,
+        checks,
+    }]
+}

@@ -1,0 +1,123 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <artifact|group|all> [--scale quick|default|full] [--seed N]
+//!       [--workers N] [--out DIR]
+//! ```
+
+use std::io::Write;
+
+use mpw_experiments::artifacts::{group_for, groups};
+use mpw_experiments::Scale;
+
+fn usage() -> ! {
+    eprintln!("usage: repro <artifact|group|all|ablations> [--scale quick|default|full] [--seed N] [--workers N] [--out DIR]");
+    eprintln!("artifacts: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 tab1 tab2 tab3 tab4 tab5 tab6 tab7");
+    eprintln!(
+        "groups: {}",
+        groups().iter().map(|g| g.name).collect::<Vec<_>>().join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let target = args[0].clone();
+    let mut scale = Scale::DEFAULT;
+    let mut seed = 1u64;
+    let mut workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut out_dir: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("quick") => Scale::QUICK,
+                    Some("default") => Scale::DEFAULT,
+                    Some("full") => Scale::FULL,
+                    _ => usage(),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--workers" => {
+                i += 1;
+                workers = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if target == "ablations" {
+        let reps = scale.runs_per_period.max(2) as u64;
+        eprintln!(">> running ablations ({reps} reps per arm) …");
+        let (table, results) = mpw_experiments::ablations::run_all(reps, seed);
+        println!("{table}");
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).expect("create out dir");
+            std::fs::write(format!("{dir}/ablations.txt"), &table).expect("write txt");
+            std::fs::write(
+                format!("{dir}/ablations.json"),
+                serde_json::to_string_pretty(&results).expect("serialize"),
+            )
+            .expect("write json");
+        }
+        return;
+    }
+
+    let selected: Vec<_> = if target == "all" {
+        groups()
+    } else {
+        match group_for(&target) {
+            Some(g) => vec![g],
+            None => usage(),
+        }
+    };
+
+    let mut all_pass = true;
+    for group in selected {
+        eprintln!(">> running group '{}' …", group.name);
+        let started = std::time::Instant::now();
+        let artifacts = (group.run)(scale, seed, workers);
+        eprintln!(
+            ">> group '{}' done in {:.1}s",
+            group.name,
+            started.elapsed().as_secs_f64()
+        );
+        for a in &artifacts {
+            // When a single artifact was requested, print only that one.
+            if target != "all" && target != group.name && a.id != target {
+                continue;
+            }
+            println!("{}", a.report());
+            all_pass &= a.all_pass();
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir).expect("create out dir");
+                let txt = format!("{dir}/{}.txt", a.id);
+                let json = format!("{dir}/{}.json", a.id);
+                std::fs::File::create(&txt)
+                    .and_then(|mut f| f.write_all(a.report().as_bytes()))
+                    .expect("write txt");
+                std::fs::File::create(&json)
+                    .and_then(|mut f| f.write_all(a.json.as_bytes()))
+                    .expect("write json");
+                eprintln!(">> wrote {txt} and {json}");
+            }
+        }
+    }
+    if !all_pass {
+        eprintln!(">> some shape checks did not reproduce (see MISS lines)");
+        std::process::exit(1);
+    }
+}

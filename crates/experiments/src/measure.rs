@@ -1,0 +1,254 @@
+//! Running one measurement and harvesting its metrics.
+
+use mpw_http::Wget;
+use mpw_link::Technology;
+use mpw_mptcp::{Host, Transport};
+use mpw_sim::trace::TraceLevel;
+use mpw_sim::{RunOutcome, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::config::Scenario;
+use crate::testbed::{Testbed, TestbedSpec};
+
+/// Per-subflow (or per-path) measurement outputs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SubflowMeasurement {
+    /// Which client interface carried it (0 = WiFi, 1 = cellular).
+    pub if_index: u8,
+    /// Access technology of that interface.
+    pub technology: Technology,
+    /// Payload bytes this subflow delivered to the receiver.
+    pub delivered_bytes: u64,
+    /// Data segments the server sent on this subflow.
+    pub data_segs_sent: u64,
+    /// Retransmitted segments (loss-rate numerator, §3.3).
+    pub rexmit_segs: u64,
+    /// Per-packet RTT samples in milliseconds (server side, tcptrace rule).
+    pub rtt_samples_ms: Vec<f64>,
+    /// Whether the subflow ever established.
+    pub established: bool,
+}
+
+impl SubflowMeasurement {
+    /// The paper's per-subflow loss rate in percent.
+    pub fn loss_pct(&self) -> f64 {
+        if self.data_segs_sent == 0 {
+            0.0
+        } else {
+            100.0 * self.rexmit_segs as f64 / self.data_segs_sent as f64
+        }
+    }
+
+    /// Mean RTT in milliseconds.
+    pub fn mean_rtt_ms(&self) -> Option<f64> {
+        if self.rtt_samples_ms.is_empty() {
+            None
+        } else {
+            Some(self.rtt_samples_ms.iter().sum::<f64>() / self.rtt_samples_ms.len() as f64)
+        }
+    }
+}
+
+/// Everything one measurement yields.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Measurement {
+    /// The scenario measured.
+    pub scenario: Scenario,
+    /// Seed used.
+    pub seed: u64,
+    /// Download time in seconds (None if it never completed in the horizon).
+    pub download_time_s: Option<f64>,
+    /// Bytes delivered to the application.
+    pub bytes: u64,
+    /// Fraction of delivered traffic carried by the cellular path.
+    pub cellular_share: f64,
+    /// Per-path details (index 0 = WiFi path, 1 = cellular path; single-path
+    /// runs have one entry).
+    pub subflows: Vec<SubflowMeasurement>,
+    /// Connection-level out-of-order delay samples in milliseconds.
+    pub ofo_samples_ms: Vec<f64>,
+    /// Whether MPTCP fell back to plain TCP.
+    pub fell_back: bool,
+}
+
+/// Horizon heuristic: generous even for Sprint 3G at ~0.5 Mbps effective.
+fn horizon_for(size: u64) -> SimTime {
+    let secs = 30 + size / 40_000; // ~320 kbit/s worst-case budget
+    SimTime::from_secs(secs.min(7_200))
+}
+
+/// Run one measurement to completion (or horizon) and harvest metrics.
+pub fn run_measurement(scenario: &Scenario, seed: u64) -> Measurement {
+    run_measurement_traced(scenario, seed, TraceLevel::Drops).0
+}
+
+/// As [`run_measurement`], but with control over trace capture; returns the
+/// testbed for callers that want the raw trace (cross-check tests).
+pub fn run_measurement_traced(
+    scenario: &Scenario,
+    seed: u64,
+    trace: TraceLevel,
+) -> (Measurement, Testbed) {
+    let wifi = scenario.wifi.spec(scenario.period);
+    let cellular = scenario.carrier.preset();
+    let mut spec = TestbedSpec::two_path(seed, wifi, cellular);
+    spec.trace = trace;
+    spec.dual_homed_server = scenario.flow.needs_dual_homed_server();
+    // The server (data sender) runs the scenario's congestion controller
+    // and scheduler — the paper switched these at the server (§3.2).
+    if let mpw_mptcp::TransportSpec::Mptcp(cfg) = scenario.flow.transport() {
+        spec.server_mptcp = mpw_mptcp::MptcpConfig {
+            max_subflows: 8,
+            ..cfg
+        };
+    }
+    let mut tb = Testbed::build(spec);
+    let slot = tb.download(
+        scenario.flow.transport(),
+        scenario.size,
+        SimTime::from_millis(100),
+        scenario.warmup,
+    );
+    let horizon = horizon_for(scenario.size);
+    let outcome = tb.world.run_until(horizon);
+    debug_assert_ne!(outcome, RunOutcome::EventBudgetExhausted);
+
+    let m = harvest(&mut tb, slot, scenario, seed);
+    (m, tb)
+}
+
+fn harvest(tb: &mut Testbed, slot: usize, scenario: &Scenario, seed: u64) -> Measurement {
+    let client_id = tb.client;
+    let server_id = tb.server;
+
+    // Client side: download result + delivered-byte shares + OFO samples.
+    let (download_time_s, bytes, per_path_delivered, ofo_samples_ms, fell_back, sub_ifs) = {
+        let host = tb.world.agent_mut::<Host>(client_id).expect("client");
+        let result = host
+            .app::<Wget>(slot)
+            .map(|w| w.result)
+            .unwrap_or_default();
+        let (per_path, fell_back, sub_ifs, ofo) = match host.transport_mut(slot) {
+            Some(Transport::Mp(c)) => {
+                let stats = c.stats();
+                let ifs: Vec<u8> = c.subflows.iter().map(|s| s.if_index).collect();
+                let ofo: Vec<f64> = c
+                    .take_ofo_samples()
+                    .iter()
+                    .map(|s| s.delay.as_secs_f64() * 1e3)
+                    .collect();
+                (stats.per_subflow_delivered, stats.fell_back, ifs, ofo)
+            }
+            Some(Transport::Sp(s)) => {
+                let if_index = s.if_index;
+                (vec![s.recv_offset()], false, vec![if_index], Vec::new())
+            }
+            None => (Vec::new(), false, Vec::new(), Vec::new()),
+        };
+        (
+            result.download_time().map(|d| d.as_secs_f64()),
+            result.bytes,
+            per_path,
+            ofo,
+            fell_back,
+            sub_ifs,
+        )
+    };
+
+    // Server side: the data sender's per-subflow loss and RTT samples.
+    // The server's matching slot is its only accepted connection (slot 0).
+    let mut subflows: Vec<SubflowMeasurement> = Vec::new();
+    {
+        let host = tb.world.agent_mut::<Host>(server_id).expect("server");
+        if let Some(t) = host.transport_mut(0) {
+            match t {
+                Transport::Mp(c) => {
+                    for (i, sf) in c.subflows.iter_mut().enumerate() {
+                        let st = sf.sock.stats();
+                        let rtts: Vec<f64> = sf
+                            .sock
+                            .take_rtt_samples()
+                            .iter()
+                            .map(|(_, d)| d.as_secs_f64() * 1e3)
+                            .collect();
+                        // Map the server subflow to the client interface via
+                        // the *client's* address on the subflow.
+                        let if_index = client_if_of(sf.remote.addr);
+                        subflows.push(SubflowMeasurement {
+                            if_index,
+                            technology: tech_of(scenario, if_index),
+                            delivered_bytes: per_path_delivered
+                                .get(i)
+                                .copied()
+                                .unwrap_or_default(),
+                            data_segs_sent: st.data_segs_sent,
+                            rexmit_segs: st.rexmit_segs,
+                            rtt_samples_ms: rtts,
+                            established: sf.sock.stats().established_at.is_some(),
+                        });
+                    }
+                }
+                Transport::Sp(s) => {
+                    let st = s.stats();
+                    let rtts: Vec<f64> = s
+                        .take_rtt_samples()
+                        .iter()
+                        .map(|(_, d)| d.as_secs_f64() * 1e3)
+                        .collect();
+                    let if_index = client_if_of(s.remote().addr);
+                    subflows.push(SubflowMeasurement {
+                        if_index,
+                        technology: tech_of(scenario, if_index),
+                        delivered_bytes: bytes,
+                        data_segs_sent: st.data_segs_sent,
+                        rexmit_segs: st.rexmit_segs,
+                        rtt_samples_ms: rtts,
+                        established: st.established_at.is_some(),
+                    });
+                }
+            }
+        }
+        let _ = sub_ifs;
+    }
+
+    let total: u64 = subflows.iter().map(|s| s.delivered_bytes).sum();
+    let cellular: u64 = subflows
+        .iter()
+        .filter(|s| s.if_index == 1)
+        .map(|s| s.delivered_bytes)
+        .sum();
+    let cellular_share = if total > 0 {
+        cellular as f64 / total as f64
+    } else {
+        0.0
+    };
+
+    Measurement {
+        scenario: scenario.clone(),
+        seed,
+        download_time_s,
+        bytes,
+        cellular_share,
+        subflows,
+        ofo_samples_ms,
+        fell_back,
+    }
+}
+
+fn client_if_of(addr: mpw_tcp::Addr) -> u8 {
+    crate::testbed::CLIENT_ADDRS
+        .iter()
+        .position(|a| *a == addr)
+        .unwrap_or(0) as u8
+}
+
+fn tech_of(scenario: &Scenario, if_index: u8) -> Technology {
+    if if_index == 0 {
+        match scenario.wifi {
+            crate::config::WifiKind::Home => Technology::WifiHome,
+            crate::config::WifiKind::Hotspot(_) => Technology::WifiHotspot,
+        }
+    } else {
+        scenario.carrier.technology()
+    }
+}

@@ -1,0 +1,199 @@
+//! The paper's testbed (§3.1, Figure 1), as a reusable simulation topology.
+//!
+//! A dual-homed server ("UMass") reachable through up to two access paths
+//! from the mobile client: its WiFi interface and one cellular carrier.
+//! For 4-path experiments the server's secondary interface is enabled and
+//! advertised via ADD_ADDR. An option-stripping middlebox can be inserted
+//! (the AT&T port-80 proxy scenario).
+
+use mpw_link::{build_path, BuiltPath, PathSpec};
+use mpw_mptcp::host::OptionStrippingMiddlebox;
+use mpw_mptcp::{Host, MptcpConfig, OpenRequest, TransportSpec};
+use mpw_http::{HttpServer, Wget};
+use mpw_sim::trace::TraceLevel;
+use mpw_sim::{AgentId, Event, SimTime, World};
+use mpw_tcp::{Addr, CcConfig, Endpoint, TcpConfig};
+
+/// Client interface addresses: index 0 = WiFi (the default path), 1 = cellular.
+pub const CLIENT_ADDRS: [Addr; 2] = [Addr::new(10, 0, 1, 2), Addr::new(10, 0, 2, 2)];
+/// Server interface addresses (two subnets of the campus network).
+pub const SERVER_ADDRS: [Addr; 2] = [Addr::new(192, 168, 1, 1), Addr::new(192, 168, 2, 1)];
+/// The Apache port (8080 — AT&T's proxy mangled port 80, §3.1).
+pub const SERVER_PORT: u16 = 8080;
+
+/// Testbed construction parameters.
+pub struct TestbedSpec {
+    /// Root RNG seed for the whole world.
+    pub seed: u64,
+    /// Trace capture level.
+    pub trace: TraceLevel,
+    /// One access path per client interface (index 0 = WiFi).
+    pub paths: Vec<PathSpec>,
+    /// Enable the server's secondary interface (4-path experiments).
+    pub dual_homed_server: bool,
+    /// Insert MPTCP-option-stripping middleboxes on path 0.
+    pub strip_mptcp_on_path0: bool,
+    /// MPTCP configuration for connections the server accepts. The paper
+    /// switched congestion controllers *at the server* (§3.2) — the server
+    /// is the data sender, so its controller is the one that matters.
+    pub server_mptcp: MptcpConfig,
+}
+
+impl TestbedSpec {
+    /// Standard 2-path testbed: one WiFi spec + one cellular spec.
+    pub fn two_path(seed: u64, wifi: PathSpec, cellular: PathSpec) -> Self {
+        TestbedSpec {
+            seed,
+            trace: TraceLevel::Drops,
+            paths: vec![wifi, cellular],
+            dual_homed_server: false,
+            strip_mptcp_on_path0: false,
+            server_mptcp: MptcpConfig {
+                max_subflows: 8,
+                ..MptcpConfig::default()
+            },
+        }
+    }
+}
+
+/// A built testbed.
+pub struct Testbed {
+    /// The simulation world.
+    pub world: World,
+    /// Client host agent id.
+    pub client: AgentId,
+    /// Server host agent id.
+    pub server: AgentId,
+    /// Built paths (per client interface).
+    pub paths: Vec<BuiltPath>,
+    /// The server's primary endpoint.
+    pub server_ep: Endpoint,
+}
+
+impl Testbed {
+    /// Build the topology from a spec. The server listens with an
+    /// [`HttpServer`] per accepted connection.
+    pub fn build(spec: TestbedSpec) -> Testbed {
+        let mut world = World::new(spec.seed, spec.trace);
+        let n_ifs = spec.paths.len();
+        let client_addrs: Vec<Addr> = CLIENT_ADDRS[..n_ifs].to_vec();
+        let server_ifs = if spec.dual_homed_server { 2 } else { 1 };
+        let server_addrs: Vec<Addr> = SERVER_ADDRS[..server_ifs].to_vec();
+        let c_rng = world.rng().stream("host.client");
+        let s_rng = world.rng().stream("host.server");
+        let client = world.add_agent(Box::new(Host::new(client_addrs.clone(), 0, true, c_rng)));
+        let server =
+            world.add_agent(Box::new(Host::new(server_addrs, 1 << 16, false, s_rng)));
+        let mut paths = Vec::new();
+        for (i, pspec) in spec.paths.iter().enumerate() {
+            let (to_server, to_client): ((AgentId, u16), (AgentId, u16)) =
+                if spec.strip_mptcp_on_path0 && i == 0 {
+                    let up = world
+                        .add_agent(Box::new(OptionStrippingMiddlebox::new((server, 0))));
+                    let down = world
+                        .add_agent(Box::new(OptionStrippingMiddlebox::new((client, 0))));
+                    ((up, 0), (down, 0))
+                } else {
+                    ((server, i as u16), (client, i as u16))
+                };
+            paths.push(build_path(
+                &mut world,
+                pspec,
+                to_client,
+                to_server,
+                &format!("path{i}"),
+            ));
+        }
+        {
+            let host = world.agent_mut::<Host>(client).expect("client host");
+            for (i, p) in paths.iter().enumerate() {
+                host.set_iface_link(i, p.uplink);
+            }
+        }
+        {
+            let host = world.agent_mut::<Host>(server).expect("server host");
+            host.set_iface_link(0, paths[0].downlink);
+            for (i, p) in paths.iter().enumerate() {
+                host.add_route(client_addrs[i], p.downlink);
+            }
+            host.listen(
+                SERVER_PORT,
+                spec.server_mptcp.clone(),
+                (TcpConfig::default(), CcConfig::default()),
+                Box::new(|_conn_id| Box::new(HttpServer::new())),
+            );
+        }
+        Testbed {
+            world,
+            client,
+            server,
+            paths,
+            server_ep: Endpoint::new(SERVER_ADDRS[0], SERVER_PORT),
+        }
+    }
+
+    /// Queue a wget download of `size` bytes starting at `at`, optionally
+    /// preceded by the paper's two warm-up pings on the cellular interface.
+    /// Returns the client slot index the result will appear in.
+    pub fn download(
+        &mut self,
+        spec: TransportSpec,
+        size: u64,
+        at: SimTime,
+        warmup_pings: bool,
+    ) -> usize {
+        let server_ep = self.server_ep;
+        let client = self.client;
+        let host = self.world.agent_mut::<Host>(client).expect("client host");
+        let slot = host.slot_count() + host_pending_opens(host);
+        host.queue_open(OpenRequest {
+            at,
+            spec,
+            remote: server_ep,
+            app: Box::new(Wget::new(size, false)),
+            warmup_pings: if warmup_pings { 2 } else { 0 },
+            warmup_if: 1,
+        });
+        self.world
+            .schedule(at, client, Event::Timer { token: Host::open_token() });
+        slot
+    }
+
+    /// Queue an arbitrary app-driven connection (e.g. a streaming session).
+    pub fn open_with_app(
+        &mut self,
+        spec: TransportSpec,
+        app: Box<dyn mpw_mptcp::App>,
+        at: SimTime,
+        warmup_pings: bool,
+    ) -> usize {
+        let server_ep = self.server_ep;
+        let client = self.client;
+        let host = self.world.agent_mut::<Host>(client).expect("client host");
+        let slot = host.slot_count() + host_pending_opens(host);
+        host.queue_open(OpenRequest {
+            at,
+            spec,
+            remote: server_ep,
+            app,
+            warmup_pings: if warmup_pings { 2 } else { 0 },
+            warmup_if: 1,
+        });
+        self.world
+            .schedule(at, client, Event::Timer { token: Host::open_token() });
+        slot
+    }
+
+    /// The client host.
+    pub fn client_host(&mut self) -> &mut Host {
+        self.world
+            .agent_mut::<Host>(self.client)
+            .expect("client host")
+    }
+}
+
+/// Opens queued but not yet activated also consume upcoming slot indices
+/// (the host activates them in queue order at their scheduled times).
+fn host_pending_opens(host: &Host) -> usize {
+    host.pending_open_count()
+}

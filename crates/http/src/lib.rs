@@ -1,0 +1,22 @@
+//! # mpw-http — the application workloads of the mpwild study
+//!
+//! A minimal HTTP/1.1 implementation carrying the paper's two workloads:
+//! `wget`-style single-object downloads of 8 KB–512 MB (§3.2) and the
+//! prefetch-plus-periodic-blocks video-streaming session of §6 / Table 7
+//! (Netflix Android/iPad and YouTube profiles).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod message;
+pub mod server;
+pub mod streaming;
+
+pub use client::{DownloadResult, Wget};
+pub use message::{
+    body_byte, body_chunk, parse_request, parse_response, HeaderReader, HttpError, Request,
+    ResponseHead,
+};
+pub use server::HttpServer;
+pub use streaming::{BlockResult, StreamingClient, StreamingProfile};

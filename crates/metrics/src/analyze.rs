@@ -1,0 +1,302 @@
+//! tcptrace-style offline analysis of packet traces.
+//!
+//! The paper collected tcpdump traces at both ends and analyzed them with
+//! tcptrace (§3.2). Our stacks are white-box and collect their own counters,
+//! but this module reimplements the *trace-side* definitions — loss rate
+//! from retransmission detection, RTT samples from ACK matching with Karn's
+//! rule, out-of-order delay from DSS arrival order — so experiments can
+//! cross-check the two measurement paths against each other.
+
+use std::collections::{BTreeMap, HashMap};
+
+use mpw_sim::trace::{Dir, SegmentRecord, TraceEvent};
+use mpw_sim::SimTime;
+
+/// Identity of one subflow's one direction inside a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Connection id.
+    pub conn: u32,
+    /// Subflow index.
+    pub subflow: u8,
+}
+
+/// Per-subflow results of the trace analysis (download direction:
+/// server → client data).
+#[derive(Clone, Debug, Default)]
+pub struct FlowAnalysis {
+    /// Data segments sent (including retransmissions).
+    pub data_segs: u64,
+    /// Retransmitted data segments (seen seq ranges re-sent).
+    pub rexmit_segs: u64,
+    /// Payload bytes sent, including retransmissions.
+    pub bytes: u64,
+    /// RTT samples (tcptrace rule: ACK exactly covering a segment that was
+    /// never retransmitted).
+    pub rtt_samples: Vec<f64>,
+}
+
+impl FlowAnalysis {
+    /// The paper's loss-rate metric.
+    pub fn loss_rate(&self) -> f64 {
+        if self.data_segs == 0 {
+            0.0
+        } else {
+            self.rexmit_segs as f64 / self.data_segs as f64
+        }
+    }
+}
+
+/// Analyze server→client data flows in a full packet trace.
+pub fn analyze_flows(records: &[(SimTime, TraceEvent)]) -> BTreeMap<FlowKey, FlowAnalysis> {
+    let mut out: BTreeMap<FlowKey, FlowAnalysis> = BTreeMap::new();
+    // Per flow: first-transmission time keyed by *unwrapped* expected-ack
+    // offset (a random ISS can sit near u32::MAX, and raw u32 keys would
+    // break BTreeMap ordering mid-flow when the sequence space wraps).
+    let mut base_seq: HashMap<FlowKey, u32> = HashMap::new();
+    let mut pending_ack: HashMap<FlowKey, BTreeMap<u64, (SimTime, bool)>> = HashMap::new();
+    let mut seen_seq: HashMap<FlowKey, std::collections::HashSet<u32>> = HashMap::new();
+    // Offset of `x` above the flow's first-seen sequence number, valid while
+    // per-flow transfers stay below 2³¹ bytes (they are ≤ 512 MB here).
+    let unwrap = |base: u32, x: u32| -> u64 { u64::from(x.wrapping_sub(base)) };
+
+    for (t, ev) in records {
+        match ev {
+            TraceEvent::SegSent(s) if s.dir == Dir::ServerToClient && s.len > 0 => {
+                let key = FlowKey {
+                    conn: s.conn,
+                    subflow: s.subflow,
+                };
+                let fa = out.entry(key).or_default();
+                fa.data_segs += 1;
+                fa.bytes += s.len as u64;
+                let base = *base_seq.entry(key).or_insert(s.seq);
+                let seqs = seen_seq.entry(key).or_default();
+                let expected_ack = unwrap(base, s.seq.wrapping_add(s.len));
+                if seqs.contains(&s.seq) {
+                    fa.rexmit_segs += 1;
+                    // Karn: invalidate the timing entry for this segment.
+                    if let Some(m) = pending_ack.get_mut(&key) {
+                        if let Some(entry) = m.get_mut(&expected_ack) {
+                            entry.1 = true;
+                        }
+                    }
+                } else {
+                    seqs.insert(s.seq);
+                    pending_ack
+                        .entry(key)
+                        .or_default()
+                        .insert(expected_ack, (*t, false));
+                }
+            }
+            // ACKs from the client arrive at the server.
+            TraceEvent::SegRecvd(s) if s.dir == Dir::ClientToServer => {
+                let key = FlowKey {
+                    conn: s.conn,
+                    subflow: s.subflow,
+                };
+                let Some(&base) = base_seq.get(&key) else {
+                    continue;
+                };
+                let ack = unwrap(base, s.ack);
+                if let Some(m) = pending_ack.get_mut(&key) {
+                    if let Some(&(sent, invalidated)) = m.get(&ack) {
+                        if !invalidated {
+                            let fa = out.entry(key).or_default();
+                            fa.rtt_samples
+                                .push(t.saturating_since(sent).as_secs_f64() * 1e3);
+                        }
+                    }
+                    // Drop all entries cumulatively acknowledged.
+                    let keep = m.split_off(&(ack + 1));
+                    *m = keep;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Connection-level out-of-order delays (ms) reconstructed from the DSS
+/// numbers on received data segments, per §3.3's definition.
+pub fn analyze_ofo_delays(records: &[(SimTime, TraceEvent)]) -> BTreeMap<u32, Vec<f64>> {
+    #[derive(Default)]
+    struct ConnState {
+        next: u64,
+        held: BTreeMap<u64, (u64, SimTime)>, // dseq -> (end, arrival)
+        delays: Vec<f64>,
+    }
+    let mut conns: HashMap<u32, ConnState> = HashMap::new();
+    for (t, ev) in records {
+        let TraceEvent::SegRecvd(SegmentRecord {
+            conn,
+            dir: Dir::ServerToClient,
+            len,
+            dseq: Some(dseq),
+            ..
+        }) = ev
+        else {
+            continue;
+        };
+        if *len == 0 {
+            continue;
+        }
+        let st = conns.entry(*conn).or_default();
+        let end = dseq + *len as u64;
+        if end <= st.next {
+            continue; // duplicate
+        }
+        let start = (*dseq).max(st.next);
+        st.held.entry(start).or_insert((end, *t));
+        // Promote contiguous data.
+        while let Some((&s, &(e, arrived))) = st.held.first_key_value() {
+            if s > st.next {
+                break;
+            }
+            st.held.remove(&s);
+            if e <= st.next {
+                continue;
+            }
+            st.next = e;
+            st.delays
+                .push(t.saturating_since(arrived).as_secs_f64() * 1e3);
+        }
+    }
+    conns
+        .into_iter()
+        .map(|(k, v)| (k, v.delays))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpw_sim::trace::flags;
+
+    fn sent(t_ms: u64, seq: u32, len: u32) -> (SimTime, TraceEvent) {
+        (
+            SimTime::from_millis(t_ms),
+            TraceEvent::SegSent(SegmentRecord {
+                conn: 1,
+                subflow: 0,
+                dir: Dir::ServerToClient,
+                seq,
+                ack: 0,
+                len,
+                flags: flags::ACK,
+                dseq: None,
+                is_rexmit: false,
+            }),
+        )
+    }
+
+    fn acked(t_ms: u64, ack: u32) -> (SimTime, TraceEvent) {
+        (
+            SimTime::from_millis(t_ms),
+            TraceEvent::SegRecvd(SegmentRecord {
+                conn: 1,
+                subflow: 0,
+                dir: Dir::ClientToServer,
+                seq: 0,
+                ack,
+                len: 0,
+                flags: flags::ACK,
+                dseq: None,
+                is_rexmit: false,
+            }),
+        )
+    }
+
+    fn rcvd_dss(t_ms: u64, dseq: u64, len: u32) -> (SimTime, TraceEvent) {
+        (
+            SimTime::from_millis(t_ms),
+            TraceEvent::SegRecvd(SegmentRecord {
+                conn: 1,
+                subflow: 0,
+                dir: Dir::ServerToClient,
+                seq: dseq as u32,
+                ack: 0,
+                len,
+                flags: flags::ACK,
+                dseq: Some(dseq),
+                is_rexmit: false,
+            }),
+        )
+    }
+
+    #[test]
+    fn clean_flow_has_no_loss_and_correct_rtt() {
+        let trace = vec![
+            sent(0, 1000, 100),
+            sent(1, 1100, 100),
+            acked(50, 1100),
+            acked(52, 1200),
+        ];
+        let flows = analyze_flows(&trace);
+        let fa = &flows[&FlowKey { conn: 1, subflow: 0 }];
+        assert_eq!(fa.data_segs, 2);
+        assert_eq!(fa.rexmit_segs, 0);
+        assert_eq!(fa.loss_rate(), 0.0);
+        assert_eq!(fa.rtt_samples, vec![50.0, 51.0]);
+    }
+
+    #[test]
+    fn rexmit_detected_and_karn_applied() {
+        let trace = vec![
+            sent(0, 1000, 100),
+            sent(1, 1100, 100),
+            // 1000 lost; retransmitted at 300.
+            sent(300, 1000, 100),
+            acked(350, 1200),
+        ];
+        let flows = analyze_flows(&trace);
+        let fa = &flows[&FlowKey { conn: 1, subflow: 0 }];
+        assert_eq!(fa.data_segs, 3);
+        assert_eq!(fa.rexmit_segs, 1);
+        assert!((fa.loss_rate() - 1.0 / 3.0).abs() < 1e-12);
+        // The cumulative ack at 1200 samples segment (1100..1200), sent at
+        // t=1, never retransmitted → 349 ms.
+        assert_eq!(fa.rtt_samples, vec![349.0]);
+    }
+
+    #[test]
+    fn rtt_sample_skipped_for_rexmitted_segment() {
+        let trace = vec![
+            sent(0, 1000, 100),
+            sent(200, 1000, 100), // rexmit of the same range
+            acked(250, 1100),
+        ];
+        let flows = analyze_flows(&trace);
+        let fa = &flows[&FlowKey { conn: 1, subflow: 0 }];
+        assert!(fa.rtt_samples.is_empty(), "Karn violated: {:?}", fa.rtt_samples);
+    }
+
+    #[test]
+    fn ofo_delay_reconstruction() {
+        let trace = vec![
+            rcvd_dss(10, 0, 100),
+            rcvd_dss(20, 200, 100), // hole at 100
+            rcvd_dss(80, 100, 100), // fills the hole
+        ];
+        let ofo = analyze_ofo_delays(&trace);
+        let delays = &ofo[&1];
+        // [0,100) delivered on arrival: 0ms. [100,200) fills at 80: 0 ms.
+        // [200,300) waited from t=20 to t=80: 60 ms.
+        assert_eq!(delays.len(), 3);
+        assert_eq!(delays[0], 0.0);
+        assert_eq!(delays[1], 0.0);
+        assert_eq!(delays[2], 60.0);
+    }
+
+    #[test]
+    fn duplicate_dss_ignored() {
+        let trace = vec![
+            rcvd_dss(10, 0, 100),
+            rcvd_dss(30, 0, 100), // duplicate
+            rcvd_dss(40, 100, 100),
+        ];
+        let ofo = analyze_ofo_delays(&trace);
+        assert_eq!(ofo[&1].len(), 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! Empirical complementary CDFs — the presentation of Figures 12 and 13.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical distribution supporting CCDF queries and log-spaced series
+/// extraction (the paper plots CCDFs on log–log axes).
+///
+/// ```
+/// use mpw_metrics::Ccdf;
+/// let rtts_ms = [20.0, 25.0, 30.0, 200.0];
+/// let c = Ccdf::of(&rtts_ms);
+/// assert_eq!(c.at(30.0), 0.25);     // P(RTT > 30 ms)
+/// assert_eq!(c.quantile(0.5), 27.5);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Ccdf {
+    sorted: Vec<f64>,
+}
+
+impl Ccdf {
+    /// Build from a sample (NaNs are dropped).
+    pub fn of(xs: &[f64]) -> Ccdf {
+        let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("filtered NaN"));
+        Ccdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the distribution is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X > x).
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let above = self.sorted.partition_point(|&v| v <= x);
+        (self.sorted.len() - above) as f64 / self.sorted.len() as f64
+    }
+
+    /// The q-quantile (inverse CDF).
+    pub fn quantile(&self, q: f64) -> f64 {
+        crate::stats::quantile_sorted(&self.sorted, q)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// `(x, P(X > x))` pairs at `points` log-spaced x values spanning the
+    /// sample range — ready to plot on the paper's log–log axes. Zero or
+    /// negative samples are anchored at `floor`.
+    pub fn log_series(&self, points: usize, floor: f64) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.min().max(floor);
+        let hi = self.max().max(lo * (1.0 + 1e-9));
+        let (llo, lhi) = (lo.ln(), hi.ln());
+        (0..points)
+            .map(|i| {
+                let x = (llo + (lhi - llo) * i as f64 / (points - 1).max(1) as f64).exp();
+                (x, self.at(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ccdf_of_known_points() {
+        let c = Ccdf::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.at(0.5), 1.0);
+        assert_eq!(c.at(1.0), 0.75);
+        assert_eq!(c.at(2.5), 0.5);
+        assert_eq!(c.at(4.0), 0.0);
+        assert_eq!(c.at(100.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_match() {
+        let c = Ccdf::of(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(c.quantile(0.5), 30.0);
+        assert_eq!(c.min(), 10.0);
+        assert_eq!(c.max(), 50.0);
+    }
+
+    #[test]
+    fn log_series_spans_range() {
+        let xs: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let series = Ccdf::of(&xs).log_series(20, 1e-3);
+        assert_eq!(series.len(), 20);
+        assert!((series[0].0 - 1.0).abs() < 1e-9);
+        assert!((series[19].0 - 1000.0).abs() < 1e-6);
+        // CCDF is non-increasing along the series.
+        for w in series.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let c = Ccdf::of(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.at(1.0), 0.0);
+        assert!(c.log_series(10, 1e-3).is_empty());
+    }
+
+    #[test]
+    fn nan_is_dropped() {
+        let c = Ccdf::of(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(c.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn ccdf_is_monotone_nonincreasing(
+            xs in proptest::collection::vec(0.0f64..1e3, 1..100),
+            probes in proptest::collection::vec(0.0f64..1e3, 2..20),
+        ) {
+            let c = Ccdf::of(&xs);
+            let mut probes = probes;
+            probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for w in probes.windows(2) {
+                prop_assert!(c.at(w[1]) <= c.at(w[0]) + 1e-12);
+            }
+            prop_assert!(c.at(f64::NEG_INFINITY) <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # mpw-metrics — measurement analysis for the mpwild study
+//!
+//! The statistics and rendering the paper's tables and figures need:
+//! sample mean ± standard error (Tables 2–7), box-and-whisker summaries
+//! (the download-time figures), empirical CCDFs with log-spaced series
+//! (Figures 12–13), aligned ASCII/CSV/JSON output, and a tcptrace-style
+//! packet-trace analyzer used to cross-check the in-stack counters.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod ccdf;
+pub mod stats;
+pub mod table;
+
+pub use analyze::{analyze_flows, analyze_ofo_delays, FlowAnalysis, FlowKey};
+pub use ccdf::Ccdf;
+pub use stats::{quantile_sorted, BoxPlot, Summary};
+pub use table::{to_json, Table};

@@ -1,0 +1,511 @@
+//! The discrete-event engine: agents, events, and the world that runs them.
+//!
+//! Components (hosts, queues, loss channels, traffic generators) implement
+//! [`Agent`] and communicate exclusively by scheduling events through a
+//! [`Ctx`]. The event queue orders by `(time, insertion sequence)`, so runs
+//! are fully deterministic: same seed, same build → identical event order.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bytes::Bytes;
+
+use crate::rng::RngFactory;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent, TraceLevel};
+
+/// Identifier of an agent within a [`World`].
+pub type AgentId = u32;
+
+/// A frame in flight: the serialized wire bytes of one packet.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Serialized packet, including protocol headers.
+    pub bytes: Bytes,
+    /// Routing tag used by link components to demultiplex flows that share a
+    /// queue (e.g. background cross traffic is delivered to a sink instead of
+    /// the measured host). `0` is ordinary foreground traffic.
+    pub meta: u16,
+}
+
+impl Frame {
+    /// Wrap serialized packet bytes as foreground traffic.
+    pub fn new(bytes: Bytes) -> Self {
+        Frame { bytes, meta: 0 }
+    }
+
+    /// Wrap serialized bytes with an explicit routing tag.
+    pub fn tagged(bytes: Bytes, meta: u16) -> Self {
+        Frame { bytes, meta }
+    }
+
+    /// Bytes this frame occupies on the wire (headers included; we fold
+    /// link-layer framing into the protocol header sizes).
+    pub fn wire_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// Events delivered to agents.
+#[derive(Debug)]
+pub enum Event {
+    /// Sent once to every agent when the simulation starts (or immediately
+    /// on registration if the world is already running).
+    Start,
+    /// A frame arriving on the given local port of the agent.
+    Frame {
+        /// Receiving port index, local to the destination agent.
+        port: u16,
+        /// The frame itself.
+        frame: Frame,
+    },
+    /// A timer set earlier by this agent fired. Timers are never cancelled
+    /// by the engine; agents detect stale timers with their own `token`
+    /// bookkeeping (generation counters).
+    Timer {
+        /// Token passed to [`Ctx::set_timer`].
+        token: u64,
+    },
+}
+
+/// A simulation component.
+pub trait Agent: Any {
+    /// Handle one event. All side effects go through `ctx`.
+    fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_>);
+
+    /// Downcast support for post-run result extraction.
+    fn as_any(&self) -> &dyn Any;
+    /// Downcast support for post-run result extraction.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[derive(Debug)]
+struct Queued {
+    at: SimTime,
+    seq: u64,
+    dst: AgentId,
+    ev: Event,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The execution context handed to an agent while it handles an event.
+pub struct Ctx<'a> {
+    now: SimTime,
+    self_id: AgentId,
+    out: &'a mut Vec<Queued>,
+    trace: &'a mut Trace,
+    seq: &'a mut u64,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the agent handling this event.
+    pub fn self_id(&self) -> AgentId {
+        self.self_id
+    }
+
+    fn push(&mut self, at: SimTime, dst: AgentId, ev: Event) {
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.out.push(Queued { at, seq, dst, ev });
+    }
+
+    /// Deliver `frame` to `dst`'s `port` after `delay`.
+    pub fn send_frame(&mut self, dst: AgentId, port: u16, delay: SimDuration, frame: Frame) {
+        self.push(self.now + delay, dst, Event::Frame { port, frame });
+    }
+
+    /// Arrange for [`Event::Timer`] with `token` to fire on this agent after
+    /// `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.push(self.now + delay, self.self_id, Event::Timer { token });
+    }
+
+    /// Record a trace event at the current time.
+    pub fn trace(&mut self, ev: TraceEvent) {
+        self.trace.emit(self.now, ev);
+    }
+
+    /// The active trace level, so hot paths can skip building records.
+    pub fn trace_level(&self) -> TraceLevel {
+        self.trace.level()
+    }
+}
+
+/// Outcome of running the event loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Idle,
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// The event budget was exhausted (likely a livelock); inspect the run.
+    EventBudgetExhausted,
+}
+
+/// The simulation world: clock, event queue, agents, trace, RNG factory.
+pub struct World {
+    now: SimTime,
+    heap: BinaryHeap<Reverse<Queued>>,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    trace: Trace,
+    rng: RngFactory,
+    seq: u64,
+    started: bool,
+    events_processed: u64,
+    event_budget: u64,
+}
+
+impl World {
+    /// Create a world with the given root seed and trace level.
+    pub fn new(seed: u64, trace_level: TraceLevel) -> Self {
+        World {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            agents: Vec::new(),
+            trace: Trace::new(trace_level),
+            rng: RngFactory::new(seed),
+            seq: 0,
+            started: false,
+            events_processed: 0,
+            // Generous default: a 512 MB download is ~4M events round trip.
+            event_budget: 2_000_000_000,
+        }
+    }
+
+    /// The RNG factory for deriving component streams.
+    pub fn rng(&self) -> &RngFactory {
+        &self.rng
+    }
+
+    /// Override the livelock guard (events per run).
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Register an agent, returning its id. If the world has already
+    /// started, the agent receives [`Event::Start`] at the current time.
+    pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> AgentId {
+        let id = self.agents.len() as AgentId;
+        self.agents.push(Some(agent));
+        if self.started {
+            self.push_event(self.now, id, Event::Start);
+        }
+        id
+    }
+
+    fn push_event(&mut self, at: SimTime, dst: AgentId, ev: Event) {
+        let q = Queued {
+            at,
+            seq: self.seq,
+            dst,
+            ev,
+        };
+        self.seq += 1;
+        self.heap.push(Reverse(q));
+    }
+
+    /// Schedule an event from outside any agent (harness use).
+    pub fn schedule(&mut self, at: SimTime, dst: AgentId, ev: Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.push_event(at, dst, ev);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Access the captured trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Borrow an agent by id, downcast to its concrete type.
+    pub fn agent<T: Agent>(&self, id: AgentId) -> Option<&T> {
+        self.agents
+            .get(id as usize)?
+            .as_deref()?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutably borrow an agent by id, downcast to its concrete type.
+    pub fn agent_mut<T: Agent>(&mut self, id: AgentId) -> Option<&mut T> {
+        self.agents
+            .get_mut(id as usize)?
+            .as_deref_mut()?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    fn ensure_started(&mut self) {
+        if !self.started {
+            self.started = true;
+            for id in 0..self.agents.len() as AgentId {
+                self.push_event(self.now, id, Event::Start);
+            }
+        }
+    }
+
+    /// Run until the queue is empty or `horizon` is reached, whichever comes
+    /// first. The clock never advances past `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        self.ensure_started();
+        let mut staged: Vec<Queued> = Vec::new();
+        loop {
+            let Some(Reverse(head)) = self.heap.peek() else {
+                return RunOutcome::Idle;
+            };
+            if head.at > horizon {
+                self.now = horizon;
+                return RunOutcome::HorizonReached;
+            }
+            if self.events_processed >= self.event_budget {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            let Reverse(q) = self.heap.pop().expect("peeked above");
+            debug_assert!(q.at >= self.now, "time went backwards");
+            self.now = q.at;
+            self.events_processed += 1;
+
+            let idx = q.dst as usize;
+            // Take the agent out so it can borrow the world context freely.
+            let Some(slot) = self.agents.get_mut(idx) else {
+                continue;
+            };
+            let Some(mut agent) = slot.take() else {
+                // Agent is gone (should not happen; slots are only taken
+                // transiently) — drop the event.
+                continue;
+            };
+            {
+                let mut ctx = Ctx {
+                    now: self.now,
+                    self_id: q.dst,
+                    out: &mut staged,
+                    trace: &mut self.trace,
+                    seq: &mut self.seq,
+                };
+                agent.handle(q.ev, &mut ctx);
+            }
+            self.agents[idx] = Some(agent);
+            for ev in staged.drain(..) {
+                self.heap.push(Reverse(ev));
+            }
+        }
+    }
+
+    /// Run until the event queue drains (or the event budget trips).
+    pub fn run_until_idle(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test agent: echoes frames back after a fixed delay, counts events.
+    struct Echo {
+        peer: Option<AgentId>,
+        delay: SimDuration,
+        frames_seen: u32,
+        starts_seen: u32,
+        timers_seen: Vec<u64>,
+        arrival_times: Vec<SimTime>,
+        max_bounces: u32,
+    }
+
+    impl Echo {
+        fn new(peer: Option<AgentId>, delay: SimDuration, max_bounces: u32) -> Self {
+            Echo {
+                peer,
+                delay,
+                frames_seen: 0,
+                starts_seen: 0,
+                timers_seen: Vec::new(),
+                arrival_times: Vec::new(),
+                max_bounces,
+            }
+        }
+    }
+
+    impl Agent for Echo {
+        fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+            match ev {
+                Event::Start => self.starts_seen += 1,
+                Event::Frame { frame, .. } => {
+                    self.frames_seen += 1;
+                    self.arrival_times.push(ctx.now());
+                    if let Some(peer) = self.peer {
+                        if self.frames_seen <= self.max_bounces {
+                            ctx.send_frame(peer, 0, self.delay, frame);
+                        }
+                    }
+                }
+                Event::Timer { token } => self.timers_seen.push(token),
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn frame() -> Frame {
+        Frame::new(Bytes::from_static(b"ping"))
+    }
+
+    #[test]
+    fn start_is_delivered_once_to_everyone() {
+        let mut w = World::new(1, TraceLevel::Off);
+        let a = w.add_agent(Box::new(Echo::new(None, SimDuration::ZERO, 0)));
+        let b = w.add_agent(Box::new(Echo::new(None, SimDuration::ZERO, 0)));
+        assert_eq!(w.run_until_idle(), RunOutcome::Idle);
+        assert_eq!(w.agent::<Echo>(a).unwrap().starts_seen, 1);
+        assert_eq!(w.agent::<Echo>(b).unwrap().starts_seen, 1);
+        // Running again does not replay Start.
+        w.run_until_idle();
+        assert_eq!(w.agent::<Echo>(a).unwrap().starts_seen, 1);
+    }
+
+    #[test]
+    fn frames_bounce_with_exact_timing() {
+        let mut w = World::new(1, TraceLevel::Off);
+        let a = w.add_agent(Box::new(Echo::new(None, SimDuration::from_millis(5), 0)));
+        let b = w.add_agent(Box::new(Echo::new(Some(a), SimDuration::from_millis(5), 10)));
+        w.schedule(SimTime::from_millis(1), b, Event::Frame { port: 0, frame: frame() });
+        w.run_until_idle();
+        // b gets it at 1ms, a at 6ms.
+        assert_eq!(
+            w.agent::<Echo>(b).unwrap().arrival_times,
+            vec![SimTime::from_millis(1)]
+        );
+        assert_eq!(
+            w.agent::<Echo>(a).unwrap().arrival_times,
+            vec![SimTime::from_millis(6)]
+        );
+    }
+
+    #[test]
+    fn ties_resolve_in_insertion_order() {
+        struct Recorder {
+            tokens: Vec<u64>,
+        }
+        impl Agent for Recorder {
+            fn handle(&mut self, ev: Event, _ctx: &mut Ctx<'_>) {
+                if let Event::Timer { token } = ev {
+                    self.tokens.push(token);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1, TraceLevel::Off);
+        let r = w.add_agent(Box::new(Recorder { tokens: vec![] }));
+        let t = SimTime::from_millis(3);
+        for token in 0..50 {
+            w.schedule(t, r, Event::Timer { token });
+        }
+        w.run_until_idle();
+        assert_eq!(w.agent::<Recorder>(r).unwrap().tokens, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn horizon_stops_the_clock() {
+        let mut w = World::new(1, TraceLevel::Off);
+        let a = w.add_agent(Box::new(Echo::new(None, SimDuration::ZERO, 0)));
+        w.schedule(SimTime::from_secs(10), a, Event::Timer { token: 1 });
+        let outcome = w.run_until(SimTime::from_secs(1));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(w.now(), SimTime::from_secs(1));
+        assert!(w.agent::<Echo>(a).unwrap().timers_seen.is_empty());
+        // Resuming past the event delivers it.
+        w.run_until(SimTime::from_secs(20));
+        assert_eq!(w.agent::<Echo>(a).unwrap().timers_seen, vec![1]);
+    }
+
+    #[test]
+    fn event_budget_detects_livelock() {
+        // Two agents bouncing a frame with zero delay forever.
+        let mut w = World::new(1, TraceLevel::Off);
+        let a = w.add_agent(Box::new(Echo::new(None, SimDuration::ZERO, u32::MAX)));
+        let b = w.add_agent(Box::new(Echo::new(Some(a), SimDuration::ZERO, u32::MAX)));
+        w.agent_mut::<Echo>(a).unwrap().peer = Some(b);
+        w.schedule(SimTime::ZERO, a, Event::Frame { port: 0, frame: frame() });
+        w.set_event_budget(10_000);
+        assert_eq!(w.run_until_idle(), RunOutcome::EventBudgetExhausted);
+    }
+
+    #[test]
+    fn late_registration_gets_start() {
+        let mut w = World::new(1, TraceLevel::Off);
+        let a = w.add_agent(Box::new(Echo::new(None, SimDuration::ZERO, 0)));
+        w.run_until_idle();
+        let b = w.add_agent(Box::new(Echo::new(None, SimDuration::ZERO, 0)));
+        w.run_until_idle();
+        assert_eq!(w.agent::<Echo>(a).unwrap().starts_seen, 1);
+        assert_eq!(w.agent::<Echo>(b).unwrap().starts_seen, 1);
+    }
+
+    #[test]
+    fn downcast_wrong_type_is_none() {
+        struct Other;
+        impl Agent for Other {
+            fn handle(&mut self, _: Event, _: &mut Ctx<'_>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1, TraceLevel::Off);
+        let a = w.add_agent(Box::new(Other));
+        assert!(w.agent::<Echo>(a).is_none());
+        assert!(w.agent::<Other>(a).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut w = World::new(1, TraceLevel::Off);
+        let a = w.add_agent(Box::new(Echo::new(None, SimDuration::ZERO, 0)));
+        w.schedule(SimTime::from_secs(5), a, Event::Timer { token: 0 });
+        w.run_until_idle();
+        w.schedule(SimTime::from_secs(1), a, Event::Timer { token: 1 });
+    }
+}

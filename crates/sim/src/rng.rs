@@ -1,0 +1,228 @@
+//! Reproducible random-number streams.
+//!
+//! Every simulation run is driven by a single root seed. Components draw from
+//! *named streams* derived from that seed, so adding a random draw to one
+//! component can never perturb the sequence seen by another — a property the
+//! measurement harness depends on when comparing configurations run-for-run.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Factory for per-component random streams, keyed by `(root seed, stream id)`.
+#[derive(Clone, Debug)]
+pub struct RngFactory {
+    root_seed: u64,
+}
+
+impl RngFactory {
+    /// Create a factory for the given root seed.
+    pub fn new(root_seed: u64) -> Self {
+        RngFactory { root_seed }
+    }
+
+    /// The root seed this factory derives all streams from.
+    pub fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+
+    /// Derive the stream with the given label. The same `(seed, label)` pair
+    /// always yields an identical sequence.
+    pub fn stream(&self, label: &str) -> SimRng {
+        SimRng::from_parts(self.root_seed, label)
+    }
+
+    /// Derive a numbered sub-stream, e.g. one per replication.
+    pub fn substream(&self, label: &str, index: u64) -> SimRng {
+        SimRng::from_parts(self.root_seed, &format!("{label}#{index}"))
+    }
+}
+
+/// A deterministic random stream handed to one component.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+}
+
+impl SimRng {
+    fn from_parts(root_seed: u64, label: &str) -> Self {
+        // Mix the label into a 256-bit seed with a simple FNV-1a fold; the
+        // ChaCha core does the heavy lifting for stream independence.
+        let mut seed = [0u8; 32];
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ root_seed;
+        for (i, chunk) in seed.chunks_mut(8).enumerate() {
+            for &b in label.as_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            h ^= root_seed.rotate_left(i as u32 * 16 + 1);
+            h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            chunk.copy_from_slice(&h.to_le_bytes());
+        }
+        SimRng {
+            inner: ChaCha8Rng::from_seed(seed),
+        }
+    }
+
+    /// Seed a standalone stream directly (used by tests).
+    pub fn seeded(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// Used for Poisson inter-arrivals of cross traffic and for randomized
+    /// jitter processes.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "mean must be positive");
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Standard-normal draw via Box–Muller (single value; the pair's second
+    /// half is intentionally discarded to keep the stream stateless).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Log-normal draw parameterized by the *target* mean and the sigma of
+    /// the underlying normal. Heavy-tailed delays (cellular RTT spikes) use
+    /// this shape.
+    pub fn lognormal_with_mean(&mut self, target_mean: f64, sigma: f64) -> f64 {
+        assert!(target_mean > 0.0);
+        let mu = target_mean.ln() - sigma * sigma / 2.0;
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// Durstenfeld shuffle of a slice (used by the harness to randomize the
+    /// order of measurement configurations, per paper §3.2).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i as u64) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Fresh 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let f1 = RngFactory::new(42);
+        let f2 = RngFactory::new(42);
+        let mut a = f1.stream("wifi.loss");
+        let mut b = f2.stream("wifi.loss");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_are_independent_by_label() {
+        let f = RngFactory::new(7);
+        let mut a = f.stream("alpha");
+        let mut b = f.stream("beta");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = RngFactory::new(1).stream("x");
+        let mut b = RngFactory::new(2).stream("x");
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seeded(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = SimRng::seeded(11);
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.exponential(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = SimRng::seeded(12);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_mean_targets() {
+        let mut r = SimRng::seeded(13);
+        let n = 40_000;
+        let mean = (0..n).map(|_| r.lognormal_with_mean(100.0, 0.8)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::seeded(5);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+}

@@ -1,0 +1,546 @@
+//! Stream buffers: the sender's retransmittable byte stream and the
+//! receiver's out-of-order reassembly store.
+//!
+//! Both work in *absolute* 64-bit stream offsets; the socket maps between
+//! absolute offsets and 32-bit wire sequence numbers. The same
+//! [`Assembler`] type is reused at the MPTCP connection level (where
+//! offsets are data-sequence numbers) — there it also timestamps arrivals to
+//! measure the paper's out-of-order delay metric (§3.3).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use bytes::{Bytes, BytesMut};
+use mpw_sim::{SimDuration, SimTime};
+
+/// The sender-side stream buffer: bytes the application has written that are
+/// not yet cumulatively acknowledged.
+#[derive(Debug, Default)]
+pub struct SendBuffer {
+    chunks: VecDeque<(u64, Bytes)>,
+    /// Offset of the first byte still buffered (== highest cumulative ack).
+    base: u64,
+    /// Offset one past the last byte written.
+    end: u64,
+}
+
+impl SendBuffer {
+    /// Empty buffer starting at stream offset 0.
+    pub fn new() -> Self {
+        SendBuffer::default()
+    }
+
+    /// First buffered (unacknowledged) offset.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// One past the last written offset.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        (self.end - self.base) as usize
+    }
+
+    /// Whether the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.end == self.base
+    }
+
+    /// Append application data; returns the offset range it occupies.
+    pub fn push(&mut self, data: Bytes) -> (u64, u64) {
+        let start = self.end;
+        if !data.is_empty() {
+            self.end += data.len() as u64;
+            self.chunks.push_back((start, data));
+        }
+        (start, self.end)
+    }
+
+    /// Copy out `len` bytes starting at absolute `offset` (clamped to what
+    /// is buffered). Used for both first transmissions and retransmissions.
+    pub fn read(&self, offset: u64, len: usize) -> Bytes {
+        debug_assert!(offset >= self.base, "reading acked data");
+        if offset < self.base {
+            // Acked data is gone; a release-mode caller racing an
+            // acknowledgment gets nothing rather than an underflowed slice.
+            return Bytes::new();
+        }
+        let end = (offset + len as u64).min(self.end);
+        if offset >= end {
+            return Bytes::new();
+        }
+        // Fast path: entirely within one chunk.
+        let idx = self
+            .chunks
+            .partition_point(|(start, data)| start + data.len() as u64 <= offset);
+        let mut out: Option<BytesMut> = None;
+        let mut first: Option<Bytes> = None;
+        let mut cursor = offset;
+        for (start, data) in self.chunks.iter().skip(idx) {
+            if cursor >= end {
+                break;
+            }
+            debug_assert!(*start <= cursor);
+            let begin_in_chunk = (cursor - start) as usize;
+            let take = ((end - cursor) as usize).min(data.len() - begin_in_chunk);
+            let slice = data.slice(begin_in_chunk..begin_in_chunk + take);
+            cursor += take as u64;
+            match (&mut out, &first) {
+                (None, None) => first = Some(slice),
+                (None, Some(_)) => {
+                    let mut buf = BytesMut::with_capacity((end - offset) as usize);
+                    buf.extend_from_slice(&first.take().unwrap());
+                    buf.extend_from_slice(&slice);
+                    out = Some(buf);
+                }
+                (Some(buf), _) => buf.extend_from_slice(&slice),
+            }
+        }
+        match (out, first) {
+            (Some(buf), _) => buf.freeze(),
+            (None, Some(b)) => b,
+            (None, None) => Bytes::new(),
+        }
+    }
+
+    /// Release everything below `new_base` (cumulative acknowledgment).
+    pub fn advance(&mut self, new_base: u64) {
+        let new_base = new_base.min(self.end);
+        if new_base <= self.base {
+            return;
+        }
+        self.base = new_base;
+        while let Some((start, data)) = self.chunks.front() {
+            let chunk_end = start + data.len() as u64;
+            if chunk_end <= new_base {
+                self.chunks.pop_front();
+            } else if *start < new_base {
+                let trim = (new_base - start) as usize;
+                let (start, mut data) = self.chunks.pop_front().unwrap();
+                data = data.slice(trim..);
+                self.chunks.push_front((start + trim as u64, data));
+                break;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// One out-of-order delay observation: the packet's payload became in-order
+/// `delay` after it arrived at the receive buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OfoSample {
+    /// When the bytes became deliverable (in data-sequence order).
+    pub at: SimTime,
+    /// Time spent waiting in the receive buffer.
+    pub delay: SimDuration,
+    /// Number of payload bytes in the range this sample describes.
+    pub bytes: u32,
+}
+
+/// Out-of-order reassembly store over absolute stream offsets.
+#[derive(Debug)]
+pub struct Assembler {
+    /// Out-of-order ranges keyed by start offset: (data, arrival time).
+    segs: BTreeMap<u64, (Bytes, SimTime)>,
+    /// Next in-order offset expected.
+    next: u64,
+    /// Ready in-order data not yet consumed by the layer above.
+    ready: VecDeque<(u64, Bytes)>,
+    ready_bytes: usize,
+    ooo_bytes: usize,
+    /// Out-of-order delay samples (recorded only if enabled).
+    ofo: Option<Vec<OfoSample>>,
+    /// Total payload bytes accepted (deduplicated).
+    accepted: u64,
+    /// Duplicate bytes discarded.
+    duplicate_bytes: u64,
+}
+
+impl Assembler {
+    /// New assembler expecting offset `start` first. `record_ofo` enables
+    /// out-of-order delay sampling (used at the MPTCP connection level).
+    pub fn new(start: u64, record_ofo: bool) -> Self {
+        Assembler {
+            segs: BTreeMap::new(),
+            next: start,
+            ready: VecDeque::new(),
+            ready_bytes: 0,
+            ooo_bytes: 0,
+            ofo: record_ofo.then(Vec::new),
+            accepted: 0,
+            duplicate_bytes: 0,
+        }
+    }
+
+    /// Next expected in-order offset (cumulative-ACK point).
+    pub fn next_expected(&self) -> u64 {
+        self.next
+    }
+
+    /// Bytes held: in-order-but-unconsumed plus out-of-order.
+    pub fn buffered_bytes(&self) -> usize {
+        self.ready_bytes + self.ooo_bytes
+    }
+
+    /// Bytes sitting out-of-order (waiting for a hole to fill).
+    pub fn out_of_order_bytes(&self) -> usize {
+        self.ooo_bytes
+    }
+
+    /// Total deduplicated payload bytes accepted so far.
+    pub fn accepted_bytes(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Duplicate payload bytes discarded so far.
+    pub fn duplicate_bytes(&self) -> u64 {
+        self.duplicate_bytes
+    }
+
+    /// Up to `max` ranges `[lo, hi)` describing out-of-order data, most
+    /// recently useful first — the receiver's SACK blocks.
+    pub fn sack_ranges(&self, max: usize) -> Vec<(u64, u64)> {
+        // Merge adjacent stored segments into maximal ranges.
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for (&start, (data, _)) in &self.segs {
+            let end = start + data.len() as u64;
+            match ranges.last_mut() {
+                Some((_, last_end)) if *last_end == start => *last_end = end,
+                _ => ranges.push((start, end)),
+            }
+        }
+        ranges.truncate(max);
+        ranges
+    }
+
+    /// Insert payload at `offset`, arriving `now`. Returns accepted byte
+    /// count (0 for pure duplicates).
+    pub fn insert(&mut self, offset: u64, data: Bytes, now: SimTime) -> usize {
+        if data.is_empty() {
+            return 0;
+        }
+        let mut start = offset;
+        let end = offset + data.len() as u64;
+        let orig = data.len() as u64;
+        // Clip below the in-order point.
+        if end <= self.next {
+            self.duplicate_bytes += orig;
+            return 0;
+        }
+        let mut data = data;
+        if start < self.next {
+            data = data.slice((self.next - start) as usize..);
+            start = self.next;
+        }
+        // Clip against stored segments, inserting the novel gaps.
+        let mut accepted = 0usize;
+        // Find segments that might overlap [start, end).
+        let overlapping: Vec<(u64, u64)> = self
+            .segs
+            .range(..end)
+            .rev()
+            .take_while(|(&s, (d, _))| s + d.len() as u64 > start || s >= start)
+            .map(|(&s, (d, _))| (s, s + d.len() as u64))
+            .filter(|&(s, e)| e > start && s < end)
+            .collect();
+        let mut cursor = start;
+        let mut pieces: Vec<(u64, Bytes)> = Vec::new();
+        let mut holes: Vec<(u64, u64)> = overlapping;
+        holes.sort_unstable();
+        for (s, e) in holes {
+            if s > cursor {
+                let lo = (cursor - start) as usize;
+                let hi = (s.min(end) - start) as usize;
+                if hi > lo {
+                    pieces.push((cursor, data.slice(lo..hi)));
+                }
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < end {
+            let lo = (cursor - start) as usize;
+            pieces.push((cursor, data.slice(lo..)));
+        }
+        for (off, piece) in pieces {
+            accepted += piece.len();
+            self.ooo_bytes += piece.len();
+            self.segs.insert(off, (piece, now));
+        }
+        self.accepted += accepted as u64;
+        self.duplicate_bytes += orig - accepted as u64;
+
+        // Promote newly contiguous data to the ready queue.
+        while let Some(entry) = self.segs.first_entry() {
+            if *entry.key() != self.next {
+                break;
+            }
+            let (off, (piece, arrived)) = entry.remove_entry();
+            let len = piece.len();
+            self.next += len as u64;
+            self.ooo_bytes -= len;
+            self.ready_bytes += len;
+            if let Some(samples) = &mut self.ofo {
+                samples.push(OfoSample {
+                    at: now,
+                    delay: now.saturating_since(arrived),
+                    bytes: len as u32,
+                });
+            }
+            self.ready.push_back((off, piece));
+        }
+        accepted
+    }
+
+    /// Pop the next chunk of contiguous, in-order data.
+    pub fn pop_ready(&mut self) -> Option<(u64, Bytes)> {
+        let (off, data) = self.ready.pop_front()?;
+        self.ready_bytes -= data.len();
+        Some((off, data))
+    }
+
+    /// Drain recorded out-of-order delay samples.
+    pub fn take_ofo_samples(&mut self) -> Vec<OfoSample> {
+        match &mut self.ofo {
+            Some(v) => std::mem::take(v),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn b(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+
+    mod send_buffer {
+        use super::*;
+
+        #[test]
+        fn push_read_advance_roundtrip() {
+            let mut sb = SendBuffer::new();
+            assert_eq!(sb.push(b(b"hello")), (0, 5));
+            assert_eq!(sb.push(b(b" world")), (5, 11));
+            assert_eq!(sb.read(0, 11), b(b"hello world"));
+            assert_eq!(sb.read(3, 4), b(b"lo w"));
+            sb.advance(6);
+            assert_eq!(sb.base(), 6);
+            assert_eq!(sb.read(6, 5), b(b"world"));
+            assert_eq!(sb.len(), 5);
+        }
+
+        #[test]
+        fn read_clamps_to_written_data() {
+            let mut sb = SendBuffer::new();
+            sb.push(b(b"abc"));
+            assert_eq!(sb.read(1, 100), b(b"bc"));
+            assert_eq!(sb.read(3, 10), Bytes::new());
+        }
+
+        #[test]
+        fn read_spanning_many_chunks() {
+            let mut sb = SendBuffer::new();
+            for i in 0..10u8 {
+                sb.push(Bytes::from(vec![i; 3]));
+            }
+            let got = sb.read(2, 26);
+            assert_eq!(got.len(), 26);
+            assert_eq!(got[0], 0);
+            assert_eq!(got[1], 1); // chunk boundary crossed
+            assert_eq!(got[25], 9);
+        }
+
+        #[test]
+        fn advance_mid_chunk_trims() {
+            let mut sb = SendBuffer::new();
+            sb.push(b(b"abcdef"));
+            sb.advance(2);
+            assert_eq!(sb.read(2, 4), b(b"cdef"));
+            sb.advance(100); // beyond end clamps
+            assert!(sb.is_empty());
+        }
+
+        #[test]
+        fn advance_backwards_is_ignored() {
+            let mut sb = SendBuffer::new();
+            sb.push(b(b"abcdef"));
+            sb.advance(4);
+            sb.advance(2);
+            assert_eq!(sb.base(), 4);
+        }
+
+        #[test]
+        fn empty_push_is_noop() {
+            let mut sb = SendBuffer::new();
+            assert_eq!(sb.push(Bytes::new()), (0, 0));
+            assert!(sb.is_empty());
+        }
+    }
+
+    mod assembler {
+        use super::*;
+
+        fn drain(a: &mut Assembler) -> Vec<u8> {
+            let mut out = Vec::new();
+            while let Some((_, d)) = a.pop_ready() {
+                out.extend_from_slice(&d);
+            }
+            out
+        }
+
+        #[test]
+        fn in_order_passthrough() {
+            let mut a = Assembler::new(0, false);
+            assert_eq!(a.insert(0, b(b"ab"), SimTime::ZERO), 2);
+            assert_eq!(a.insert(2, b(b"cd"), SimTime::ZERO), 2);
+            assert_eq!(a.next_expected(), 4);
+            assert_eq!(drain(&mut a), b"abcd");
+            assert_eq!(a.buffered_bytes(), 0);
+        }
+
+        #[test]
+        fn out_of_order_reassembles() {
+            let mut a = Assembler::new(0, false);
+            a.insert(2, b(b"cd"), SimTime::ZERO);
+            assert_eq!(a.next_expected(), 0);
+            assert_eq!(a.out_of_order_bytes(), 2);
+            a.insert(0, b(b"ab"), SimTime::ZERO);
+            assert_eq!(a.next_expected(), 4);
+            assert_eq!(drain(&mut a), b"abcd");
+        }
+
+        #[test]
+        fn duplicates_are_discarded() {
+            let mut a = Assembler::new(0, false);
+            a.insert(0, b(b"abcd"), SimTime::ZERO);
+            assert_eq!(a.insert(0, b(b"abcd"), SimTime::ZERO), 0);
+            assert_eq!(a.insert(2, b(b"cd"), SimTime::ZERO), 0);
+            assert_eq!(a.duplicate_bytes(), 6);
+            assert_eq!(drain(&mut a), b"abcd");
+        }
+
+        #[test]
+        fn partial_overlap_takes_novel_bytes_only() {
+            let mut a = Assembler::new(0, false);
+            a.insert(4, b(b"efgh"), SimTime::ZERO);
+            // Overlaps [4,8) on its tail; only [2,4) is new.
+            assert_eq!(a.insert(2, b(b"cdXX"), SimTime::ZERO), 2);
+            a.insert(0, b(b"ab"), SimTime::ZERO);
+            assert_eq!(drain(&mut a), b"abcdefgh");
+        }
+
+        #[test]
+        fn overlap_spanning_multiple_segments() {
+            let mut a = Assembler::new(0, false);
+            a.insert(2, b(b"c"), SimTime::ZERO);
+            a.insert(6, b(b"g"), SimTime::ZERO);
+            // Covers [0,8): fills holes around the two stored bytes.
+            assert_eq!(a.insert(0, b(b"abXdefXh"), SimTime::ZERO), 6);
+            assert_eq!(a.next_expected(), 8);
+            assert_eq!(drain(&mut a), b"abcdefgh");
+        }
+
+        #[test]
+        fn sack_ranges_merge_adjacent() {
+            let mut a = Assembler::new(0, false);
+            a.insert(10, b(b"xx"), SimTime::ZERO);
+            a.insert(12, b(b"yy"), SimTime::ZERO);
+            a.insert(20, b(b"zz"), SimTime::ZERO);
+            assert_eq!(a.sack_ranges(4), vec![(10, 14), (20, 22)]);
+            assert_eq!(a.sack_ranges(1), vec![(10, 14)]);
+        }
+
+        #[test]
+        fn ofo_delay_measures_hole_wait() {
+            let mut a = Assembler::new(0, true);
+            let t0 = SimTime::from_millis(100);
+            let t1 = SimTime::from_millis(160);
+            // Packet for [2,4) arrives early, waits for [0,2).
+            a.insert(2, b(b"cd"), t0);
+            a.insert(0, b(b"ab"), t1);
+            let samples = a.take_ofo_samples();
+            assert_eq!(samples.len(), 2);
+            // The filling packet itself is in-order: zero delay.
+            assert_eq!(samples[0].delay, SimDuration::ZERO);
+            assert_eq!(samples[0].bytes, 2);
+            // The early packet waited 60 ms.
+            assert_eq!(samples[1].delay, SimDuration::from_millis(60));
+            assert_eq!(samples[1].at, t1);
+        }
+
+        #[test]
+        fn ofo_in_order_samples_are_zero() {
+            let mut a = Assembler::new(0, true);
+            a.insert(0, b(b"ab"), SimTime::from_millis(5));
+            a.insert(2, b(b"cd"), SimTime::from_millis(9));
+            let samples = a.take_ofo_samples();
+            assert!(samples.iter().all(|s| s.delay == SimDuration::ZERO));
+        }
+
+        #[test]
+        fn nonzero_start_offset() {
+            let mut a = Assembler::new(1000, false);
+            assert_eq!(a.insert(0, b(b"old"), SimTime::ZERO), 0);
+            assert_eq!(a.insert(1000, b(b"ab"), SimTime::ZERO), 2);
+            assert_eq!(a.next_expected(), 1002);
+        }
+
+        proptest! {
+            /// Any permutation of any segmentation delivers the exact
+            /// original stream.
+            #[test]
+            fn reassembly_is_exact(
+                len in 1usize..400,
+                seed in 0u64..1000,
+                dup_factor in 0usize..3,
+            ) {
+                let stream: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+                // Build random segmentation.
+                let mut rng = mpw_sim::SimRng::seeded(seed);
+                let mut segs: Vec<(u64, Bytes)> = Vec::new();
+                let mut at = 0usize;
+                while at < len {
+                    let n = 1 + rng.range_u64(0, 40) as usize;
+                    let end = (at + n).min(len);
+                    segs.push((at as u64, Bytes::copy_from_slice(&stream[at..end])));
+                    at = end;
+                }
+                // Duplicate some segments, then shuffle.
+                for _ in 0..dup_factor {
+                    let i = rng.range_u64(0, segs.len() as u64) as usize;
+                    segs.push(segs[i].clone());
+                }
+                rng.shuffle(&mut segs);
+
+                let mut a = Assembler::new(0, true);
+                let mut t = SimTime::ZERO;
+                for (off, data) in segs {
+                    t += SimDuration::from_millis(1);
+                    a.insert(off, data, t);
+                }
+                prop_assert_eq!(a.next_expected(), len as u64);
+                let mut out = Vec::new();
+                let mut expect_off = 0u64;
+                while let Some((off, d)) = a.pop_ready() {
+                    prop_assert_eq!(off, expect_off);
+                    expect_off += d.len() as u64;
+                    out.extend_from_slice(&d);
+                }
+                prop_assert_eq!(out, stream);
+                prop_assert_eq!(a.buffered_bytes(), 0);
+                prop_assert_eq!(a.accepted_bytes(), len as u64);
+                // Every byte accounted: samples cover the whole stream.
+                let total: u64 = a.take_ofo_samples().iter().map(|s| s.bytes as u64).sum();
+                prop_assert_eq!(total, len as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Congestion control.
+//!
+//! The socket owns the loss-detection machinery (dupacks, SACK, RTO) and
+//! reports *events* to a pluggable [`CongestionControl`] object, which owns
+//! the window. Single-path New Reno lives here; the MPTCP couplings
+//! (coupled/LIA, OLIA, uncoupled Reno — §2.2.2 of the paper) are implemented
+//! in the `mpw-mptcp` crate against this same trait, since they need state
+//! shared across subflows.
+
+use core::fmt;
+use mpw_sim::{SimDuration, SimTime};
+
+/// A congestion-window algorithm driven by ACK/loss events from the socket.
+pub trait CongestionControl: fmt::Debug {
+    /// An ACK advanced the sender's `snd_una` by `bytes_acked` on this flow.
+    fn on_ack(&mut self, bytes_acked: usize, now: SimTime);
+    /// A loss event was detected via fast retransmit (once per window).
+    /// `flight_bytes` is the FlightSize at detection (RFC 5681 uses it for
+    /// the new ssthresh).
+    fn on_loss_event(&mut self, flight_bytes: usize, now: SimTime);
+    /// The retransmission timer fired: collapse to the loss window.
+    fn on_rto(&mut self, flight_bytes: usize, now: SimTime);
+    /// The smoothed RTT estimate changed (couplings need `rtt_i`).
+    fn on_rtt_update(&mut self, srtt: SimDuration);
+    /// Current congestion window in bytes.
+    fn cwnd(&self) -> usize;
+    /// Current slow-start threshold in bytes.
+    fn ssthresh(&self) -> usize;
+    /// Whether the flow is in slow start.
+    fn in_slow_start(&self) -> bool {
+        self.cwnd() < self.ssthresh()
+    }
+    /// Algorithm name for reporting ("reno", "coupled", "olia").
+    fn name(&self) -> &'static str;
+}
+
+/// Parameters shared by window algorithms.
+#[derive(Clone, Copy, Debug)]
+pub struct CcConfig {
+    /// Maximum segment size in bytes.
+    pub mss: usize,
+    /// Initial congestion window in segments (Linux default 10, §3.1).
+    pub initial_window_segments: usize,
+    /// Initial slow-start threshold in bytes (paper sets 64 KB; `usize::MAX`
+    /// reproduces Linux's "infinite" default for the ablation).
+    pub initial_ssthresh: usize,
+}
+
+impl Default for CcConfig {
+    fn default() -> Self {
+        CcConfig {
+            mss: 1400,
+            initial_window_segments: 10,
+            initial_ssthresh: 64 * 1024,
+        }
+    }
+}
+
+/// Standard New Reno window management (RFC 5681): slow start doubles the
+/// window each RTT; congestion avoidance adds one MSS per RTT; a loss event
+/// halves the window; an RTO collapses it to one segment.
+#[derive(Debug, Clone)]
+pub struct NewReno {
+    cfg: CcConfig,
+    cwnd: usize,
+    ssthresh: usize,
+    /// Accumulated ACK credit for congestion-avoidance byte counting.
+    ca_credit: usize,
+}
+
+impl NewReno {
+    /// Create with the given configuration.
+    pub fn new(cfg: CcConfig) -> Self {
+        NewReno {
+            cwnd: cfg.mss * cfg.initial_window_segments,
+            ssthresh: cfg.initial_ssthresh,
+            ca_credit: 0,
+            cfg,
+        }
+    }
+
+    fn mss(&self) -> usize {
+        self.cfg.mss
+    }
+}
+
+impl CongestionControl for NewReno {
+    fn on_ack(&mut self, bytes_acked: usize, _now: SimTime) {
+        if self.cwnd < self.ssthresh {
+            // Slow start with full byte counting (as modern Linux does):
+            // stretch ACKs — common when the receiver delays or the link
+            // batches — still double the window per RTT. Growth per ACK is
+            // capped at one full window.
+            self.cwnd += bytes_acked.min(self.cwnd);
+        } else {
+            // Congestion avoidance: +1 MSS per cwnd of acked bytes.
+            self.ca_credit += bytes_acked;
+            if self.ca_credit >= self.cwnd {
+                self.ca_credit -= self.cwnd;
+                self.cwnd += self.mss();
+            }
+        }
+    }
+
+    fn on_loss_event(&mut self, flight_bytes: usize, _now: SimTime) {
+        // RFC 5681 §3.1: ssthresh = max(FlightSize/2, 2*SMSS).
+        self.ssthresh = (flight_bytes.max(self.cwnd) / 2).max(2 * self.mss());
+        self.cwnd = self.ssthresh;
+        self.ca_credit = 0;
+    }
+
+    fn on_rto(&mut self, flight_bytes: usize, _now: SimTime) {
+        self.ssthresh = (flight_bytes.max(self.cwnd) / 2).max(2 * self.mss());
+        self.cwnd = self.mss();
+        self.ca_credit = 0;
+    }
+
+    fn on_rtt_update(&mut self, _srtt: SimDuration) {}
+
+    fn cwnd(&self) -> usize {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> usize {
+        self.ssthresh
+    }
+
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reno() -> NewReno {
+        NewReno::new(CcConfig::default())
+    }
+
+    #[test]
+    fn initial_window_is_ten_segments() {
+        let cc = reno();
+        assert_eq!(cc.cwnd(), 14_000);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut cc = reno();
+        let start = cc.cwnd();
+        // ACK a full window's worth in MSS chunks: cwnd should double.
+        let mut acked = 0;
+        while acked < start {
+            cc.on_ack(1400, SimTime::ZERO);
+            acked += 1400;
+        }
+        assert_eq!(cc.cwnd(), 2 * start);
+    }
+
+    #[test]
+    fn slow_start_exits_at_ssthresh() {
+        let mut cc = reno();
+        for _ in 0..200 {
+            cc.on_ack(1400, SimTime::ZERO);
+        }
+        assert!(!cc.in_slow_start());
+        // Growth is now linear, not exponential: one full window of ACKs
+        // adds exactly one MSS.
+        let w = cc.cwnd();
+        let mut acked = 0;
+        while acked < w {
+            cc.on_ack(1400, SimTime::ZERO);
+            acked += 1400;
+        }
+        assert_eq!(cc.cwnd(), w + 1400);
+    }
+
+    #[test]
+    fn loss_halves_window() {
+        let mut cc = reno();
+        for _ in 0..100 {
+            cc.on_ack(1400, SimTime::ZERO);
+        }
+        let before = cc.cwnd();
+        cc.on_loss_event(cc.cwnd(), SimTime::ZERO);
+        assert_eq!(cc.cwnd(), before / 2);
+        assert_eq!(cc.ssthresh(), before / 2);
+        assert!(!cc.in_slow_start());
+    }
+
+    #[test]
+    fn rto_collapses_to_one_segment() {
+        let mut cc = reno();
+        for _ in 0..100 {
+            cc.on_ack(1400, SimTime::ZERO);
+        }
+        let before = cc.cwnd();
+        cc.on_rto(cc.cwnd(), SimTime::ZERO);
+        assert_eq!(cc.cwnd(), 1400);
+        assert_eq!(cc.ssthresh(), before / 2);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn window_never_collapses_below_two_mss_threshold() {
+        let mut cc = reno();
+        for _ in 0..10 {
+            cc.on_loss_event(cc.cwnd(), SimTime::ZERO);
+        }
+        assert!(cc.ssthresh() >= 2 * 1400);
+        assert!(cc.cwnd() >= 2 * 1400);
+    }
+
+    #[test]
+    fn infinite_ssthresh_stays_in_slow_start() {
+        let mut cc = NewReno::new(CcConfig {
+            initial_ssthresh: usize::MAX,
+            ..CcConfig::default()
+        });
+        for _ in 0..10_000 {
+            cc.on_ack(1400, SimTime::ZERO);
+        }
+        assert!(cc.in_slow_start());
+        assert!(cc.cwnd() > 10_000_000);
+    }
+
+    #[test]
+    fn ack_credit_does_not_leak_across_loss() {
+        let mut cc = reno();
+        for _ in 0..100 {
+            cc.on_ack(1400, SimTime::ZERO);
+        }
+        // Accumulate partial CA credit, then lose: credit must reset.
+        cc.on_ack(700, SimTime::ZERO);
+        cc.on_loss_event(cc.cwnd(), SimTime::ZERO);
+        let w = cc.cwnd();
+        cc.on_ack(1400, SimTime::ZERO);
+        // A single MSS ack right after loss must not bump the window yet.
+        assert_eq!(cc.cwnd(), w);
+    }
+}

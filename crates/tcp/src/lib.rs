@@ -1,0 +1,36 @@
+//! # mpw-tcp — a from-scratch sans-IO TCP for the mpwild MPTCP study
+//!
+//! This crate implements the single-path TCP substrate the paper's MPTCP
+//! stack builds on: wire format (including the RFC 6824 MPTCP option
+//! encodings), wrapping sequence arithmetic, RFC 6298 retransmission, SACK,
+//! New Reno congestion control behind a pluggable [`CongestionControl`]
+//! trait, window scaling, and delayed ACKs — configured the way the paper's
+//! testbed was (initial window 10, initial ssthresh 64 KB, SACK on, no
+//! metadata caching between connections; §3.1).
+//!
+//! Sockets are pure state machines driven by `on_segment` / `on_timer` /
+//! `poll_transmit` (the smoltcp idiom); hosts and the MPTCP connection layer
+//! live in `mpw-mptcp`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod buf;
+pub mod cc;
+pub mod hooks;
+pub mod rtt;
+pub mod seq;
+pub mod socket;
+pub mod testkit;
+pub mod wire;
+
+pub use buf::{Assembler, OfoSample, SendBuffer};
+pub use cc::{CcConfig, CongestionControl, NewReno};
+pub use hooks::{NoHooks, TcpHooks, TxKind};
+pub use rtt::RttEstimator;
+pub use seq::SeqNum;
+pub use socket::{SocketStats, TcpConfig, TcpSocket, TcpState};
+pub use wire::{
+    encode_packet, encode_ping, parse_any, parse_packet, strip_mptcp_options, Addr, DssMapping,
+    Endpoint, IpHeader, MptcpOption, Packet, PingPacket, TcpOption, TcpSegment, WireError,
+};

@@ -1,0 +1,219 @@
+//! Round-trip-time estimation and retransmission timeout (RFC 6298).
+//!
+//! Karn's rule is enforced by the caller (the socket never feeds samples
+//! from retransmitted segments). The estimator also keeps every accepted
+//! sample when asked to, because the paper's Figure 12 plots full per-packet
+//! RTT distributions.
+
+use mpw_sim::{SimDuration, SimTime};
+
+/// RFC 6298 constants.
+const ALPHA: f64 = 1.0 / 8.0;
+const BETA: f64 = 1.0 / 4.0;
+const K: f64 = 4.0;
+
+/// Smoothed RTT state and RTO computation.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    backoff_exp: u32,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    /// Granularity clock G from RFC 6298 (we use 1 ms).
+    granularity: SimDuration,
+    /// All accepted samples (for distribution analysis), if enabled.
+    samples: Option<Vec<(SimTime, SimDuration)>>,
+    latest: Option<SimDuration>,
+    sample_count: u64,
+}
+
+impl RttEstimator {
+    /// New estimator with the conventional initial RTO of 1 s (RFC 6298
+    /// recommends 1 s; Linux uses 1 s with a 200 ms floor).
+    pub fn new(record_samples: bool) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: SimDuration::from_secs(1),
+            backoff_exp: 0,
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(60),
+            granularity: SimDuration::from_millis(1),
+            samples: record_samples.then(Vec::new),
+            latest: None,
+            sample_count: 0,
+        }
+    }
+
+    /// Feed one RTT sample (from a segment that was *not* retransmitted).
+    pub fn on_sample(&mut self, at: SimTime, rtt: SimDuration) {
+        self.sample_count += 1;
+        self.latest = Some(rtt);
+        if let Some(v) = &mut self.samples {
+            v.push((at, rtt));
+        }
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let err = if rtt >= srtt { rtt - srtt } else { srtt - rtt };
+                self.rttvar = SimDuration::from_secs_f64(
+                    (1.0 - BETA) * self.rttvar.as_secs_f64() + BETA * err.as_secs_f64(),
+                );
+                self.srtt = Some(SimDuration::from_secs_f64(
+                    (1.0 - ALPHA) * srtt.as_secs_f64() + ALPHA * rtt.as_secs_f64(),
+                ));
+            }
+        }
+        let srtt = self.srtt.expect("set above");
+        let var_term = self.granularity.max(self.rttvar.mul_f64(K));
+        self.rto = (srtt + var_term).clamp(self.min_rto, self.max_rto);
+        // Fresh sample clears exponential backoff.
+        self.backoff_exp = 0;
+    }
+
+    /// The current retransmission timeout, including backoff.
+    pub fn rto(&self) -> SimDuration {
+        self.rto
+            .saturating_mul(1u64 << self.backoff_exp.min(16))
+            .min(self.max_rto)
+    }
+
+    /// Double the RTO after a retransmission timeout fires.
+    pub fn backoff(&mut self) {
+        self.backoff_exp = (self.backoff_exp + 1).min(16);
+    }
+
+    /// Smoothed RTT, if at least one sample was taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Most recent raw sample.
+    pub fn latest(&self) -> Option<SimDuration> {
+        self.latest
+    }
+
+    /// RTT variance estimate.
+    pub fn rttvar(&self) -> SimDuration {
+        self.rttvar
+    }
+
+    /// Number of samples accepted.
+    pub fn sample_count(&self) -> u64 {
+        self.sample_count
+    }
+
+    /// All recorded samples (empty if recording is disabled).
+    pub fn samples(&self) -> &[(SimTime, SimDuration)] {
+        self.samples.as_deref().unwrap_or(&[])
+    }
+
+    /// Drain recorded samples, leaving the estimator state intact.
+    pub fn take_samples(&mut self) -> Vec<(SimTime, SimDuration)> {
+        self.samples.take().inspect(|_v| {
+            self.samples = Some(Vec::new());
+        }).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    #[test]
+    fn first_sample_initializes_per_rfc() {
+        let mut e = RttEstimator::new(false);
+        e.on_sample(SimTime::ZERO, ms(100));
+        assert_eq!(e.srtt(), Some(ms(100)));
+        assert_eq!(e.rttvar(), ms(50));
+        // RTO = SRTT + 4*RTTVAR = 100 + 200 = 300 ms.
+        assert_eq!(e.rto(), ms(300));
+    }
+
+    #[test]
+    fn steady_samples_tighten_rto() {
+        let mut e = RttEstimator::new(false);
+        for i in 0..100 {
+            e.on_sample(SimTime::from_millis(i * 10), ms(50));
+        }
+        assert_eq!(e.srtt(), Some(ms(50)));
+        // Variance decays toward zero; RTO hits the 200 ms floor.
+        assert_eq!(e.rto(), ms(200));
+    }
+
+    #[test]
+    fn variable_samples_widen_rto() {
+        let mut e = RttEstimator::new(false);
+        for i in 0..50 {
+            let rtt = if i % 2 == 0 { ms(50) } else { ms(450) };
+            e.on_sample(SimTime::from_millis(i * 10), rtt);
+        }
+        assert!(e.rto() > ms(700), "rto {:?}", e.rto());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = RttEstimator::new(false);
+        e.on_sample(SimTime::ZERO, ms(100));
+        let base = e.rto();
+        e.backoff();
+        assert_eq!(e.rto(), base * 2);
+        e.backoff();
+        assert_eq!(e.rto(), base * 4);
+        for _ in 0..30 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn new_sample_clears_backoff() {
+        let mut e = RttEstimator::new(false);
+        e.on_sample(SimTime::ZERO, ms(100));
+        e.backoff();
+        e.backoff();
+        e.on_sample(SimTime::from_millis(500), ms(100));
+        // Second identical sample: rttvar decays to 37.5 ms → RTO 250 ms,
+        // and crucially the backoff multiplier is gone.
+        assert_eq!(e.rto(), ms(250));
+    }
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let e = RttEstimator::new(false);
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn recording_keeps_all_samples() {
+        let mut e = RttEstimator::new(true);
+        for i in 0..10 {
+            e.on_sample(SimTime::from_millis(i), ms(40 + i));
+        }
+        assert_eq!(e.samples().len(), 10);
+        assert_eq!(e.sample_count(), 10);
+        let drained = e.take_samples();
+        assert_eq!(drained.len(), 10);
+        assert!(e.samples().is_empty());
+        // Recording continues after draining.
+        e.on_sample(SimTime::from_millis(99), ms(77));
+        assert_eq!(e.samples().len(), 1);
+    }
+
+    #[test]
+    fn non_recording_keeps_count_only() {
+        let mut e = RttEstimator::new(false);
+        e.on_sample(SimTime::ZERO, ms(10));
+        assert!(e.samples().is_empty());
+        assert_eq!(e.sample_count(), 1);
+    }
+}

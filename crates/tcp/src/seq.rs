@@ -1,0 +1,182 @@
+//! 32-bit wrapping TCP sequence-number arithmetic (RFC 793 §3.3).
+//!
+//! Comparisons are defined modulo 2³², valid while the window of interest is
+//! smaller than 2³¹ — guaranteed here because receive windows are ≤ 8 MB.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+use serde::{Deserialize, Serialize};
+
+/// A TCP sequence number.
+///
+/// ```
+/// use mpw_tcp::SeqNum;
+/// let a = SeqNum(u32::MAX - 1);
+/// let b = a + 4; // wraps
+/// assert!(a.before(b));
+/// assert_eq!(b - a, 4);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SeqNum(pub u32);
+
+impl SeqNum {
+    /// Signed distance from `other` to `self` (positive if `self` is after).
+    pub fn distance(self, other: SeqNum) -> i32 {
+        self.0.wrapping_sub(other.0) as i32
+    }
+
+    /// `self < other` in sequence space.
+    pub fn before(self, other: SeqNum) -> bool {
+        self.distance(other) < 0
+    }
+
+    /// `self <= other` in sequence space.
+    pub fn before_eq(self, other: SeqNum) -> bool {
+        self.distance(other) <= 0
+    }
+
+    /// `self > other` in sequence space.
+    pub fn after(self, other: SeqNum) -> bool {
+        self.distance(other) > 0
+    }
+
+    /// `self >= other` in sequence space.
+    pub fn after_eq(self, other: SeqNum) -> bool {
+        self.distance(other) >= 0
+    }
+
+    /// The later of two sequence numbers.
+    pub fn max(self, other: SeqNum) -> SeqNum {
+        if self.after_eq(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two sequence numbers.
+    pub fn min(self, other: SeqNum) -> SeqNum {
+        if self.before_eq(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Whether `self` lies in the half-open interval `[lo, hi)`.
+    pub fn within(self, lo: SeqNum, hi: SeqNum) -> bool {
+        self.after_eq(lo) && self.before(hi)
+    }
+}
+
+impl Add<u32> for SeqNum {
+    type Output = SeqNum;
+    fn add(self, n: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(n))
+    }
+}
+
+impl AddAssign<u32> for SeqNum {
+    fn add_assign(&mut self, n: u32) {
+        self.0 = self.0.wrapping_add(n);
+    }
+}
+
+impl Sub<SeqNum> for SeqNum {
+    type Output = u32;
+    /// Unsigned distance; callers must know `self` is not before `rhs`.
+    fn sub(self, rhs: SeqNum) -> u32 {
+        debug_assert!(self.after_eq(rhs), "negative SeqNum difference");
+        self.0.wrapping_sub(rhs.0)
+    }
+}
+
+impl fmt::Debug for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ordering_without_wrap() {
+        let a = SeqNum(100);
+        let b = SeqNum(200);
+        assert!(a.before(b));
+        assert!(b.after(a));
+        assert!(a.before_eq(a));
+        assert!(a.after_eq(a));
+        assert_eq!(b - a, 100);
+        assert_eq!(b.distance(a), 100);
+        assert_eq!(a.distance(b), -100);
+    }
+
+    #[test]
+    fn ordering_across_wrap() {
+        let a = SeqNum(u32::MAX - 10);
+        let b = a + 20; // wraps
+        assert_eq!(b.0, 9);
+        assert!(a.before(b));
+        assert!(b.after(a));
+        assert_eq!(b - a, 20);
+    }
+
+    #[test]
+    fn min_max_across_wrap() {
+        let a = SeqNum(u32::MAX - 1);
+        let b = SeqNum(5);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn within_interval() {
+        let lo = SeqNum(u32::MAX - 5);
+        let hi = lo + 10;
+        assert!(lo.within(lo, hi));
+        assert!((lo + 9).within(lo, hi));
+        assert!(!hi.within(lo, hi));
+        assert!(!(lo + 10).within(lo, hi));
+        assert!(SeqNum(2).within(lo, hi)); // wrapped interior point
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_antisymmetric(x: u32, y: u32) {
+            let a = SeqNum(x);
+            let b = SeqNum(y);
+            prop_assert_eq!(a.distance(b), a.distance(b));
+            if a.distance(b) != i32::MIN {
+                prop_assert_eq!(a.distance(b), -(b.distance(a)));
+            }
+        }
+
+        #[test]
+        fn add_then_sub_roundtrips(x: u32, n in 0u32..1_000_000) {
+            let a = SeqNum(x);
+            let b = a + n;
+            prop_assert_eq!(b - a, n);
+            prop_assert!(a.before_eq(b));
+        }
+
+        #[test]
+        fn ordering_is_total_within_half_window(x: u32, d in 1u32..(1 << 30)) {
+            let a = SeqNum(x);
+            let b = a + d;
+            prop_assert!(a.before(b));
+            prop_assert!(!b.before(a));
+            prop_assert_eq!(a.max(b), b);
+            prop_assert_eq!(a.min(b), a);
+        }
+    }
+}

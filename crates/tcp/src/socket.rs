@@ -1,0 +1,1389 @@
+//! The TCP socket state machine (sans-IO).
+//!
+//! A [`TcpSocket`] is a pure state machine: the host feeds it incoming
+//! segments ([`TcpSocket::on_segment`]) and timer expirations
+//! ([`TcpSocket::on_timer`]), then drains outgoing segments with
+//! [`TcpSocket::poll_transmit`] and re-arms a single timer from
+//! [`TcpSocket::next_timeout`] — the smoltcp poll idiom.
+//!
+//! Implemented behaviour, matching the paper's testbed configuration (§3.1):
+//! RFC 5681 New Reno with initial window 10 and configurable initial
+//! ssthresh (64 KB in the paper), SACK (RFC 2018) with SACK-based and
+//! dupack-based fast retransmit, RFC 6298 RTO with Karn's rule and
+//! exponential backoff, window scaling, delayed ACKs, zero-window probing,
+//! and no caching of connection metadata between connections.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use bytes::Bytes;
+use mpw_sim::{SimDuration, SimTime};
+
+use crate::buf::{Assembler, SendBuffer};
+use crate::cc::CongestionControl;
+use crate::hooks::{TcpHooks, TxKind};
+use crate::rtt::RttEstimator;
+use crate::seq::SeqNum;
+use crate::wire::{tcp_flags, Endpoint, MptcpOption, TcpOption, TcpSegment};
+
+/// TCP connection states (RFC 793).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpState {
+    /// Sent SYN, awaiting SYN-ACK.
+    SynSent,
+    /// Received SYN, sent SYN-ACK, awaiting ACK.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// We closed first; FIN sent, not yet acked.
+    FinWait1,
+    /// Our FIN acked; awaiting peer's FIN.
+    FinWait2,
+    /// Peer closed first; we may still send.
+    CloseWait,
+    /// Peer closed, then we sent FIN.
+    LastAck,
+    /// Simultaneous close.
+    Closing,
+    /// Both FINs exchanged; draining.
+    TimeWait,
+    /// Fully closed (or aborted).
+    Closed,
+}
+
+/// Socket configuration.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment size for payload.
+    pub mss: usize,
+    /// Send buffer capacity in bytes.
+    pub send_buffer: usize,
+    /// Receive buffer capacity in bytes (8 MB in the paper's testbed).
+    pub recv_buffer: usize,
+    /// Window-scale shift we advertise.
+    pub window_scale: u8,
+    /// Delayed-ACK timeout (`None` disables delaying).
+    pub delayed_ack: Option<SimDuration>,
+    /// Record every RTT sample (needed for Figure 12 distributions).
+    pub record_rtt_samples: bool,
+    /// TIME_WAIT dwell before the socket can be reaped.
+    pub time_wait: SimDuration,
+    /// Give up (reset) after this many consecutive RTOs.
+    pub max_consecutive_rtos: u32,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1400,
+            send_buffer: 512 * 1024,
+            recv_buffer: 8 * 1024 * 1024,
+            window_scale: 9,
+            delayed_ack: Some(SimDuration::from_millis(40)),
+            record_rtt_samples: true,
+            time_wait: SimDuration::from_millis(500),
+            max_consecutive_rtos: 10,
+        }
+    }
+}
+
+/// Counters for one socket, matching the paper's per-flow metrics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SocketStats {
+    /// Segments emitted (all kinds).
+    pub segs_sent: u64,
+    /// Data segments emitted (payload > 0), including retransmissions.
+    pub data_segs_sent: u64,
+    /// Retransmitted data segments.
+    pub rexmit_segs: u64,
+    /// Payload bytes emitted, including retransmissions.
+    pub payload_bytes_sent: u64,
+    /// Retransmitted payload bytes.
+    pub rexmit_bytes: u64,
+    /// Segments received.
+    pub segs_received: u64,
+    /// Novel payload bytes accepted.
+    pub payload_bytes_received: u64,
+    /// Duplicate payload bytes discarded.
+    pub dup_bytes_received: u64,
+    /// Duplicate ACKs observed.
+    pub dupacks: u64,
+    /// Fast-retransmit loss events.
+    pub loss_events: u64,
+    /// Retransmission timeouts fired.
+    pub rtos: u64,
+    /// When `connect`/`accept` created the socket.
+    pub opened_at: SimTime,
+    /// When the connection reached Established.
+    pub established_at: Option<SimTime>,
+}
+
+impl SocketStats {
+    /// The paper's per-flow loss-rate metric: retransmitted data packets
+    /// over data packets sent (§3.3).
+    pub fn loss_rate(&self) -> f64 {
+        if self.data_segs_sent == 0 {
+            0.0
+        } else {
+            self.rexmit_segs as f64 / self.data_segs_sent as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TxInfo {
+    len: u32,
+    time_sent: SimTime,
+    rexmits: u32,
+    sacked: bool,
+    queued: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum AckUrgency {
+    None,
+    Delayed,
+    Immediate,
+}
+
+/// The TCP socket state machine. See the module docs for the driving model.
+pub struct TcpSocket {
+    cfg: TcpConfig,
+    state: TcpState,
+    local: Endpoint,
+    remote: Endpoint,
+    /// Which local interface this socket is bound to (routing by the host).
+    pub if_index: u8,
+    hooks: Box<dyn TcpHooks>,
+    cc: Box<dyn CongestionControl>,
+    rtt: RttEstimator,
+
+    // --- send side ---
+    iss: SeqNum,
+    send_buf: SendBuffer,
+    snd_nxt: u64,
+    snd_una: u64,
+    flight: BTreeMap<u64, TxInfo>,
+    flight_bytes: usize,
+    sacked_bytes: usize,
+    queued_bytes: usize,
+    rexmit_queue: VecDeque<u64>,
+    dupacks: u32,
+    in_recovery: bool,
+    recover: u64,
+    recovery_cursor: u64,
+    highest_sacked_end: u64,
+    fin_queued: bool,
+    fin_sent: bool,
+    fin_acked: bool,
+    peer_window: usize,
+    peer_wscale: u8,
+    peer_mss: usize,
+    sack_ok: bool,
+    need_syn: bool,
+    need_synack: bool,
+    need_hs_ack: bool,
+    pending_reset: bool,
+    hs_options_from_peer: Vec<TcpOption>,
+
+    // --- receive side ---
+    irs: SeqNum,
+    asm: Assembler,
+    ack_urgency: AckUrgency,
+    delack_deadline: Option<SimTime>,
+    segs_since_ack: u32,
+    fin_rcvd_at: Option<u64>,
+    fin_consumed: bool,
+
+    // --- timers ---
+    rto_deadline: Option<SimTime>,
+    persist_deadline: Option<SimTime>,
+    time_wait_deadline: Option<SimTime>,
+    consecutive_rtos: u32,
+
+    stats: SocketStats,
+}
+
+impl std::fmt::Debug for TcpSocket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpSocket")
+            .field("local", &self.local)
+            .field("remote", &self.remote)
+            .field("state", &self.state)
+            .field("snd_una", &self.snd_una)
+            .field("snd_nxt", &self.snd_nxt)
+            .field("rcv_nxt", &self.asm.next_expected())
+            .finish()
+    }
+}
+
+impl TcpSocket {
+    /// Active open: create a socket in SynSent that will emit a SYN.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect(
+        cfg: TcpConfig,
+        cc: Box<dyn CongestionControl>,
+        hooks: Box<dyn TcpHooks>,
+        local: Endpoint,
+        remote: Endpoint,
+        if_index: u8,
+        iss: SeqNum,
+        now: SimTime,
+    ) -> Self {
+        let mut s = Self::blank(cfg, cc, hooks, local, remote, if_index, iss, now);
+        s.state = TcpState::SynSent;
+        s.need_syn = true;
+        s.arm_rto(now);
+        s
+    }
+
+    /// Passive open: a listener accepted `syn` and creates the peer socket
+    /// in SynRcvd; it will emit a SYN-ACK.
+    #[allow(clippy::too_many_arguments)]
+    pub fn accept(
+        cfg: TcpConfig,
+        cc: Box<dyn CongestionControl>,
+        hooks: Box<dyn TcpHooks>,
+        local: Endpoint,
+        remote: Endpoint,
+        if_index: u8,
+        iss: SeqNum,
+        syn: &TcpSegment,
+        now: SimTime,
+    ) -> Self {
+        let mut s = Self::blank(cfg, cc, hooks, local, remote, if_index, iss, now);
+        s.state = TcpState::SynRcvd;
+        s.irs = syn.seq;
+        s.process_handshake_options(&syn.options);
+        s.peer_window = syn.window as usize; // unscaled on SYN
+        s.need_synack = true;
+        s.stats.segs_received = 1;
+        s.hooks.on_rx(syn, 0, now);
+        s.arm_rto(now);
+        s
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn blank(
+        cfg: TcpConfig,
+        cc: Box<dyn CongestionControl>,
+        hooks: Box<dyn TcpHooks>,
+        local: Endpoint,
+        remote: Endpoint,
+        if_index: u8,
+        iss: SeqNum,
+        now: SimTime,
+    ) -> Self {
+        let record = cfg.record_rtt_samples;
+        TcpSocket {
+            rtt: RttEstimator::new(record),
+            asm: Assembler::new(0, false),
+            state: TcpState::Closed,
+            local,
+            remote,
+            if_index,
+            hooks,
+            cc,
+            iss,
+            send_buf: SendBuffer::new(),
+            snd_nxt: 0,
+            snd_una: 0,
+            flight: BTreeMap::new(),
+            flight_bytes: 0,
+            sacked_bytes: 0,
+            queued_bytes: 0,
+            rexmit_queue: VecDeque::new(),
+            dupacks: 0,
+            in_recovery: false,
+            recover: 0,
+            recovery_cursor: 0,
+            highest_sacked_end: 0,
+            fin_queued: false,
+            fin_sent: false,
+            fin_acked: false,
+            peer_window: 0,
+            peer_wscale: 0,
+            peer_mss: cfg.mss,
+            sack_ok: false,
+            need_syn: false,
+            need_synack: false,
+            need_hs_ack: false,
+            pending_reset: false,
+            hs_options_from_peer: Vec::new(),
+            irs: SeqNum(0),
+            ack_urgency: AckUrgency::None,
+            delack_deadline: None,
+            segs_since_ack: 0,
+            fin_rcvd_at: None,
+            fin_consumed: false,
+            rto_deadline: None,
+            persist_deadline: None,
+            time_wait_deadline: None,
+            consecutive_rtos: 0,
+            stats: SocketStats {
+                opened_at: now,
+                ..SocketStats::default()
+            },
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Current state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// Local endpoint.
+    pub fn local(&self) -> Endpoint {
+        self.local
+    }
+
+    /// Remote endpoint.
+    pub fn remote(&self) -> Endpoint {
+        self.remote
+    }
+
+    /// Whether the connection is established (data can flow).
+    pub fn is_established(&self) -> bool {
+        matches!(
+            self.state,
+            TcpState::Established
+                | TcpState::FinWait1
+                | TcpState::FinWait2
+                | TcpState::CloseWait
+                | TcpState::Closing
+        )
+    }
+
+    /// Whether the socket has fully terminated and can be reaped.
+    pub fn is_finished(&self) -> bool {
+        self.state == TcpState::Closed
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SocketStats {
+        self.stats
+    }
+
+    /// The RTT estimator (per-flow samples for Figure 12).
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
+    }
+
+    /// Drain recorded RTT samples.
+    pub fn take_rtt_samples(&mut self) -> Vec<(SimTime, SimDuration)> {
+        self.rtt.take_samples()
+    }
+
+    /// Congestion controller (for inspection / coupling updates).
+    pub fn cc(&self) -> &dyn CongestionControl {
+        self.cc.as_ref()
+    }
+
+    /// Options seen on the peer's SYN / SYN-ACK (the MPTCP layer reads
+    /// MP_CAPABLE / MP_JOIN from here after establishment).
+    pub fn peer_handshake_options(&self) -> &[TcpOption] {
+        &self.hs_options_from_peer
+    }
+
+    /// Bytes of send-buffer space available to the application.
+    pub fn send_space(&self) -> usize {
+        self.cfg.send_buffer.saturating_sub(self.send_buf.len())
+    }
+
+    /// Bytes the application has written that are not yet acknowledged.
+    pub fn unacked_len(&self) -> usize {
+        self.send_buf.len()
+    }
+
+    /// Bytes transmitted and awaiting acknowledgment (`snd_nxt − snd_una`).
+    pub fn inflight_len(&self) -> usize {
+        (self.snd_nxt - self.snd_una) as usize
+    }
+
+    /// How many *new* bytes this socket could inject right now under its
+    /// congestion and flow-control windows, accounting for SACKed data no
+    /// longer in the pipe. The MPTCP scheduler keys on this: during dupack
+    /// stretches the pipe drains, and feeding fresh data keeps the ACK clock
+    /// alive (the limited-transmit effect, RFC 3042).
+    pub fn tx_window_space(&self) -> usize {
+        if !self.is_established() {
+            return 0;
+        }
+        let wnd = self.cc.cwnd().min(self.peer_window);
+        let unsent = (self.send_buf.end() - self.snd_nxt) as usize;
+        wnd.saturating_sub(self.pipe() + unsent)
+    }
+
+    /// Absolute offset one past the last byte written by the application.
+    pub fn write_offset(&self) -> u64 {
+        self.send_buf.end()
+    }
+
+    /// Absolute receive offset delivered in order so far.
+    pub fn recv_offset(&self) -> u64 {
+        self.asm.next_expected()
+    }
+
+    // ------------------------------------------------------------------
+    // Application interface
+    // ------------------------------------------------------------------
+
+    /// Write application data; returns bytes accepted (bounded by buffer
+    /// space). Returns 0 once the application has closed.
+    pub fn send(&mut self, data: Bytes) -> usize {
+        if self.fin_queued || matches!(self.state, TcpState::Closed | TcpState::TimeWait) {
+            return 0;
+        }
+        let space = self.send_space();
+        let take = data.len().min(space);
+        if take > 0 {
+            self.send_buf.push(data.slice(..take));
+        }
+        take
+    }
+
+    /// Close the sending direction (queue a FIN after pending data). A
+    /// socket still mid-handshake simply deletes its state (RFC 793 CLOSE in
+    /// SYN-SENT), which is how never-established MPTCP join subflows die.
+    pub fn close(&mut self) {
+        if self.state == TcpState::SynSent {
+            self.enter_closed(self.stats.opened_at);
+            return;
+        }
+        self.fin_queued = true;
+    }
+
+    /// Highest cumulatively acknowledged stream offset.
+    pub fn acked_offset(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Whether the peer's advertised window, not our congestion window, is
+    /// the binding constraint right now.
+    pub fn rwnd_limited(&self) -> bool {
+        self.is_established() && self.peer_window < self.cc.cwnd()
+    }
+
+    /// Whether the path looks dead: two or more consecutive retransmission
+    /// timeouts without any forward progress (the MPTCP backup-mode
+    /// failover signal).
+    pub fn is_stalled(&self) -> bool {
+        self.consecutive_rtos >= 2
+    }
+
+    /// Abort: emit RST and drop to Closed.
+    pub fn abort(&mut self) {
+        self.pending_reset = true;
+    }
+
+    /// Pop in-order received payload, tagged with its absolute offset.
+    pub fn recv(&mut self) -> Option<(u64, Bytes)> {
+        self.asm.pop_ready()
+    }
+
+    /// Force a pure ACK out on the next poll (used by the MPTCP layer to
+    /// carry ADD_ADDR or DATA_FIN signaling when no data is pending).
+    pub fn push_ack(&mut self) {
+        if self.is_established() {
+            self.ack_urgency = AckUrgency::Immediate;
+        }
+    }
+
+    /// Whether the peer closed its sending direction and all data was read.
+    pub fn peer_closed(&self) -> bool {
+        self.fin_consumed
+    }
+
+    // ------------------------------------------------------------------
+    // Sequence-number mapping
+    // ------------------------------------------------------------------
+
+    fn tx_wire_seq(&self, offset: u64) -> SeqNum {
+        self.iss + 1 + (offset as u32)
+    }
+
+    fn rx_abs(&self, seq: SeqNum) -> i64 {
+        // Absolute receive offset of `seq`, relative to irs+1.
+        let nxt_abs = self.asm.next_expected();
+        let nxt_wire = self.irs + 1 + (nxt_abs as u32);
+        nxt_abs as i64 + seq.distance(nxt_wire) as i64
+    }
+
+    fn ack_abs(&self, ack: SeqNum) -> i64 {
+        let una_wire = self.tx_wire_seq(self.snd_una);
+        self.snd_una as i64 + ack.distance(una_wire) as i64
+    }
+
+    // ------------------------------------------------------------------
+    // Incoming segments
+    // ------------------------------------------------------------------
+
+    /// Process one incoming segment addressed to this socket.
+    pub fn on_segment(&mut self, seg: &TcpSegment, now: SimTime) {
+        if self.state == TcpState::Closed {
+            return;
+        }
+        self.stats.segs_received += 1;
+
+        if seg.has(tcp_flags::RST) {
+            self.enter_closed(now);
+            return;
+        }
+
+        match self.state {
+            TcpState::SynSent => {
+                if seg.has(tcp_flags::SYN) && seg.has(tcp_flags::ACK) {
+                    let acks_syn = seg.ack == self.iss + 1;
+                    if !acks_syn {
+                        return;
+                    }
+                    self.irs = seg.seq;
+                    self.asm = Assembler::new(0, false);
+                    self.process_handshake_options(&seg.options);
+                    self.peer_window = seg.window as usize; // unscaled on SYN
+                    self.need_syn = false;
+                    self.need_hs_ack = true;
+                    self.consecutive_rtos = 0;
+                    self.rto_deadline = None;
+                    self.state = TcpState::Established;
+                    self.stats.established_at = Some(now);
+                    // The SYN round trip is a valid RTT sample.
+                    self.rtt.on_sample(now, now.saturating_since(self.stats.opened_at));
+                    self.hooks.on_rx(seg, 0, now);
+                    self.hooks.on_established(now);
+                }
+                return;
+            }
+            TcpState::SynRcvd => {
+                if seg.has(tcp_flags::SYN) && !seg.has(tcp_flags::ACK) {
+                    // Duplicate SYN: re-send the SYN-ACK.
+                    self.need_synack = true;
+                    return;
+                }
+                if seg.has(tcp_flags::ACK) && seg.ack == self.iss + 1 {
+                    self.state = TcpState::Established;
+                    self.stats.established_at = Some(now);
+                    self.need_synack = false;
+                    self.consecutive_rtos = 0;
+                    self.rto_deadline = None;
+                    self.rtt.on_sample(now, now.saturating_since(self.stats.opened_at));
+                    self.hooks.on_established(now);
+                    self.update_peer_window(seg);
+                    // Fall through to normal processing for any payload.
+                } else {
+                    return;
+                }
+            }
+            _ => {}
+        }
+
+        // --- ACK processing ---
+        if seg.has(tcp_flags::ACK) {
+            self.process_ack(seg, now);
+        }
+
+        // --- payload ---
+        let payload_abs = self.rx_abs(seg.seq).max(0) as u64;
+        if !seg.payload.is_empty() {
+            self.process_payload(seg, now);
+        }
+
+        // --- FIN ---
+        if seg.has(tcp_flags::FIN) {
+            let abs = self.rx_abs(seg.seq);
+            if abs >= 0 {
+                let fin_at = abs as u64 + seg.payload.len() as u64;
+                self.fin_rcvd_at = Some(fin_at);
+            }
+            self.ack_urgency = AckUrgency::Immediate;
+        }
+        self.maybe_consume_fin(now);
+
+        self.hooks.on_rx(seg, payload_abs, now);
+    }
+
+    fn process_handshake_options(&mut self, opts: &[TcpOption]) {
+        self.hs_options_from_peer = opts.to_vec();
+        for opt in opts {
+            match opt {
+                TcpOption::Mss(m) => self.peer_mss = (*m as usize).min(self.cfg.mss),
+                TcpOption::WindowScale(s) => self.peer_wscale = (*s).min(14),
+                TcpOption::SackPermitted => self.sack_ok = true,
+                _ => {}
+            }
+        }
+    }
+
+    fn update_peer_window(&mut self, seg: &TcpSegment) {
+        self.peer_window = (seg.window as usize) << self.peer_wscale;
+        if self.peer_window > 0 {
+            self.persist_deadline = None;
+        }
+    }
+
+    fn process_ack(&mut self, seg: &TcpSegment, now: SimTime) {
+        let ack_abs = self.ack_abs(seg.ack);
+        if ack_abs < 0 || ack_abs as u64 > self.snd_nxt + 1 {
+            return; // Old or absurd ack — including its window field.
+        }
+        let old_window = self.peer_window;
+        self.update_peer_window(seg);
+        let ack_abs_u = ack_abs as u64;
+
+        // SACK bookkeeping first (affects dupack semantics).
+        let mut sack_advanced = false;
+        for opt in &seg.options {
+            if let TcpOption::Sack(blocks) = opt {
+                sack_advanced |= self.apply_sack(blocks);
+            }
+        }
+
+        let fin_ack_point = self.fin_point();
+        if ack_abs_u > self.snd_una {
+            // New cumulative ack.
+            let data_acked_to = ack_abs_u.min(self.send_buf.end());
+            let bytes_acked = data_acked_to.saturating_sub(self.snd_una) as usize;
+            self.remove_flight_below(data_acked_to, now);
+            self.snd_una = data_acked_to;
+            self.send_buf.advance(data_acked_to);
+            if let Some(fp) = fin_ack_point {
+                if ack_abs_u >= fp {
+                    self.fin_acked = true;
+                }
+            }
+            self.dupacks = 0;
+            self.consecutive_rtos = 0;
+            if bytes_acked > 0 {
+                self.cc.on_ack(bytes_acked, now);
+                if let Some(srtt) = self.rtt.srtt() {
+                    self.cc.on_rtt_update(srtt);
+                }
+            }
+            if self.in_recovery {
+                if ack_abs_u >= self.recover {
+                    self.in_recovery = false;
+                } else {
+                    // NewReno partial ack: the segment at the new ack point
+                    // is the next hole — retransmit it.
+                    self.queue_rexmit_at_una();
+                }
+            }
+            // Restart or clear the RTO timer.
+            if self.flight.is_empty() && !self.fin_outstanding() {
+                self.rto_deadline = None;
+            } else {
+                self.arm_rto(now);
+            }
+            self.on_fin_fully_acked(now);
+        } else if ack_abs_u == self.snd_una
+            && seg.payload.is_empty()
+            && !seg.has(tcp_flags::SYN)
+            && !seg.has(tcp_flags::FIN)
+            && !self.flight.is_empty()
+            // A duplicate for loss detection: either the window did not move
+            // (classic rule) or the segment carried new SACK information
+            // (RFC 6675 — window updates from receive-buffer occupancy must
+            // not mask dupacks).
+            && (old_window == self.peer_window || sack_advanced)
+        {
+            self.dupacks += 1;
+            self.stats.dupacks += 1;
+            // Early retransmit (RFC 5827): with fewer than 4 segments
+            // outstanding and no new data to send, the classic 3-dupack
+            // threshold can never be met — lower it to flight-1 so tail
+            // losses do not stall for a whole RTO (Linux 3.5 behaviour).
+            let flight_segs = self.flight.len() as u32;
+            let no_new_data = self.snd_nxt >= self.send_buf.end();
+            let dup_threshold = if flight_segs < 4 && no_new_data {
+                flight_segs.saturating_sub(1).max(1)
+            } else {
+                3
+            };
+            if (self.dupacks >= dup_threshold
+                || (sack_advanced && self.sack_loss_indicated()))
+                && !self.in_recovery
+            {
+                self.enter_recovery(now);
+            } else if self.in_recovery && sack_advanced {
+                // Keep the pipe full during recovery.
+                self.queue_first_unsacked();
+            }
+        }
+
+        // Zero-window probing.
+        if self.peer_window == 0 && !self.send_buf.is_empty() && self.flight.is_empty() {
+            if self.persist_deadline.is_none() {
+                self.persist_deadline = Some(now + self.rtt.rto());
+            }
+        } else {
+            self.persist_deadline = None;
+        }
+    }
+
+    fn fin_point(&self) -> Option<u64> {
+        if self.fin_sent {
+            Some(self.send_buf.end() + 1)
+        } else {
+            None
+        }
+    }
+
+    fn fin_outstanding(&self) -> bool {
+        self.fin_sent && !self.fin_acked
+    }
+
+    fn apply_sack(&mut self, blocks: &[(SeqNum, SeqNum)]) -> bool {
+        let mut advanced = false;
+        for &(lo, hi) in blocks {
+            let lo_abs = self.ack_abs(lo);
+            let hi_abs = self.ack_abs(hi);
+            if lo_abs < 0 || hi_abs <= lo_abs {
+                continue;
+            }
+            let (lo_abs, hi_abs) = (lo_abs as u64, hi_abs as u64);
+            let keys: Vec<u64> = self
+                .flight
+                .range(..hi_abs)
+                .filter(|(&s, info)| s >= lo_abs && s + info.len as u64 <= hi_abs)
+                .map(|(&s, _)| s)
+                .collect();
+            for k in keys {
+                let info = self.flight.get_mut(&k).expect("key from range");
+                if !info.sacked {
+                    info.sacked = true;
+                    self.sacked_bytes += info.len as usize;
+                    if info.queued {
+                        info.queued = false;
+                        self.queued_bytes -= info.len as usize;
+                    }
+                    advanced = true;
+                }
+            }
+            self.highest_sacked_end = self.highest_sacked_end.max(hi_abs);
+        }
+        advanced
+    }
+
+    fn sack_loss_indicated(&self) -> bool {
+        // SACKed bytes above snd_una exceeding 3 segments indicate loss
+        // (simplified RFC 6675 trigger).
+        self.sacked_bytes > 3 * self.cfg.mss
+    }
+
+    fn enter_recovery(&mut self, now: SimTime) {
+        self.in_recovery = true;
+        self.recover = self.snd_nxt;
+        self.recovery_cursor = self.snd_una;
+        self.cc.on_loss_event(self.flight_bytes, now);
+        self.stats.loss_events += 1;
+        self.queue_rexmit_at_una();
+    }
+
+    /// NewReno: (re)transmit the segment at the cumulative-ack point — used
+    /// on recovery entry and on each partial ACK, even if that segment was
+    /// already retransmitted once (its retransmission was evidently lost).
+    fn queue_rexmit_at_una(&mut self) {
+        let una = self.snd_una;
+        if let Some(info) = self.flight.get_mut(&una) {
+            if !info.sacked && !info.queued {
+                info.queued = true;
+                self.queued_bytes += info.len as usize;
+                self.rexmit_queue.push_back(una);
+                self.recovery_cursor = self.recovery_cursor.max(una + info.len as u64);
+            }
+        }
+    }
+
+    /// SACK-driven recovery: retransmit the next never-yet-queued hole above
+    /// the forward-only recovery cursor, but only if the SACK scoreboard
+    /// marks it *lost* under the FACK rule (≥ 3 MSS SACKed above it) — a
+    /// merely un-SACKed segment near `snd_nxt` is probably still in flight,
+    /// and retransmitting it would flood the path with spurious duplicates.
+    fn queue_first_unsacked(&mut self) {
+        let lost_below = self.highest_sacked_end.saturating_sub(3 * self.cfg.mss as u64);
+        let key = self
+            .flight
+            .range(self.recovery_cursor..)
+            .take_while(|(&k, _)| k < lost_below)
+            .find(|(_, info)| !info.sacked && !info.queued && info.rexmits == 0)
+            .map(|(&k, _)| k);
+        if let Some(k) = key {
+            let info = self.flight.get_mut(&k).expect("just found");
+            info.queued = true;
+            self.queued_bytes += info.len as usize;
+            self.rexmit_queue.push_back(k);
+            self.recovery_cursor = k + info.len as u64;
+        }
+    }
+
+    fn remove_flight_below(&mut self, upto: u64, now: SimTime) {
+        let mut sample: Option<(SimTime, SimTime)> = None; // (time_sent, now)
+        while let Some((&start, &info)) = self.flight.first_key_value() {
+            let end = start + info.len as u64;
+            if end <= upto {
+                self.flight.remove(&start);
+                self.flight_bytes -= info.len as usize;
+                if info.sacked {
+                    self.sacked_bytes -= info.len as usize;
+                }
+                if info.queued {
+                    self.queued_bytes -= info.len as usize;
+                }
+                if info.rexmits == 0 && end == upto {
+                    // tcptrace's rule (paper §3.3): sample the segment whose
+                    // last byte this ACK acknowledges, and only if it was
+                    // never retransmitted (Karn).
+                    sample = Some((info.time_sent, now));
+                }
+            } else if start < upto {
+                // Partial coverage: shrink the entry.
+                let cut = (upto - start) as usize;
+                self.flight.remove(&start);
+                self.flight_bytes -= cut;
+                let mut rest = info;
+                rest.len -= cut as u32;
+                if info.sacked {
+                    self.sacked_bytes -= cut;
+                }
+                if info.queued {
+                    self.queued_bytes -= cut;
+                }
+                self.flight.insert(upto, rest);
+                break;
+            } else {
+                break;
+            }
+        }
+        if let Some((sent, at)) = sample {
+            self.rtt.on_sample(at, at.saturating_since(sent));
+        }
+    }
+
+    fn process_payload(&mut self, seg: &TcpSegment, now: SimTime) {
+        let abs = self.rx_abs(seg.seq);
+        // Reject data entirely before our window or absurdly far ahead.
+        if abs + (seg.payload.len() as i64) <= 0 {
+            // Old duplicate: ack immediately so the peer advances.
+            self.stats.dup_bytes_received += seg.payload.len() as u64;
+            self.ack_urgency = AckUrgency::Immediate;
+            return;
+        }
+        let (off, data) = if abs < 0 {
+            let skip = (-abs) as usize;
+            (0u64, seg.payload.slice(skip..))
+        } else {
+            (abs as u64, seg.payload.clone())
+        };
+        let was_next = self.asm.next_expected();
+        let accepted = self.asm.insert(off, data.clone(), now);
+        self.stats.payload_bytes_received += accepted as u64;
+        self.stats.dup_bytes_received += (data.len() - accepted) as u64;
+
+        let in_order = off <= was_next && self.asm.next_expected() > was_next;
+        let filled_or_ooo = !in_order || self.asm.out_of_order_bytes() > 0;
+        self.segs_since_ack += 1;
+        if filled_or_ooo || accepted == 0 {
+            // Out-of-order, hole-filling, or duplicate: ack immediately
+            // (RFC 5681 §4.2).
+            self.ack_urgency = AckUrgency::Immediate;
+        } else if self.segs_since_ack >= 2 || self.cfg.delayed_ack.is_none() {
+            self.ack_urgency = AckUrgency::Immediate;
+        } else if self.ack_urgency < AckUrgency::Delayed {
+            self.ack_urgency = AckUrgency::Delayed;
+            self.delack_deadline =
+                Some(now + self.cfg.delayed_ack.unwrap_or(SimDuration::ZERO));
+        }
+    }
+
+    fn maybe_consume_fin(&mut self, now: SimTime) {
+        let Some(fin_at) = self.fin_rcvd_at else {
+            return;
+        };
+        if self.fin_consumed || self.asm.next_expected() != fin_at {
+            return;
+        }
+        self.fin_consumed = true;
+        self.ack_urgency = AckUrgency::Immediate;
+        match self.state {
+            TcpState::Established => self.state = TcpState::CloseWait,
+            TcpState::FinWait1 => {
+                // Our FIN not yet acked: simultaneous close.
+                self.state = if self.fin_acked {
+                    self.enter_time_wait(now);
+                    TcpState::TimeWait
+                } else {
+                    TcpState::Closing
+                };
+            }
+            TcpState::FinWait2 => {
+                self.enter_time_wait(now);
+                self.state = TcpState::TimeWait;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_fin_fully_acked(&mut self, now: SimTime) {
+        if !self.fin_acked {
+            return;
+        }
+        match self.state {
+            TcpState::FinWait1 => self.state = TcpState::FinWait2,
+            TcpState::Closing => {
+                self.enter_time_wait(now);
+                self.state = TcpState::TimeWait;
+            }
+            TcpState::LastAck => self.enter_closed(now),
+            _ => {}
+        }
+    }
+
+    fn enter_time_wait(&mut self, now: SimTime) {
+        self.time_wait_deadline = Some(now + self.cfg.time_wait);
+        self.rto_deadline = None;
+    }
+
+    fn enter_closed(&mut self, now: SimTime) {
+        self.state = TcpState::Closed;
+        self.rto_deadline = None;
+        self.persist_deadline = None;
+        self.delack_deadline = None;
+        self.time_wait_deadline = None;
+        self.hooks.on_closed(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    fn arm_rto(&mut self, now: SimTime) {
+        self.rto_deadline = Some(now + self.rtt.rto());
+    }
+
+    /// Earliest instant at which [`TcpSocket::on_timer`] needs to run.
+    pub fn next_timeout(&self) -> Option<SimTime> {
+        let mut t: Option<SimTime> = None;
+        let mut fold = |d: Option<SimTime>| {
+            if let Some(d) = d {
+                t = Some(t.map_or(d, |cur: SimTime| cur.min(d)));
+            }
+        };
+        fold(self.rto_deadline);
+        fold(self.persist_deadline);
+        fold(self.time_wait_deadline);
+        if self.ack_urgency == AckUrgency::Delayed {
+            fold(self.delack_deadline);
+        }
+        t
+    }
+
+    /// Handle timer expirations up to `now`.
+    pub fn on_timer(&mut self, now: SimTime) {
+        if self.state == TcpState::Closed {
+            return;
+        }
+        if let Some(d) = self.time_wait_deadline {
+            if now >= d {
+                self.enter_closed(now);
+                return;
+            }
+        }
+        if self.ack_urgency == AckUrgency::Delayed {
+            if let Some(d) = self.delack_deadline {
+                if now >= d {
+                    self.ack_urgency = AckUrgency::Immediate;
+                    self.delack_deadline = None;
+                }
+            }
+        }
+        if let Some(d) = self.persist_deadline {
+            if now >= d && self.peer_window == 0 && !self.send_buf.is_empty() {
+                // Window probe: send one byte beyond snd_nxt if available.
+                self.persist_deadline = Some(now + self.rtt.rto());
+                self.peer_window = 1; // allow one probe byte out
+            }
+        }
+        if let Some(d) = self.rto_deadline {
+            if now >= d {
+                self.handle_rto(now);
+            }
+        }
+    }
+
+    fn handle_rto(&mut self, now: SimTime) {
+        self.stats.rtos += 1;
+        self.consecutive_rtos += 1;
+        if self.consecutive_rtos > self.cfg.max_consecutive_rtos {
+            self.pending_reset = true;
+            self.enter_closed(now);
+            return;
+        }
+        self.rtt.backoff();
+        match self.state {
+            TcpState::SynSent => {
+                self.need_syn = true;
+                self.arm_rto(now);
+            }
+            TcpState::SynRcvd => {
+                self.need_synack = true;
+                self.arm_rto(now);
+            }
+            _ => {
+                self.cc.on_rto(self.flight_bytes, now);
+                self.in_recovery = false;
+                self.dupacks = 0;
+                // All unsacked in-flight data is presumed lost; retransmit
+                // from the front as the (collapsed) window allows.
+                self.rexmit_queue.clear();
+                self.queued_bytes = 0;
+                for info in self.flight.values_mut() {
+                    info.queued = false;
+                }
+                let keys: Vec<u64> = self
+                    .flight
+                    .iter()
+                    .filter(|(_, i)| !i.sacked)
+                    .map(|(&k, _)| k)
+                    .collect();
+                for k in keys {
+                    let info = self.flight.get_mut(&k).expect("key exists");
+                    info.queued = true;
+                    self.queued_bytes += info.len as usize;
+                    self.rexmit_queue.push_back(k);
+                }
+                if self.fin_outstanding() && self.flight.is_empty() {
+                    self.fin_sent = false; // re-emit the FIN
+                }
+                self.arm_rto(now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Outgoing segments
+    // ------------------------------------------------------------------
+
+    fn pipe(&self) -> usize {
+        self.flight_bytes - self.sacked_bytes - self.queued_bytes
+    }
+
+    fn rcv_window_bytes(&self) -> usize {
+        self.hooks
+            .rcv_window()
+            .unwrap_or_else(|| self.cfg.recv_buffer.saturating_sub(self.asm.buffered_bytes()))
+    }
+
+    fn window_field(&self, on_syn: bool) -> u16 {
+        let w = self.rcv_window_bytes();
+        if on_syn {
+            w.min(65_535) as u16
+        } else {
+            (w >> self.cfg.window_scale).min(65_535) as u16
+        }
+    }
+
+    fn base_options(&self, on_syn: bool) -> Vec<TcpOption> {
+        if on_syn {
+            vec![
+                TcpOption::Mss(self.cfg.mss as u16),
+                TcpOption::WindowScale(self.cfg.window_scale),
+                TcpOption::SackPermitted,
+            ]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn sack_option(&self, budget: usize) -> Option<TcpOption> {
+        if !self.sack_ok {
+            return None;
+        }
+        let max_blocks = budget.saturating_sub(2) / 8;
+        if max_blocks == 0 {
+            return None;
+        }
+        let ranges = self.asm.sack_ranges(max_blocks.min(3));
+        if ranges.is_empty() {
+            return None;
+        }
+        let base = self.irs + 1;
+        Some(TcpOption::Sack(
+            ranges
+                .into_iter()
+                .map(|(lo, hi)| (base + lo as u32, base + hi as u32))
+                .collect(),
+        ))
+    }
+
+    fn opts_len(opts: &[TcpOption]) -> usize {
+        opts.iter()
+            .map(|o| match o {
+                TcpOption::Mss(_) => 4,
+                TcpOption::WindowScale(_) => 3,
+                TcpOption::SackPermitted => 2,
+                TcpOption::Sack(b) => 2 + 8 * b.len(),
+                TcpOption::Mptcp(m) => match m {
+                    MptcpOption::Capable { key_remote, .. } => {
+                        if key_remote.is_some() {
+                            20
+                        } else {
+                            12
+                        }
+                    }
+                    MptcpOption::Join { .. } => 12,
+                    MptcpOption::AddAddr { .. } => 10,
+                    MptcpOption::Prio { .. } => 4,
+                    MptcpOption::Dss {
+                        data_ack, mapping, ..
+                    } => 4 + if data_ack.is_some() { 8 } else { 0 }
+                        + if mapping.is_some() { 14 } else { 0 },
+                },
+            })
+            .sum()
+    }
+
+    fn finish_segment(&mut self, mut seg: TcpSegment, kind: TxKind, now: SimTime) -> TcpSegment {
+        let mut opts = self.hooks.tx_options(kind, now);
+        let on_syn = seg.has(tcp_flags::SYN);
+        let mut base = self.base_options(on_syn);
+        base.append(&mut opts);
+        // Fill remaining option space with SACK blocks on non-SYN ACKs.
+        if !on_syn {
+            let used = Self::opts_len(&base);
+            if let Some(sack) = self.sack_option(40 - used.min(40)) {
+                base.push(sack);
+            }
+        }
+        seg.options = base;
+        seg.window = self.window_field(on_syn);
+        self.stats.segs_sent += 1;
+        if !seg.payload.is_empty() {
+            self.stats.data_segs_sent += 1;
+            self.stats.payload_bytes_sent += seg.payload.len() as u64;
+            if matches!(kind, TxKind::Data { rexmit: true, .. }) {
+                self.stats.rexmit_segs += 1;
+                self.stats.rexmit_bytes += seg.payload.len() as u64;
+            }
+        }
+        self.ack_urgency = AckUrgency::None;
+        self.segs_since_ack = 0;
+        self.delack_deadline = None;
+        seg
+    }
+
+    fn rcv_nxt_wire(&self) -> SeqNum {
+        let mut n = self.irs + 1 + (self.asm.next_expected() as u32);
+        if self.fin_consumed {
+            n += 1;
+        }
+        n
+    }
+
+    fn ack_flag(&self) -> u8 {
+        // Every segment after SYN carries an ACK.
+        tcp_flags::ACK
+    }
+
+    /// Emit the next owed segment, if any. Call repeatedly until `None`.
+    pub fn poll_transmit(&mut self, now: SimTime) -> Option<TcpSegment> {
+        if self.pending_reset {
+            self.pending_reset = false;
+            let seg = TcpSegment::bare(
+                self.local.port,
+                self.remote.port,
+                self.tx_wire_seq(self.snd_nxt),
+                self.rcv_nxt_wire(),
+                tcp_flags::RST | tcp_flags::ACK,
+            );
+            if self.state != TcpState::Closed {
+                self.enter_closed(now);
+            }
+            self.stats.segs_sent += 1;
+            return Some(seg);
+        }
+        if self.state == TcpState::Closed {
+            return None;
+        }
+
+        if self.need_syn {
+            self.need_syn = false;
+            let seg = TcpSegment::bare(
+                self.local.port,
+                self.remote.port,
+                self.iss,
+                SeqNum(0),
+                tcp_flags::SYN,
+            );
+            return Some(self.finish_segment(seg, TxKind::Syn, now));
+        }
+        if self.need_synack {
+            self.need_synack = false;
+            let seg = TcpSegment::bare(
+                self.local.port,
+                self.remote.port,
+                self.iss,
+                self.rcv_nxt_wire(),
+                tcp_flags::SYN | tcp_flags::ACK,
+            );
+            return Some(self.finish_segment(seg, TxKind::SynAck, now));
+        }
+        if self.need_hs_ack {
+            self.need_hs_ack = false;
+            let seg = TcpSegment::bare(
+                self.local.port,
+                self.remote.port,
+                self.tx_wire_seq(self.snd_nxt),
+                self.rcv_nxt_wire(),
+                self.ack_flag(),
+            );
+            return Some(self.finish_segment(seg, TxKind::HandshakeAck, now));
+        }
+        if !self.is_established() && self.state != TcpState::TimeWait {
+            return None;
+        }
+
+        // Retransmissions first.
+        while let Some(&off) = self.rexmit_queue.front() {
+            let Some(info) = self.flight.get(&off).copied() else {
+                self.rexmit_queue.pop_front();
+                continue;
+            };
+            if !info.queued {
+                self.rexmit_queue.pop_front();
+                continue;
+            }
+            // The first retransmission of a recovery goes out regardless;
+            // later ones respect the (halved) window.
+            if self.pipe() + info.len as usize > self.cc.cwnd() && self.pipe() > 0 {
+                break;
+            }
+            self.rexmit_queue.pop_front();
+            let entry = self.flight.get_mut(&off).expect("checked above");
+            entry.queued = false;
+            entry.rexmits += 1;
+            entry.time_sent = now;
+            self.queued_bytes -= info.len as usize;
+            let payload = self.send_buf.read(off, info.len as usize);
+            debug_assert_eq!(payload.len(), info.len as usize);
+            let mut seg = TcpSegment::bare(
+                self.local.port,
+                self.remote.port,
+                self.tx_wire_seq(off),
+                self.rcv_nxt_wire(),
+                self.ack_flag() | tcp_flags::PSH,
+            );
+            seg.payload = payload;
+            self.arm_rto(now);
+            return Some(self.finish_segment(
+                seg,
+                TxKind::Data {
+                    abs_start: off,
+                    len: info.len as usize,
+                    rexmit: true,
+                },
+                now,
+            ));
+        }
+
+        // New data.
+        if self.can_send_data() {
+            let wnd = self.cc.cwnd().min(self.peer_window);
+            let pipe = self.pipe();
+            if pipe < wnd {
+                let avail = (self.send_buf.end() - self.snd_nxt) as usize;
+                let mut len = avail.min(self.peer_mss).min(wnd - pipe);
+                if let Some(limit) = self.hooks.tx_segment_limit(self.snd_nxt) {
+                    len = len.min(limit);
+                }
+                if len > 0 {
+                    let off = self.snd_nxt;
+                    let payload = self.send_buf.read(off, len);
+                    self.snd_nxt += len as u64;
+                    self.flight.insert(
+                        off,
+                        TxInfo {
+                            len: len as u32,
+                            time_sent: now,
+                            rexmits: 0,
+                            sacked: false,
+                            queued: false,
+                        },
+                    );
+                    self.flight_bytes += len;
+                    let mut seg = TcpSegment::bare(
+                        self.local.port,
+                        self.remote.port,
+                        self.tx_wire_seq(off),
+                        self.rcv_nxt_wire(),
+                        self.ack_flag() | tcp_flags::PSH,
+                    );
+                    seg.payload = payload;
+                    if self.rto_deadline.is_none() {
+                        self.arm_rto(now);
+                    }
+                    return Some(self.finish_segment(
+                        seg,
+                        TxKind::Data {
+                            abs_start: off,
+                            len,
+                            rexmit: false,
+                        },
+                        now,
+                    ));
+                }
+            }
+        }
+
+        // FIN.
+        if self.fin_queued
+            && !self.fin_sent
+            && self.snd_nxt == self.send_buf.end()
+            && matches!(
+                self.state,
+                TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::LastAck | TcpState::Closing
+            )
+        {
+            self.fin_sent = true;
+            match self.state {
+                TcpState::Established => self.state = TcpState::FinWait1,
+                TcpState::CloseWait => self.state = TcpState::LastAck,
+                _ => {}
+            }
+            let seg = TcpSegment::bare(
+                self.local.port,
+                self.remote.port,
+                self.tx_wire_seq(self.snd_nxt),
+                self.rcv_nxt_wire(),
+                self.ack_flag() | tcp_flags::FIN,
+            );
+            self.arm_rto(now);
+            return Some(self.finish_segment(seg, TxKind::Fin, now));
+        }
+
+        // Pure ACK.
+        if self.ack_urgency == AckUrgency::Immediate {
+            let seg = TcpSegment::bare(
+                self.local.port,
+                self.remote.port,
+                self.tx_wire_seq(self.snd_nxt),
+                self.rcv_nxt_wire(),
+                self.ack_flag(),
+            );
+            return Some(self.finish_segment(seg, TxKind::Ack, now));
+        }
+
+        None
+    }
+
+    fn can_send_data(&self) -> bool {
+        self.snd_nxt < self.send_buf.end()
+            && matches!(
+                self.state,
+                TcpState::Established | TcpState::CloseWait
+            )
+    }
+}

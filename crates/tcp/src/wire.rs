@@ -1,0 +1,963 @@
+//! Wire format: an IPv4-like network header and a faithful TCP header with
+//! options, including the MPTCP option set from RFC 6824 (MP_CAPABLE,
+//! MP_JOIN, DSS, ADD_ADDR).
+//!
+//! Packets really are serialized to bytes and parsed back at the receiving
+//! host. This is what lets the simulation include option-stripping
+//! middleboxes — the paper found AT&T's port-80 proxy removed MPTCP options,
+//! forcing the connection to fall back to plain TCP (§3.1).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+use crate::seq::SeqNum;
+
+/// Network-layer address (IPv4-like, 32 bits).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// Dotted-quad constructor.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Addr {
+        Addr(u32::from_be_bytes([a, b, c, d]))
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A transport endpoint (address, port).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize, PartialOrd, Ord)]
+pub struct Endpoint {
+    /// Network address.
+    pub addr: Addr,
+    /// TCP port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Construct an endpoint.
+    pub const fn new(addr: Addr, port: u16) -> Endpoint {
+        Endpoint { addr, port }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.addr, self.port)
+    }
+}
+
+/// TCP flag bits (RFC 793 layout).
+pub mod tcp_flags {
+    /// No more data from sender.
+    pub const FIN: u8 = 0x01;
+    /// Synchronize sequence numbers.
+    pub const SYN: u8 = 0x02;
+    /// Reset the connection.
+    pub const RST: u8 = 0x04;
+    /// Push function.
+    pub const PSH: u8 = 0x08;
+    /// Acknowledgment field significant.
+    pub const ACK: u8 = 0x10;
+}
+
+/// Length of our network header.
+pub const IP_HEADER_LEN: usize = 16;
+/// Length of the fixed TCP header.
+pub const TCP_HEADER_LEN: usize = 20;
+/// Protocol number for TCP in the network header.
+pub const PROTO_TCP: u8 = 6;
+/// Protocol number for ICMP-like ping probes (antenna warm-up, §3.2).
+pub const PROTO_PING: u8 = 1;
+
+/// Network-layer header fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IpHeader {
+    /// Source address.
+    pub src: Addr,
+    /// Destination address.
+    pub dst: Addr,
+    /// Payload protocol.
+    pub protocol: u8,
+    /// Time to live.
+    pub ttl: u8,
+}
+
+/// A DSS data-sequence mapping: connection-level sequence `dseq` maps to
+/// subflow sequence `subflow_seq` for `len` bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DssMapping {
+    /// Connection-level (data) sequence number of the first byte.
+    pub dseq: u64,
+    /// Subflow-level sequence number of the first byte.
+    pub subflow_seq: SeqNum,
+    /// Mapped length in bytes.
+    pub len: u16,
+}
+
+/// MPTCP options (TCP option kind 30), RFC 6824 subtypes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MptcpOption {
+    /// MP_CAPABLE (subtype 0): exchanged on the first subflow's handshake.
+    Capable {
+        /// Sender's key.
+        key_local: u64,
+        /// Receiver's key (echoed on the final handshake ACK).
+        key_remote: Option<u64>,
+    },
+    /// MP_JOIN (subtype 1): attach a new subflow to an existing connection.
+    Join {
+        /// Token identifying the connection (derived from the peer's key).
+        token: u32,
+        /// Random nonce.
+        nonce: u32,
+        /// The RFC 6824 'B' bit: this subflow is a backup path, to be used
+        /// only when no regular subflow is available.
+        backup: bool,
+    },
+    /// DSS (subtype 2): data sequence signal.
+    Dss {
+        /// Connection-level cumulative acknowledgment.
+        data_ack: Option<u64>,
+        /// Mapping for the payload carried in this segment.
+        mapping: Option<DssMapping>,
+        /// Connection-level FIN.
+        data_fin: bool,
+    },
+    /// ADD_ADDR (subtype 3): advertise an additional address.
+    AddAddr {
+        /// Address identifier.
+        addr_id: u8,
+        /// The advertised address.
+        addr: Addr,
+        /// The advertised port.
+        port: u16,
+    },
+    /// MP_PRIO (subtype 5): change the priority of the subflow this option
+    /// travels on — the sender asks the peer to treat it as backup (or
+    /// regular again), enabling mid-connection handover policies.
+    Prio {
+        /// New backup state requested for this subflow.
+        backup: bool,
+    },
+}
+
+/// TCP options we implement.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TcpOption {
+    /// Maximum segment size (kind 2, SYN only).
+    Mss(u16),
+    /// Window scale shift (kind 3, SYN only).
+    WindowScale(u8),
+    /// SACK permitted (kind 4, SYN only).
+    SackPermitted,
+    /// SACK blocks (kind 5).
+    Sack(Vec<(SeqNum, SeqNum)>),
+    /// Any MPTCP option (kind 30).
+    Mptcp(MptcpOption),
+}
+
+/// A parsed TCP segment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: SeqNum,
+    /// Acknowledgment number (meaningful if ACK flag set).
+    pub ack: SeqNum,
+    /// Flag bits (see [`tcp_flags`]).
+    pub flags: u8,
+    /// Advertised receive window (unscaled wire value).
+    pub window: u16,
+    /// Options.
+    pub options: Vec<TcpOption>,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl TcpSegment {
+    /// Segment with no options/payload and the given flags.
+    pub fn bare(src_port: u16, dst_port: u16, seq: SeqNum, ack: SeqNum, flags: u8) -> Self {
+        TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window: 0,
+            options: Vec::new(),
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Sequence space consumed by this segment (payload + SYN/FIN).
+    pub fn seq_len(&self) -> u32 {
+        let mut n = self.payload.len() as u32;
+        if self.flags & tcp_flags::SYN != 0 {
+            n += 1;
+        }
+        if self.flags & tcp_flags::FIN != 0 {
+            n += 1;
+        }
+        n
+    }
+
+    /// First MPTCP option, if any.
+    pub fn mptcp(&self) -> Option<&MptcpOption> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::Mptcp(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// The DSS option, if present.
+    pub fn dss(&self) -> Option<(&Option<u64>, &Option<DssMapping>, bool)> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::Mptcp(MptcpOption::Dss {
+                data_ack,
+                mapping,
+                data_fin,
+            }) => Some((data_ack, mapping, *data_fin)),
+            _ => None,
+        })
+    }
+
+    /// Test a flag bit.
+    pub fn has(&self, flag: u8) -> bool {
+        self.flags & flag != 0
+    }
+}
+
+/// Wire decode errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer shorter than a header or declared length.
+    Truncated,
+    /// Version nibble was not 4.
+    BadVersion,
+    /// Header or segment checksum mismatch.
+    BadChecksum,
+    /// Malformed option encoding.
+    BadOption,
+    /// Unknown network protocol number.
+    UnknownProtocol(u8),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated packet"),
+            WireError::BadVersion => write!(f, "bad IP version"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::BadOption => write!(f, "malformed TCP option"),
+            WireError::UnknownProtocol(p) => write!(f, "unknown protocol {p}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// 16-bit ones'-complement checksum (RFC 1071).
+fn checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+const MPTCP_KIND: u8 = 30;
+
+fn encode_options(opts: &[TcpOption], out: &mut BytesMut) -> usize {
+    let start = out.len();
+    for opt in opts {
+        match opt {
+            TcpOption::Mss(mss) => {
+                out.put_u8(2);
+                out.put_u8(4);
+                out.put_u16(*mss);
+            }
+            TcpOption::WindowScale(s) => {
+                out.put_u8(3);
+                out.put_u8(3);
+                out.put_u8(*s);
+            }
+            TcpOption::SackPermitted => {
+                out.put_u8(4);
+                out.put_u8(2);
+            }
+            TcpOption::Sack(blocks) => {
+                out.put_u8(5);
+                out.put_u8(2 + 8 * blocks.len() as u8);
+                for (lo, hi) in blocks {
+                    out.put_u32(lo.0);
+                    out.put_u32(hi.0);
+                }
+            }
+            TcpOption::Mptcp(m) => match m {
+                MptcpOption::Capable {
+                    key_local,
+                    key_remote,
+                } => {
+                    let len = if key_remote.is_some() { 20 } else { 12 };
+                    out.put_u8(MPTCP_KIND);
+                    out.put_u8(len);
+                    out.put_u8(0 << 4); // subtype 0, version 0
+                    out.put_u8(0x81); // checksum-off | HMAC-SHA1 flags, fixed
+                    out.put_u64(*key_local);
+                    if let Some(k) = key_remote {
+                        out.put_u64(*k);
+                    }
+                }
+                MptcpOption::Join { token, nonce, backup } => {
+                    out.put_u8(MPTCP_KIND);
+                    out.put_u8(12);
+                    out.put_u8(1 << 4 | *backup as u8); // subtype | B bit
+                    out.put_u8(0); // addr id (implicit)
+                    out.put_u32(*token);
+                    out.put_u32(*nonce);
+                }
+                MptcpOption::Dss {
+                    data_ack,
+                    mapping,
+                    data_fin,
+                } => {
+                    let mut flags = 0u8;
+                    let mut len = 4u8;
+                    if data_ack.is_some() {
+                        flags |= 0x01;
+                        len += 8;
+                    }
+                    if mapping.is_some() {
+                        flags |= 0x02;
+                        len += 14;
+                    }
+                    if *data_fin {
+                        flags |= 0x04;
+                    }
+                    out.put_u8(MPTCP_KIND);
+                    out.put_u8(len);
+                    out.put_u8(2 << 4);
+                    out.put_u8(flags);
+                    if let Some(ack) = data_ack {
+                        out.put_u64(*ack);
+                    }
+                    if let Some(m) = mapping {
+                        out.put_u64(m.dseq);
+                        out.put_u32(m.subflow_seq.0);
+                        out.put_u16(m.len);
+                    }
+                }
+                MptcpOption::AddAddr { addr_id, addr, port } => {
+                    out.put_u8(MPTCP_KIND);
+                    out.put_u8(10);
+                    out.put_u8(3 << 4 | 4); // subtype 3, ipver 4
+                    out.put_u8(*addr_id);
+                    out.put_u32(addr.0);
+                    out.put_u16(*port);
+                }
+                MptcpOption::Prio { backup } => {
+                    out.put_u8(MPTCP_KIND);
+                    out.put_u8(4);
+                    out.put_u8(5 << 4 | *backup as u8);
+                    out.put_u8(0); // addr id (implicit: this subflow)
+                }
+            },
+        }
+    }
+    // Pad with NOPs to a 4-byte boundary.
+    while !(out.len() - start).is_multiple_of(4) {
+        out.put_u8(1);
+    }
+    out.len() - start
+}
+
+fn parse_options(mut buf: &[u8]) -> Result<Vec<TcpOption>, WireError> {
+    let mut opts = Vec::new();
+    while !buf.is_empty() {
+        let kind = buf[0];
+        match kind {
+            0 => break,    // EOL
+            1 => {
+                buf = &buf[1..]; // NOP
+                continue;
+            }
+            _ => {}
+        }
+        if buf.len() < 2 {
+            return Err(WireError::BadOption);
+        }
+        let len = buf[1] as usize;
+        if len < 2 || len > buf.len() {
+            return Err(WireError::BadOption);
+        }
+        let body = &buf[2..len];
+        match kind {
+            2 => {
+                if body.len() != 2 {
+                    return Err(WireError::BadOption);
+                }
+                opts.push(TcpOption::Mss(u16::from_be_bytes([body[0], body[1]])));
+            }
+            3 => {
+                if body.len() != 1 {
+                    return Err(WireError::BadOption);
+                }
+                opts.push(TcpOption::WindowScale(body[0]));
+            }
+            4 => {
+                if !body.is_empty() {
+                    return Err(WireError::BadOption);
+                }
+                opts.push(TcpOption::SackPermitted);
+            }
+            5 => {
+                if !body.len().is_multiple_of(8) {
+                    return Err(WireError::BadOption);
+                }
+                let blocks = body
+                    .chunks_exact(8)
+                    .map(|c| {
+                        (
+                            SeqNum(u32::from_be_bytes([c[0], c[1], c[2], c[3]])),
+                            SeqNum(u32::from_be_bytes([c[4], c[5], c[6], c[7]])),
+                        )
+                    })
+                    .collect();
+                opts.push(TcpOption::Sack(blocks));
+            }
+            MPTCP_KIND => {
+                if body.is_empty() {
+                    return Err(WireError::BadOption);
+                }
+                let subtype = body[0] >> 4;
+                match subtype {
+                    0 => {
+                        if body.len() == 10 {
+                            opts.push(TcpOption::Mptcp(MptcpOption::Capable {
+                                key_local: u64::from_be_bytes(
+                                    body[2..10].try_into().unwrap(),
+                                ),
+                                key_remote: None,
+                            }));
+                        } else if body.len() == 18 {
+                            opts.push(TcpOption::Mptcp(MptcpOption::Capable {
+                                key_local: u64::from_be_bytes(
+                                    body[2..10].try_into().unwrap(),
+                                ),
+                                key_remote: Some(u64::from_be_bytes(
+                                    body[10..18].try_into().unwrap(),
+                                )),
+                            }));
+                        } else {
+                            return Err(WireError::BadOption);
+                        }
+                    }
+                    1 => {
+                        if body.len() != 10 {
+                            return Err(WireError::BadOption);
+                        }
+                        opts.push(TcpOption::Mptcp(MptcpOption::Join {
+                            token: u32::from_be_bytes(body[2..6].try_into().unwrap()),
+                            nonce: u32::from_be_bytes(body[6..10].try_into().unwrap()),
+                            backup: body[0] & 0x01 != 0,
+                        }));
+                    }
+                    2 => {
+                        if body.len() < 2 {
+                            return Err(WireError::BadOption);
+                        }
+                        let flags = body[1];
+                        let mut at = 2usize;
+                        let data_ack = if flags & 0x01 != 0 {
+                            if body.len() < at + 8 {
+                                return Err(WireError::BadOption);
+                            }
+                            let v =
+                                u64::from_be_bytes(body[at..at + 8].try_into().unwrap());
+                            at += 8;
+                            Some(v)
+                        } else {
+                            None
+                        };
+                        let mapping = if flags & 0x02 != 0 {
+                            if body.len() < at + 14 {
+                                return Err(WireError::BadOption);
+                            }
+                            let dseq =
+                                u64::from_be_bytes(body[at..at + 8].try_into().unwrap());
+                            let ssn = u32::from_be_bytes(
+                                body[at + 8..at + 12].try_into().unwrap(),
+                            );
+                            let len = u16::from_be_bytes(
+                                body[at + 12..at + 14].try_into().unwrap(),
+                            );
+                            Some(DssMapping {
+                                dseq,
+                                subflow_seq: SeqNum(ssn),
+                                len,
+                            })
+                        } else {
+                            None
+                        };
+                        opts.push(TcpOption::Mptcp(MptcpOption::Dss {
+                            data_ack,
+                            mapping,
+                            data_fin: flags & 0x04 != 0,
+                        }));
+                    }
+                    3 => {
+                        if body.len() != 8 {
+                            return Err(WireError::BadOption);
+                        }
+                        opts.push(TcpOption::Mptcp(MptcpOption::AddAddr {
+                            addr_id: body[1],
+                            addr: Addr(u32::from_be_bytes(body[2..6].try_into().unwrap())),
+                            port: u16::from_be_bytes(body[6..8].try_into().unwrap()),
+                        }));
+                    }
+                    5 => {
+                        if body.len() != 2 {
+                            return Err(WireError::BadOption);
+                        }
+                        opts.push(TcpOption::Mptcp(MptcpOption::Prio {
+                            backup: body[0] & 0x01 != 0,
+                        }));
+                    }
+                    _ => return Err(WireError::BadOption),
+                }
+            }
+            _ => return Err(WireError::BadOption),
+        }
+        buf = &buf[len..];
+    }
+    Ok(opts)
+}
+
+/// Serialize a packet (network header + TCP segment) to wire bytes.
+pub fn encode_packet(ip: &IpHeader, seg: &TcpSegment) -> Bytes {
+    let mut opt_buf = BytesMut::with_capacity(60);
+    let opt_len = encode_options(&seg.options, &mut opt_buf);
+    assert!(opt_len <= 40, "TCP options exceed 40 bytes ({opt_len})");
+    let tcp_len = TCP_HEADER_LEN + opt_len + seg.payload.len();
+    let total = IP_HEADER_LEN + tcp_len;
+    let mut out = BytesMut::with_capacity(total);
+
+    // Network header.
+    out.put_u8(4 << 4 | (ip.protocol & 0x0f));
+    out.put_u8(ip.ttl);
+    out.put_u16(total as u16);
+    out.put_u32(ip.src.0);
+    out.put_u32(ip.dst.0);
+    out.put_u16(0); // header checksum placeholder
+    out.put_u16(0); // ident
+    let ip_sum = checksum(&out[..IP_HEADER_LEN]);
+    out[12..14].copy_from_slice(&ip_sum.to_be_bytes());
+
+    // TCP header.
+    let tcp_start = out.len();
+    out.put_u16(seg.src_port);
+    out.put_u16(seg.dst_port);
+    out.put_u32(seg.seq.0);
+    out.put_u32(seg.ack.0);
+    let data_off_words = ((TCP_HEADER_LEN + opt_len) / 4) as u8;
+    out.put_u8(data_off_words << 4);
+    out.put_u8(seg.flags);
+    out.put_u16(seg.window);
+    out.put_u16(0); // checksum placeholder
+    out.put_u16(0); // urgent
+    out.extend_from_slice(&opt_buf);
+    out.extend_from_slice(&seg.payload);
+    let tcp_sum = checksum(&out[tcp_start..]);
+    out[tcp_start + 16..tcp_start + 18].copy_from_slice(&tcp_sum.to_be_bytes());
+
+    out.freeze()
+}
+
+/// Parse wire bytes into (network header, TCP segment), verifying checksums.
+pub fn parse_packet(data: &[u8]) -> Result<(IpHeader, TcpSegment), WireError> {
+    if data.len() < IP_HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if data[0] >> 4 != 4 {
+        return Err(WireError::BadVersion);
+    }
+    let protocol = data[0] & 0x0f;
+    let ttl = data[1];
+    let total = u16::from_be_bytes([data[2], data[3]]) as usize;
+    if total > data.len() || total < IP_HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if checksum(&data[..IP_HEADER_LEN]) != 0 {
+        return Err(WireError::BadChecksum);
+    }
+    let ip = IpHeader {
+        src: Addr(u32::from_be_bytes(data[4..8].try_into().unwrap())),
+        dst: Addr(u32::from_be_bytes(data[8..12].try_into().unwrap())),
+        protocol,
+        ttl,
+    };
+    if protocol != PROTO_TCP {
+        return Err(WireError::UnknownProtocol(protocol));
+    }
+    let tcp = &data[IP_HEADER_LEN..total];
+    if tcp.len() < TCP_HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if checksum(tcp) != 0 {
+        return Err(WireError::BadChecksum);
+    }
+    let data_off = ((tcp[12] >> 4) as usize) * 4;
+    if data_off < TCP_HEADER_LEN || data_off > tcp.len() {
+        return Err(WireError::Truncated);
+    }
+    let seg = TcpSegment {
+        src_port: u16::from_be_bytes([tcp[0], tcp[1]]),
+        dst_port: u16::from_be_bytes([tcp[2], tcp[3]]),
+        seq: SeqNum(u32::from_be_bytes(tcp[4..8].try_into().unwrap())),
+        ack: SeqNum(u32::from_be_bytes(tcp[8..12].try_into().unwrap())),
+        flags: tcp[13],
+        window: u16::from_be_bytes([tcp[14], tcp[15]]),
+        options: parse_options(&tcp[TCP_HEADER_LEN..data_off])?,
+        payload: Bytes::copy_from_slice(&tcp[data_off..]),
+    };
+    Ok((ip, seg))
+}
+
+/// An ICMP-echo-like probe, used by the harness to warm cellular antennas
+/// out of RRC idle before each measurement, exactly as the paper pinged the
+/// server twice before starting (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PingPacket {
+    /// Correlation token chosen by the sender.
+    pub token: u64,
+    /// Whether this is the echo reply.
+    pub reply: bool,
+}
+
+/// Serialize a ping probe.
+pub fn encode_ping(ip: &IpHeader, ping: &PingPacket) -> Bytes {
+    let total = IP_HEADER_LEN + 9;
+    let mut out = BytesMut::with_capacity(total);
+    out.put_u8(4 << 4 | (PROTO_PING & 0x0f));
+    out.put_u8(ip.ttl);
+    out.put_u16(total as u16);
+    out.put_u32(ip.src.0);
+    out.put_u32(ip.dst.0);
+    out.put_u16(0);
+    out.put_u16(0);
+    let ip_sum = checksum(&out[..IP_HEADER_LEN]);
+    out[12..14].copy_from_slice(&ip_sum.to_be_bytes());
+    out.put_u8(ping.reply as u8);
+    out.put_u64(ping.token);
+    out.freeze()
+}
+
+/// Either kind of packet our network carries.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Packet {
+    /// A TCP segment.
+    Tcp(IpHeader, TcpSegment),
+    /// A ping probe or reply.
+    Ping(IpHeader, PingPacket),
+}
+
+/// Parse a packet of any supported protocol.
+pub fn parse_any(data: &[u8]) -> Result<Packet, WireError> {
+    if data.len() < IP_HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let protocol = data[0] & 0x0f;
+    if protocol == PROTO_PING {
+        if data[0] >> 4 != 4 {
+            return Err(WireError::BadVersion);
+        }
+        if checksum(&data[..IP_HEADER_LEN]) != 0 {
+            return Err(WireError::BadChecksum);
+        }
+        let total = u16::from_be_bytes([data[2], data[3]]) as usize;
+        if total > data.len() || total < IP_HEADER_LEN + 9 {
+            return Err(WireError::Truncated);
+        }
+        let ip = IpHeader {
+            src: Addr(u32::from_be_bytes(data[4..8].try_into().unwrap())),
+            dst: Addr(u32::from_be_bytes(data[8..12].try_into().unwrap())),
+            protocol,
+            ttl: data[1],
+        };
+        let body = &data[IP_HEADER_LEN..];
+        return Ok(Packet::Ping(
+            ip,
+            PingPacket {
+                reply: body[0] != 0,
+                token: u64::from_be_bytes(body[1..9].try_into().unwrap()),
+            },
+        ));
+    }
+    parse_packet(data).map(|(ip, seg)| Packet::Tcp(ip, seg))
+}
+
+/// Rewrite a packet with every MPTCP option removed (what the paper's AT&T
+/// web proxy did to port-80 traffic). Non-TCP or unparsable packets are
+/// returned unchanged.
+pub fn strip_mptcp_options(data: &[u8]) -> Bytes {
+    match parse_packet(data) {
+        Ok((ip, mut seg)) => {
+            seg.options.retain(|o| !matches!(o, TcpOption::Mptcp(_)));
+            encode_packet(&ip, &seg)
+        }
+        Err(_) => Bytes::copy_from_slice(data),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ip() -> IpHeader {
+        IpHeader {
+            src: Addr::new(10, 0, 1, 2),
+            dst: Addr::new(192, 168, 1, 1),
+            protocol: PROTO_TCP,
+            ttl: 64,
+        }
+    }
+
+    fn roundtrip(seg: &TcpSegment) -> TcpSegment {
+        let bytes = encode_packet(&ip(), seg);
+        let (h, parsed) = parse_packet(&bytes).expect("parse");
+        assert_eq!(h, ip());
+        parsed
+    }
+
+    #[test]
+    fn bare_segment_roundtrips() {
+        let seg = TcpSegment::bare(8080, 40000, SeqNum(123), SeqNum(456), tcp_flags::ACK);
+        assert_eq!(roundtrip(&seg), seg);
+    }
+
+    #[test]
+    fn syn_with_all_handshake_options_roundtrips() {
+        let mut seg = TcpSegment::bare(40000, 8080, SeqNum(1), SeqNum(0), tcp_flags::SYN);
+        seg.window = 65535;
+        seg.options = vec![
+            TcpOption::Mss(1400),
+            TcpOption::WindowScale(7),
+            TcpOption::SackPermitted,
+            TcpOption::Mptcp(MptcpOption::Capable {
+                key_local: 0xdead_beef_0bad_cafe,
+                key_remote: None,
+            }),
+        ];
+        assert_eq!(roundtrip(&seg), seg);
+    }
+
+    #[test]
+    fn capable_with_both_keys_roundtrips() {
+        let mut seg = TcpSegment::bare(1, 2, SeqNum(0), SeqNum(0), tcp_flags::ACK);
+        seg.options = vec![TcpOption::Mptcp(MptcpOption::Capable {
+            key_local: 7,
+            key_remote: Some(9),
+        })];
+        assert_eq!(roundtrip(&seg), seg);
+    }
+
+    #[test]
+    fn join_and_add_addr_roundtrip() {
+        let mut seg = TcpSegment::bare(1, 2, SeqNum(0), SeqNum(0), tcp_flags::SYN);
+        seg.options = vec![
+            TcpOption::Mptcp(MptcpOption::Join {
+                token: 0xaabbccdd,
+                nonce: 0x11223344,
+                backup: true,
+            }),
+            TcpOption::Mptcp(MptcpOption::AddAddr {
+                addr_id: 2,
+                addr: Addr::new(10, 0, 2, 2),
+                port: 40001,
+            }),
+        ];
+        assert_eq!(roundtrip(&seg), seg);
+    }
+
+    #[test]
+    fn prio_roundtrips() {
+        for backup in [true, false] {
+            let mut seg = TcpSegment::bare(1, 2, SeqNum(0), SeqNum(0), tcp_flags::ACK);
+            seg.options = vec![TcpOption::Mptcp(MptcpOption::Prio { backup })];
+            assert_eq!(roundtrip(&seg), seg);
+        }
+    }
+
+    #[test]
+    fn dss_variants_roundtrip() {
+        for (ack, map, fin) in [
+            (Some(99u64), None, false),
+            (
+                None,
+                Some(DssMapping {
+                    dseq: 1 << 40,
+                    subflow_seq: SeqNum(777),
+                    len: 1400,
+                }),
+                false,
+            ),
+            (
+                Some(u64::MAX - 1),
+                Some(DssMapping {
+                    dseq: 0,
+                    subflow_seq: SeqNum(u32::MAX),
+                    len: 1,
+                }),
+                true,
+            ),
+        ] {
+            let mut seg = TcpSegment::bare(1, 2, SeqNum(5), SeqNum(6), tcp_flags::ACK);
+            seg.options = vec![TcpOption::Mptcp(MptcpOption::Dss {
+                data_ack: ack,
+                mapping: map,
+                data_fin: fin,
+            })];
+            assert_eq!(roundtrip(&seg), seg);
+        }
+    }
+
+    #[test]
+    fn sack_blocks_roundtrip() {
+        let mut seg = TcpSegment::bare(1, 2, SeqNum(5), SeqNum(6), tcp_flags::ACK);
+        seg.options = vec![TcpOption::Sack(vec![
+            (SeqNum(100), SeqNum(200)),
+            (SeqNum(300), SeqNum(400)),
+            (SeqNum(u32::MAX - 5), SeqNum(10)),
+        ])];
+        assert_eq!(roundtrip(&seg), seg);
+    }
+
+    #[test]
+    fn payload_roundtrips() {
+        let mut seg = TcpSegment::bare(1, 2, SeqNum(5), SeqNum(6), tcp_flags::ACK | tcp_flags::PSH);
+        seg.payload = Bytes::from(vec![0xabu8; 1400]);
+        assert_eq!(roundtrip(&seg), seg);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let seg = TcpSegment::bare(8080, 40000, SeqNum(123), SeqNum(456), tcp_flags::ACK);
+        let bytes = encode_packet(&ip(), &seg);
+        for i in [0usize, 5, 12, 20, 25, 30] {
+            let mut corrupt = bytes.to_vec();
+            corrupt[i] ^= 0x40;
+            assert!(
+                parse_packet(&corrupt).is_err(),
+                "corruption at byte {i} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut seg = TcpSegment::bare(1, 2, SeqNum(0), SeqNum(0), tcp_flags::ACK);
+        seg.payload = Bytes::from(vec![1u8; 100]);
+        let bytes = encode_packet(&ip(), &seg);
+        for n in [0, 5, IP_HEADER_LEN, IP_HEADER_LEN + 10, bytes.len() - 1] {
+            assert!(parse_packet(&bytes[..n]).is_err(), "truncated to {n} parsed");
+        }
+    }
+
+    #[test]
+    fn strip_mptcp_removes_only_mptcp() {
+        let mut seg = TcpSegment::bare(40000, 8080, SeqNum(1), SeqNum(0), tcp_flags::SYN);
+        seg.options = vec![
+            TcpOption::Mss(1400),
+            TcpOption::Mptcp(MptcpOption::Capable {
+                key_local: 1,
+                key_remote: None,
+            }),
+            TcpOption::SackPermitted,
+        ];
+        let stripped = strip_mptcp_options(&encode_packet(&ip(), &seg));
+        let (_, parsed) = parse_packet(&stripped).unwrap();
+        assert_eq!(
+            parsed.options,
+            vec![TcpOption::Mss(1400), TcpOption::SackPermitted]
+        );
+        assert_eq!(parsed.seq, seg.seq);
+    }
+
+    #[test]
+    fn wire_len_accounts_for_padding() {
+        // WindowScale alone is 3 bytes -> padded to 4.
+        let mut seg = TcpSegment::bare(1, 2, SeqNum(0), SeqNum(0), tcp_flags::SYN);
+        seg.options = vec![TcpOption::WindowScale(7)];
+        let bytes = encode_packet(&ip(), &seg);
+        assert_eq!(bytes.len(), IP_HEADER_LEN + TCP_HEADER_LEN + 4);
+    }
+
+    #[test]
+    fn checksum_rfc1071_examples() {
+        // Complement of sum; all-zero data checksums to 0xffff.
+        assert_eq!(checksum(&[0, 0, 0, 0]), 0xffff);
+        // Odd-length data is padded with zero.
+        assert_eq!(checksum(&[0xff]), !0xff00);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_data_segments_roundtrip(
+            src in 0u16..u16::MAX,
+            dst in 0u16..u16::MAX,
+            seq: u32,
+            ack: u32,
+            flags in 0u8..32,
+            window: u16,
+            payload_len in 0usize..1460,
+            dseq: u64,
+            has_dss: bool,
+        ) {
+            let mut seg = TcpSegment::bare(src, dst, SeqNum(seq), SeqNum(ack), flags);
+            seg.window = window;
+            seg.payload = Bytes::from(vec![0x5au8; payload_len]);
+            if has_dss {
+                seg.options.push(TcpOption::Mptcp(MptcpOption::Dss {
+                    data_ack: Some(dseq),
+                    mapping: Some(DssMapping {
+                        dseq,
+                        subflow_seq: SeqNum(seq),
+                        len: payload_len as u16,
+                    }),
+                    data_fin: false,
+                }));
+            }
+            let parsed = roundtrip(&seg);
+            prop_assert_eq!(parsed, seg);
+        }
+
+        #[test]
+        fn parser_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let _ = parse_packet(&data);
+        }
+    }
+}

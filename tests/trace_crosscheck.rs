@@ -1,0 +1,99 @@
+//! Cross-check the two measurement paths: the white-box in-stack counters
+//! vs the tcptrace-style offline analysis of captured packet traces — the
+//! paper only had the latter (§3.2), so the two must agree.
+
+use mpwild::experiments::{run_measurement_traced, sizes, FlowConfig, Scenario, WifiKind};
+use mpwild::link::{Carrier, DayPeriod};
+use mpwild::metrics::{analyze_flows, analyze_ofo_delays, FlowKey};
+use mpwild::mptcp::Coupling;
+use mpwild::sim::trace::TraceLevel;
+
+fn traced_run(flow: FlowConfig, carrier: Carrier, seed: u64) -> (
+    mpwild::experiments::Measurement,
+    Vec<(mpwild::sim::SimTime, mpwild::sim::trace::TraceEvent)>,
+) {
+    let sc = Scenario {
+        wifi: WifiKind::Home,
+        carrier,
+        flow,
+        size: sizes::S2M,
+        period: DayPeriod::Night,
+        warmup: true,
+    };
+    let (m, tb) = run_measurement_traced(&sc, seed, TraceLevel::Full);
+    (m, tb.world.trace().records().to_vec())
+}
+
+#[test]
+fn trace_loss_rate_matches_stack_counters_sp() {
+    let (m, records) = traced_run(FlowConfig::SpWifi, Carrier::Att, 3);
+    let flows = analyze_flows(&records);
+    // Single-path: conn id of the server-side connection is 1<<16 (server
+    // base); find the only flow with data.
+    let (_, fa) = flows
+        .iter()
+        .max_by_key(|(_, fa)| fa.data_segs)
+        .expect("a data flow in the trace");
+    let stack = &m.subflows[0];
+    assert_eq!(fa.data_segs, stack.data_segs_sent, "data segment counts");
+    assert_eq!(fa.rexmit_segs, stack.rexmit_segs, "retransmission counts");
+    assert!(
+        (fa.loss_rate() * 100.0 - stack.loss_pct()).abs() < 1e-9,
+        "loss rates disagree: trace {} vs stack {}",
+        fa.loss_rate() * 100.0,
+        stack.loss_pct()
+    );
+}
+
+#[test]
+fn trace_rtt_samples_match_stack_scale() {
+    let (m, records) = traced_run(FlowConfig::SpCellular, Carrier::Att, 5);
+    let flows = analyze_flows(&records);
+    let (_, fa) = flows
+        .iter()
+        .max_by_key(|(_, fa)| fa.data_segs)
+        .expect("data flow");
+    let stack_mean = m.subflows[0].mean_rtt_ms().expect("stack rtts");
+    let trace_mean = fa.rtt_samples.iter().sum::<f64>() / fa.rtt_samples.len() as f64;
+    // Same definition, measured at slightly different match points; they
+    // must agree closely.
+    let rel = (trace_mean - stack_mean).abs() / stack_mean;
+    assert!(
+        rel < 0.2,
+        "RTT means diverge: trace {trace_mean:.1} ms vs stack {stack_mean:.1} ms"
+    );
+}
+
+#[test]
+fn trace_ofo_delays_match_stack_instrumentation() {
+    let (m, records) = traced_run(FlowConfig::mp2(Coupling::Coupled), Carrier::Sprint, 7);
+    let ofo = analyze_ofo_delays(&records);
+    let (_, trace_delays) = ofo
+        .iter()
+        .max_by_key(|(_, v)| v.len())
+        .expect("a connection with DSS data");
+    assert!(!m.ofo_samples_ms.is_empty(), "stack recorded OFO samples");
+    assert!(!trace_delays.is_empty(), "trace reconstructed OFO samples");
+    // Compare the fraction of delayed (>10 ms) samples — the shape metric
+    // §5.2 cares about. Definitions differ slightly at segment granularity.
+    let frac = |v: &[f64]| v.iter().filter(|&&d| d > 10.0).count() as f64 / v.len() as f64;
+    let f_stack = frac(&m.ofo_samples_ms);
+    let f_trace = frac(trace_delays);
+    assert!(
+        (f_stack - f_trace).abs() < 0.15,
+        "OFO delayed-fraction diverges: stack {f_stack:.3} vs trace {f_trace:.3}"
+    );
+}
+
+#[test]
+fn per_subflow_flows_appear_in_trace() {
+    let (_, records) = traced_run(FlowConfig::mp2(Coupling::Coupled), Carrier::Att, 9);
+    let flows = analyze_flows(&records);
+    // Two subflows carried data on the server connection.
+    let with_data = flows.values().filter(|fa| fa.data_segs > 10).count();
+    assert!(
+        with_data >= 2,
+        "expected both subflows in the trace, got {with_data}: {:?}",
+        flows.keys().collect::<Vec<&FlowKey>>()
+    );
+}
