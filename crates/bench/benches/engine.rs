@@ -1,12 +1,12 @@
 //! Micro-benchmarks of the simulation and protocol hot paths.
 
 use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use criterion::{BatchSize, Criterion, Throughput};
 use mpw_experiments::{run_measurement, FlowConfig, Scenario, WifiKind};
 use mpw_link::{Carrier, DayPeriod};
 use mpw_mptcp::Coupling;
 use mpw_sim::trace::TraceLevel;
-use mpw_sim::{Agent, Ctx, Event, SimDuration, SimTime, World};
+use mpw_sim::{Agent, Ctx, Event, Frame, SimDuration, SimTime, TimerHandle, World};
 use mpw_tcp::buf::Assembler;
 use mpw_tcp::wire::{self, tcp_flags, DssMapping, MptcpOption, TcpOption, TcpSegment};
 use mpw_tcp::SeqNum;
@@ -51,6 +51,212 @@ fn bench_event_queue(c: &mut Criterion) {
             let mut w = World::new(1, TraceLevel::Off);
             let a = w.add_agent(Box::new(PingPong { peer: 1, remaining: EVENTS as u32 / 2 }));
             let bb = w.add_agent(Box::new(PingPong { peer: a, remaining: EVENTS as u32 / 2 }));
+            w.schedule(SimTime::ZERO, bb, Event::Timer { token: 0 });
+            w.run_until_idle();
+            assert!(w.events_processed() >= EVENTS);
+        })
+    });
+    g.finish();
+}
+
+/// Arm/cancel churn mimicking per-segment RTO management: every firing
+/// arms a fan of timers, immediately cancels all but one, and pulls the
+/// survivor in — the pattern a TCP socket generates per ACK burst.
+struct TimerChurn {
+    remaining: u32,
+}
+
+/// Timers armed + cancelled + rescheduled + fired per `TimerChurn` round.
+const TIMER_OPS_PER_ROUND: u64 = 8 + 7 + 1 + 1;
+
+impl Agent for TimerChurn {
+    fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        match ev {
+            Event::Start | Event::Frame { .. } => {}
+            Event::Timer { .. } => {
+                if self.remaining == 0 {
+                    return;
+                }
+                self.remaining -= 1;
+                let mut keep = None;
+                for i in 0..8u64 {
+                    let h = ctx.arm_timer(SimDuration::from_millis(200), i);
+                    if i == 0 {
+                        keep = Some(h);
+                    } else {
+                        ctx.cancel_timer(h);
+                    }
+                }
+                if let Some(h) = keep {
+                    ctx.reschedule_timer(h, SimDuration::from_micros(50));
+                }
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn bench_timer_wheel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    const ROUNDS: u64 = 10_000;
+    g.throughput(Throughput::Elements(ROUNDS * TIMER_OPS_PER_ROUND));
+    g.bench_function("timer_wheel_churn", |b| {
+        b.iter(|| {
+            let mut w = World::new(1, TraceLevel::Off);
+            let a = w.add_agent(Box::new(TimerChurn { remaining: ROUNDS as u32 }));
+            w.schedule(SimTime::ZERO, a, Event::Timer { token: 0 });
+            w.run_until_idle();
+            assert!(w.events_processed() >= ROUNDS);
+        })
+    });
+    g.finish();
+}
+
+/// The socket hot path in miniature: every inbound frame answers with one
+/// frame and re-arms a timeout, cancelling the previous one. Under a
+/// generation-token scheme every re-arm leaves a stale heap entry behind;
+/// with cancellable handles the heap stays at O(live timers).
+struct FrameChurn {
+    peer: u32,
+    remaining: u32,
+    timeout: Option<TimerHandle>,
+}
+
+impl Agent for FrameChurn {
+    fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        match ev {
+            Event::Start => {}
+            // Token 0 is the kick-off; any other timer is the timeout firing.
+            Event::Timer { token: 0 } => {
+                ctx.send_frame(
+                    self.peer,
+                    0,
+                    SimDuration::from_micros(10),
+                    Frame::new(Bytes::new()),
+                );
+            }
+            Event::Timer { .. } => {
+                self.timeout = None;
+            }
+            Event::Frame { .. } => {
+                if self.remaining == 0 {
+                    return;
+                }
+                self.remaining -= 1;
+                if let Some(h) = self.timeout.take() {
+                    ctx.cancel_timer(h);
+                }
+                self.timeout = Some(ctx.arm_timer(SimDuration::from_millis(300), 1));
+                ctx.send_frame(
+                    self.peer,
+                    0,
+                    SimDuration::from_micros(10),
+                    Frame::new(Bytes::new()),
+                );
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// The same hot path under the engine's previous timer idiom: raw
+/// `set_timer` plus a generation counter, so every re-arm strands a stale
+/// heap entry that must still be popped and dispatched at its deadline.
+/// Kept as the in-tree baseline for `event_churn_100k`.
+struct FrameChurnRawTimers {
+    peer: u32,
+    remaining: u32,
+    generation: u64,
+}
+
+impl Agent for FrameChurnRawTimers {
+    fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        match ev {
+            Event::Start => {}
+            Event::Timer { token: 0 } => {
+                ctx.send_frame(
+                    self.peer,
+                    0,
+                    SimDuration::from_micros(10),
+                    Frame::new(Bytes::new()),
+                );
+            }
+            // Stale generations are recognized and dropped — after paying
+            // for the heap traversal and the dispatch.
+            Event::Timer { token } => {
+                if token == self.generation {
+                    self.generation += 1;
+                }
+            }
+            Event::Frame { .. } => {
+                if self.remaining == 0 {
+                    return;
+                }
+                self.remaining -= 1;
+                self.generation += 1;
+                ctx.set_timer(SimDuration::from_millis(300), self.generation);
+                ctx.send_frame(
+                    self.peer,
+                    0,
+                    SimDuration::from_micros(10),
+                    Frame::new(Bytes::new()),
+                );
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn bench_event_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    const EVENTS: u64 = 100_000;
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("event_churn_100k", |b| {
+        b.iter(|| {
+            let mut w = World::new(1, TraceLevel::Off);
+            let a = w.add_agent(Box::new(FrameChurn {
+                peer: 1,
+                remaining: EVENTS as u32 / 2,
+                timeout: None,
+            }));
+            let bb = w.add_agent(Box::new(FrameChurn {
+                peer: a,
+                remaining: EVENTS as u32 / 2,
+                timeout: None,
+            }));
+            w.schedule(SimTime::ZERO, bb, Event::Timer { token: 0 });
+            w.run_until_idle();
+            assert!(w.events_processed() >= EVENTS);
+        })
+    });
+    g.bench_function("event_churn_100k_raw_timers", |b| {
+        b.iter(|| {
+            let mut w = World::new(1, TraceLevel::Off);
+            let a = w.add_agent(Box::new(FrameChurnRawTimers {
+                peer: 1,
+                remaining: EVENTS as u32 / 2,
+                generation: 0,
+            }));
+            let bb = w.add_agent(Box::new(FrameChurnRawTimers {
+                peer: a,
+                remaining: EVENTS as u32 / 2,
+                generation: 0,
+            }));
             w.schedule(SimTime::ZERO, bb, Event::Timer { token: 0 });
             w.run_until_idle();
             assert!(w.events_processed() >= EVENTS);
@@ -143,11 +349,36 @@ fn bench_full_transfer(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_wire,
-    bench_assembler,
-    bench_full_transfer
-);
-criterion_main!(benches);
+/// Export machine-readable results at the workspace root so CI and the
+/// docs can track engine throughput across changes.
+fn write_summary(c: &Criterion) {
+    let rows: Vec<String> = c
+        .results()
+        .iter()
+        .map(|r| {
+            let per_second = r
+                .per_second()
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "null".into());
+            format!(
+                "  {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}, \"per_second\": {per_second}}}",
+                r.id, r.ns_per_iter, r.iters
+            )
+        })
+        .collect();
+    let out = format!("[\n{}\n]\n", rows.join(",\n"));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, out).expect("write BENCH_engine.json");
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_event_queue(&mut criterion);
+    bench_timer_wheel(&mut criterion);
+    bench_event_churn(&mut criterion);
+    bench_wire(&mut criterion);
+    bench_assembler(&mut criterion);
+    bench_full_transfer(&mut criterion);
+    write_summary(&criterion);
+}

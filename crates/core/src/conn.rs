@@ -65,6 +65,10 @@ pub struct MptcpConfig {
     /// or stalled — the "backup mode" of Paasch et al. that the paper
     /// contrasts with full-MPTCP mode (§7).
     pub backup_ifs: Vec<u8>,
+    /// Record exact per-range out-of-order delay samples at the connection
+    /// level (trace cross-checks). The constant-memory streaming summary is
+    /// always maintained; campaigns run with this off.
+    pub record_ofo_samples: bool,
 }
 
 impl Default for MptcpConfig {
@@ -80,6 +84,7 @@ impl Default for MptcpConfig {
             penalization: false,
             max_subflows: 2,
             backup_ifs: Vec::new(),
+            record_ofo_samples: true,
         }
     }
 }
@@ -470,7 +475,7 @@ impl MptcpConnection {
             token: token_from_key(local_key),
             remote_capable: None,
             recv_buffer: cfg.recv_buffer,
-            rx: Assembler::new(0, true),
+            rx: Assembler::new(0, cfg.record_ofo_samples),
             peer_data_ack: 0,
             peer_data_fin: None,
             data_fin_needs_ack: false,
@@ -534,7 +539,7 @@ impl MptcpConnection {
             token: token_from_key(client_key),
             remote_capable: Some(true),
             recv_buffer: cfg.recv_buffer,
-            rx: Assembler::new(0, true),
+            rx: Assembler::new(0, cfg.record_ofo_samples),
             peer_data_ack: 0,
             peer_data_fin: None,
             data_fin_needs_ack: false,
@@ -812,9 +817,16 @@ impl MptcpConnection {
         }
     }
 
-    /// Drain connection-level out-of-order delay samples (§3.3).
+    /// Drain connection-level out-of-order delay samples (§3.3). Exact
+    /// samples exist only when `record_ofo_samples` is set.
     pub fn take_ofo_samples(&mut self) -> Vec<OfoSample> {
         self.shared.borrow_mut().rx.take_ofo_samples()
+    }
+
+    /// Streaming summary of connection-level out-of-order delays in
+    /// milliseconds (always maintained, constant memory).
+    pub fn ofo_summary(&self) -> mpw_metrics::DistSummary {
+        self.shared.borrow().rx.ofo_summary().clone()
     }
 
     // ------------------------------------------------------------------

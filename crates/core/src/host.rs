@@ -13,7 +13,7 @@ use std::any::Any;
 use std::collections::HashMap;
 
 use mpw_sim::trace::{Dir, DropReason, SegmentRecord, TraceEvent, TraceLevel};
-use mpw_sim::{Agent, AgentId, Ctx, Event, Frame, SimDuration, SimRng, SimTime};
+use mpw_sim::{Agent, AgentId, Ctx, Event, Frame, SimDuration, SimRng, SimTime, TimerHandle};
 use mpw_tcp::wire::{tcp_flags, PingPacket};
 use mpw_tcp::{
     encode_packet, encode_ping, parse_any, Addr, CcConfig, Endpoint, IpHeader, MptcpOption,
@@ -40,6 +40,9 @@ pub enum TransportSpec {
 }
 
 /// A live transport: either an MPTCP connection or a plain TCP socket.
+// A handful of these exist per host (one per connection slot), so the
+// size spread between variants is not worth the indirection of boxing.
+#[allow(clippy::large_enum_variant)]
 pub enum Transport {
     /// MPTCP connection.
     Mp(MptcpConnection),
@@ -258,7 +261,11 @@ pub struct Host {
     next_conn_id: u32,
     conn_id_base: u32,
     rng: SimRng,
-    earliest_armed: Option<SimTime>,
+    /// The single cancellable wakeup timer covering every transport
+    /// deadline (RTO, delayed ACK, app wakeups, pending opens). Holds the
+    /// live handle and the instant it fires; rescheduled in place when the
+    /// earliest deadline moves, so no stale timer events ever fire.
+    armed: Option<(TimerHandle, SimTime)>,
     is_client_role: bool,
     /// Count of frames that found no matching socket.
     pub no_socket_drops: u64,
@@ -289,7 +296,7 @@ impl Host {
             next_conn_id: conn_id_base,
             conn_id_base,
             rng,
-            earliest_armed: None,
+            armed: None,
             is_client_role: is_client,
             no_socket_drops: 0,
         }
@@ -421,40 +428,51 @@ impl Host {
     fn flush(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         for i in 0..self.slots.len() {
-            // Drive the app first (it may produce data / close).
-            {
-                let slot = &mut self.slots[i];
-                slot.app.poll(&mut slot.transport, now);
-                if let Transport::Mp(c) = &mut slot.transport {
-                    c.post_event(now);
-                }
-            }
+            // Alternate app polls and transmit pumping until neither makes
+            // progress. An app may write *in response to* data consumed in
+            // this very flush (e.g. the streaming client requesting the
+            // next block the moment the previous one completes); that write
+            // must be pumped now — the host wakeup timer only covers
+            // transport deadlines and app wakeups, not buffered-but-unsent
+            // data, so leaving it unpumped can deadlock an otherwise idle
+            // connection.
             loop {
-                let slot = &mut self.slots[i];
-                let out = match &mut slot.transport {
-                    Transport::Mp(c) => c
-                        .poll_transmit(now)
-                        .map(|(sf, seg)| {
-                            let s = &c.subflows[sf];
-                            (sf, s.local, s.remote, s.if_index, seg)
-                        }),
-                    Transport::Sp(s) => s
-                        .poll_transmit(now)
-                        .map(|seg| (0usize, s.local(), s.remote(), s.if_index, seg)),
-                };
-                let Some((sf, local, remote, if_index, seg)) = out else {
+                // Drive the app (it may produce data / close).
+                {
+                    let slot = &mut self.slots[i];
+                    slot.app.poll(&mut slot.transport, now);
+                    if let Transport::Mp(c) = &mut slot.transport {
+                        c.post_event(now);
+                    }
+                }
+                let mut emitted = false;
+                loop {
+                    let slot = &mut self.slots[i];
+                    let out = match &mut slot.transport {
+                        Transport::Mp(c) => c
+                            .poll_transmit(now)
+                            .map(|(sf, seg)| {
+                                let s = &c.subflows[sf];
+                                (sf, s.local, s.remote, s.if_index, seg)
+                            }),
+                        Transport::Sp(s) => s
+                            .poll_transmit(now)
+                            .map(|seg| (0usize, s.local(), s.remote(), s.if_index, seg)),
+                    };
+                    let Some((sf, local, remote, if_index, seg)) = out else {
+                        break;
+                    };
+                    emitted = true;
+                    let conn_id = slot.conn_id;
+                    self.emit_segment(ctx, conn_id, sf, local, remote, if_index, &seg);
+                }
+                // New subflows may have appeared while polling; refresh the
+                // demux once per cycle (their responses only arrive on later
+                // events, so registering after the burst is early enough).
+                self.register_demux(i);
+                if !emitted {
                     break;
-                };
-                let conn_id = slot.conn_id;
-                self.emit_segment(ctx, conn_id, sf, local, remote, if_index, &seg);
-            }
-            // New subflows may have appeared while polling; refresh the
-            // demux once per slot (their responses only arrive on later
-            // events, so registering after the burst is early enough).
-            self.register_demux(i);
-            {
-                let slot = &mut self.slots[i];
-                slot.app.poll(&mut slot.transport, now);
+                }
             }
         }
         self.rearm_timer(ctx);
@@ -491,18 +509,37 @@ impl Host {
                 PendingOpen::Warming { deadline, .. } => fold(Some(*deadline)),
             }
         }
-        let Some(next) = next else { return };
+        let Some(next) = next else {
+            // Nothing due any more: cancel the wakeup outright.
+            if let Some((h, _)) = self.armed.take() {
+                ctx.cancel_timer(h);
+            }
+            return;
+        };
         let now = ctx.now();
         let due = next.max(now);
-        if self.earliest_armed.is_none_or(|armed| due < armed || armed <= now) {
-            self.earliest_armed = Some(due);
-            ctx.set_timer(due.saturating_since(now), TOKEN_HOST_TIMER);
+        match self.armed {
+            Some((_, at)) if at == due => {}
+            Some((h, _)) => {
+                // The earliest deadline moved (either direction): slide the
+                // existing timer instead of layering a second one.
+                let delay = due.saturating_since(now);
+                let h = ctx
+                    .reschedule_timer(h, delay)
+                    .unwrap_or_else(|| ctx.arm_timer(delay, TOKEN_HOST_TIMER));
+                self.armed = Some((h, due));
+            }
+            None => {
+                let delay = due.saturating_since(now);
+                self.armed = Some((ctx.arm_timer(delay, TOKEN_HOST_TIMER), due));
+            }
         }
     }
 
     fn on_host_timer(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
-        self.earliest_armed = None;
+        // The handle is consumed by firing; rearm_timer will arm a fresh one.
+        self.armed = None;
         for s in &mut self.slots {
             if s.transport.next_timeout().is_some_and(|d| d <= now) {
                 s.transport.on_timer(now);

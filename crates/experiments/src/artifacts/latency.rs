@@ -3,7 +3,7 @@
 //! OFO-delay statistics). MP-2 coupled over each carrier.
 
 use mpw_link::Carrier;
-use mpw_metrics::{Ccdf, Summary, Table};
+use mpw_metrics::{DistSummary, Summary, Table};
 use mpw_mptcp::Coupling;
 use serde::Serialize;
 
@@ -31,17 +31,16 @@ fn scenarios() -> Vec<Scenario> {
     v
 }
 
-/// RTT samples pooled per (carrier, interface).
-fn pool_rtts(ms: &[Measurement], carrier: Carrier, if_index: u8) -> Vec<f64> {
-    ms.iter()
-        .filter(|m| m.scenario.carrier == carrier)
-        .flat_map(|m| {
-            m.subflows
-                .iter()
-                .filter(|s| s.if_index == if_index)
-                .flat_map(|s| s.rtt_samples_ms.iter().copied())
-        })
-        .collect()
+/// RTT summaries pooled per (carrier, interface) by merging the streaming
+/// per-subflow summaries — no per-sample vectors are ever materialized.
+fn pool_rtts(ms: &[Measurement], carrier: Carrier, if_index: u8) -> DistSummary {
+    let mut pool = DistSummary::new();
+    for m in ms.iter().filter(|m| m.scenario.carrier == carrier) {
+        for s in m.subflows.iter().filter(|s| s.if_index == if_index) {
+            pool.merge(&s.rtt);
+        }
+    }
+    pool
 }
 
 #[derive(Serialize)]
@@ -62,14 +61,13 @@ pub fn run(scale: Scale, seed: u64, workers: usize) -> Vec<Artifact> {
         &["path", "min", "p50", "p90", "p99", "max", "n"],
     );
     let mut rtt_series = Vec::new();
-    let mut rtt_quantiles: std::collections::BTreeMap<String, Ccdf> = Default::default();
+    let mut rtt_quantiles: std::collections::BTreeMap<String, DistSummary> = Default::default();
     for carrier in Carrier::ALL {
         for (if_index, name) in [(1u8, carrier.name().to_string()), (0u8, format!("WiFi (w/ {})", carrier.name()))] {
-            let samples = pool_rtts(&ms, carrier, if_index);
-            if samples.is_empty() {
+            let c = pool_rtts(&ms, carrier, if_index);
+            if c.count() == 0 {
                 continue;
             }
-            let c = Ccdf::of(&samples);
             fig12.row(vec![
                 name.clone(),
                 format!("{:.0}", c.min()),
@@ -77,7 +75,7 @@ pub fn run(scale: Scale, seed: u64, workers: usize) -> Vec<Artifact> {
                 format!("{:.0}", c.quantile(0.9)),
                 format!("{:.0}", c.quantile(0.99)),
                 format!("{:.0}", c.max()),
-                c.len().to_string(),
+                c.count().to_string(),
             ]);
             rtt_series.push((name.clone(), c.log_series(24, 1.0)));
             rtt_quantiles.insert(name, c);
@@ -118,20 +116,20 @@ pub fn run(scale: Scale, seed: u64, workers: usize) -> Vec<Artifact> {
         &["carrier", "size", "in-order frac", "p90", "p99", "max", "n"],
     );
     let mut ofo_series = Vec::new();
-    let mut ofo_pools: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    let mut ofo_pools: std::collections::BTreeMap<String, DistSummary> = Default::default();
     for carrier in Carrier::ALL {
         for &size in &SIZES {
-            let samples: Vec<f64> = ms
+            let mut c = DistSummary::new();
+            for m in ms
                 .iter()
                 .filter(|m| m.scenario.carrier == carrier && m.scenario.size == size)
-                .flat_map(|m| m.ofo_samples_ms.iter().copied())
-                .collect();
-            if samples.is_empty() {
+            {
+                c.merge(&m.ofo);
+            }
+            if c.count() == 0 {
                 continue;
             }
-            let c = Ccdf::of(&samples);
-            let in_order = samples.iter().filter(|&&d| d <= 0.5).count() as f64
-                / samples.len() as f64;
+            let in_order = c.frac_le(0.5);
             fig13.row(vec![
                 carrier.name().into(),
                 sizes::label(size),
@@ -139,7 +137,7 @@ pub fn run(scale: Scale, seed: u64, workers: usize) -> Vec<Artifact> {
                 format!("{:.0}", c.quantile(0.9)),
                 format!("{:.0}", c.quantile(0.99)),
                 format!("{:.0}", c.max()),
-                c.len().to_string(),
+                c.count().to_string(),
             ]);
             ofo_series.push((
                 format!("{}-{}", carrier.name(), sizes::label(size)),
@@ -148,13 +146,13 @@ pub fn run(scale: Scale, seed: u64, workers: usize) -> Vec<Artifact> {
             ofo_pools
                 .entry(carrier.name().to_string())
                 .or_default()
-                .extend(samples);
+                .merge(&c);
         }
     }
     let frac_above = |carrier: &str, thresh_ms: f64| -> f64 {
         ofo_pools
             .get(carrier)
-            .map(|v| v.iter().filter(|&&d| d > thresh_ms).count() as f64 / v.len() as f64)
+            .map(|p| p.frac_above(thresh_ms))
             .unwrap_or(0.0)
     };
     let checks13 = vec![
@@ -214,9 +212,9 @@ pub fn run(scale: Scale, seed: u64, workers: usize) -> Vec<Artifact> {
                 .filter(|m| {
                     m.scenario.carrier == carrier
                         && m.scenario.size == size
-                        && !m.ofo_samples_ms.is_empty()
+                        && m.ofo.count() > 0
                 })
-                .map(|m| m.ofo_samples_ms.iter().sum::<f64>() / m.ofo_samples_ms.len() as f64)
+                .map(|m| m.ofo.mean())
                 .collect();
             let s = Summary::of(&ofo_means);
             tab6.row(vec![

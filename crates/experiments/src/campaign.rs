@@ -2,7 +2,8 @@
 //! across day periods, with independent seeds standing in for temporal and
 //! spatial replication.
 
-use crossbeam::channel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use mpw_link::DayPeriod;
 use mpw_sim::SimRng;
 use serde::{Deserialize, Serialize};
@@ -51,14 +52,22 @@ impl Scale {
 /// Expand scenarios × periods × runs into a randomized measurement order
 /// (the paper randomizes configuration order to decorrelate network
 /// conditions, §3.2), then execute.
+///
+/// `workers == 0` means "one per available core"
+/// (`std::thread::available_parallelism()`). Results always come back in
+/// *job order* — the deterministic scenario × period × replication
+/// enumeration order — regardless of worker count or the randomized
+/// execution order, so downstream grouping and the determinism regression
+/// tests can compare vectors element-for-element.
 pub fn run_campaign(
     base_scenarios: &[Scenario],
     scale: Scale,
     master_seed: u64,
     workers: usize,
 ) -> Vec<Measurement> {
-    let mut jobs: Vec<(Scenario, u64)> = Vec::new();
-    let mut seq = 0u64;
+    // Job index rides along so results can be returned in enumeration
+    // order no matter how execution is scheduled.
+    let mut jobs: Vec<(usize, Scenario, u64)> = Vec::new();
     for s in base_scenarios {
         for &period in scale.periods() {
             for _ in 0..scale.runs_per_period {
@@ -66,11 +75,11 @@ pub fn run_campaign(
                 sc.period = period;
                 // Seed derivation: unique per (scenario position, period,
                 // replication), independent of execution order.
+                let idx = jobs.len();
                 let seed = master_seed
                     .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .wrapping_add(seq);
-                jobs.push((sc, seed));
-                seq += 1;
+                    .wrapping_add(idx as u64);
+                jobs.push((idx, sc, seed));
             }
         }
     }
@@ -82,43 +91,54 @@ pub fn run_campaign(
     order_rng.shuffle(&mut jobs);
 
     let n = jobs.len();
-    let workers = workers.max(1);
-    if workers == 1 {
-        return jobs
-            .into_iter()
-            .map(|(sc, seed)| run_measurement(&sc, seed))
-            .collect();
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        workers
     }
+    .clamp(1, n.max(1));
 
-    // Simple worker pool over crossbeam channels (useful on multicore
-    // hosts; the simulation itself stays single-threaded per world).
-    let (job_tx, job_rx) = channel::unbounded::<(Scenario, u64)>();
-    let (res_tx, res_rx) = channel::unbounded::<Measurement>();
-    for job in jobs {
-        job_tx.send(job).expect("queue job");
-    }
-    drop(job_tx);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            scope.spawn(move |_| {
-                while let Ok((sc, seed)) = job_rx.recv() {
-                    let m = run_measurement(&sc, seed);
-                    if res_tx.send(m).is_err() {
-                        break;
-                    }
-                }
-            });
+    let mut slots: Vec<Option<Measurement>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    if workers == 1 {
+        for (idx, sc, seed) in &jobs {
+            slots[*idx] = Some(run_measurement(sc, *seed));
         }
-        drop(res_tx);
-    })
-    .expect("worker pool");
-    let mut out: Vec<Measurement> = res_rx.iter().collect();
-    assert_eq!(out.len(), n, "lost measurements");
-    // Stable order for downstream grouping.
-    out.sort_by_key(|m| m.seed);
-    out
+    } else {
+        // Work-stealing over a shared cursor; each simulated world is
+        // single-threaded and independently seeded, so workers never
+        // contend on anything but the cursor.
+        let next = AtomicUsize::new(0);
+        let jobs = &jobs;
+        let done = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, Measurement)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some((idx, sc, seed)) = jobs.get(i) else {
+                                break;
+                            };
+                            local.push((*idx, run_measurement(sc, *seed)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("campaign worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (idx, m) in done {
+            slots[idx] = Some(m);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job produces a measurement"))
+        .collect()
 }
 
 /// Group measurements by a key.

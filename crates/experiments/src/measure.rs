@@ -1,13 +1,19 @@
 //! Running one measurement and harvesting its metrics.
+//!
+//! Campaign runs keep memory flat: per-sample RTT/OFO vectors are disabled
+//! and the constant-memory streaming summaries ([`DistSummary`]) carry the
+//! distributions instead. Traced runs ([`run_measurement_traced`]) keep the
+//! exact vectors on for trace cross-check tests.
 
 use mpw_http::Wget;
-use mpw_link::Technology;
-use mpw_mptcp::{Host, Transport};
+use mpw_link::{PathSpec, Technology};
+use mpw_metrics::DistSummary;
+use mpw_mptcp::{Host, Transport, TransportSpec};
 use mpw_sim::trace::TraceLevel;
-use mpw_sim::{RunOutcome, SimTime};
+use mpw_sim::{RunOutcome, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-use crate::config::Scenario;
+use crate::config::{FlowConfig, Scenario};
 use crate::testbed::{Testbed, TestbedSpec};
 
 /// Per-subflow (or per-path) measurement outputs.
@@ -23,7 +29,11 @@ pub struct SubflowMeasurement {
     pub data_segs_sent: u64,
     /// Retransmitted segments (loss-rate numerator, §3.3).
     pub rexmit_segs: u64,
-    /// Per-packet RTT samples in milliseconds (server side, tcptrace rule).
+    /// Streaming summary of per-packet RTTs in milliseconds (server side,
+    /// tcptrace rule). Always populated, regardless of exact recording.
+    pub rtt: DistSummary,
+    /// Exact per-packet RTT samples in milliseconds. Only populated in
+    /// traced runs; campaigns leave it empty and use [`Self::rtt`].
     pub rtt_samples_ms: Vec<f64>,
     /// Whether the subflow ever established.
     pub established: bool,
@@ -41,10 +51,10 @@ impl SubflowMeasurement {
 
     /// Mean RTT in milliseconds.
     pub fn mean_rtt_ms(&self) -> Option<f64> {
-        if self.rtt_samples_ms.is_empty() {
+        if self.rtt.count() == 0 {
             None
         } else {
-            Some(self.rtt_samples_ms.iter().sum::<f64>() / self.rtt_samples_ms.len() as f64)
+            Some(self.rtt.mean())
         }
     }
 }
@@ -65,53 +75,127 @@ pub struct Measurement {
     /// Per-path details (index 0 = WiFi path, 1 = cellular path; single-path
     /// runs have one entry).
     pub subflows: Vec<SubflowMeasurement>,
-    /// Connection-level out-of-order delay samples in milliseconds.
+    /// Streaming summary of connection-level out-of-order delays in
+    /// milliseconds. Always populated for MPTCP runs.
+    pub ofo: DistSummary,
+    /// Exact connection-level out-of-order delay samples in milliseconds.
+    /// Only populated in traced runs; campaigns use [`Self::ofo`].
     pub ofo_samples_ms: Vec<f64>,
     /// Whether MPTCP fell back to plain TCP.
     pub fell_back: bool,
 }
 
-/// Horizon heuristic: generous even for Sprint 3G at ~0.5 Mbps effective.
-fn horizon_for(size: u64) -> SimTime {
-    let secs = 30 + size / 40_000; // ~320 kbit/s worst-case budget
-    SimTime::from_secs(secs.min(7_200))
+/// Downstream throughput budget (bits/s) a foreground flow can count on
+/// over one path, from the preset's own rate process and background load.
+///
+/// With n on/off background sources at the bottleneck the fair share is
+/// raw/(n+1); when the sources are mostly idle the residual raw − Σload is
+/// the tighter bound, so take the smaller of the two. The 2% floor guards
+/// against degenerate presets.
+fn path_budget_bps(path: &PathSpec) -> f64 {
+    let raw = path.down.rate.mean_rate();
+    let bg: f64 = path.bg_down.iter().map(|s| s.mean_load_bps()).sum();
+    let fair = raw / (1.0 + path.bg_down.len() as f64);
+    fair.min(raw - bg).max(raw * 0.02)
+}
+
+/// Worst-case run horizon, derived from the scenario's actual presets
+/// instead of a one-size-fits-all constant. A quarter of the contended
+/// path budget absorbs slow start, protocol overhead and unlucky
+/// rate-process excursions; Sprint EVDO lands at ~330 kbit/s effective,
+/// which is the worst case the old hard-coded 320 kbit/s assumed for
+/// *every* scenario. Multipath flows get at least the slower path's
+/// budget. Completed downloads stop early, so a generous horizon only
+/// costs wall-clock when a flow genuinely crawls.
+fn horizon_for(scenario: &Scenario, wifi: &PathSpec, cellular: &PathSpec) -> SimTime {
+    let budget = match scenario.flow {
+        FlowConfig::SpWifi => path_budget_bps(wifi),
+        FlowConfig::SpCellular => path_budget_bps(cellular),
+        FlowConfig::Mp { .. } => path_budget_bps(wifi).min(path_budget_bps(cellular)),
+    };
+    let eff = (budget * 0.25).max(64_000.0);
+    let secs = 30.0 + scenario.size as f64 * 8.0 / eff;
+    SimTime::from_secs((secs as u64).min(7_200))
 }
 
 /// Run one measurement to completion (or horizon) and harvest metrics.
+///
+/// Campaign mode: exact per-sample recording is off, distributions come
+/// from the streaming summaries, memory stays flat in download size.
 pub fn run_measurement(scenario: &Scenario, seed: u64) -> Measurement {
-    run_measurement_traced(scenario, seed, TraceLevel::Drops).0
+    run_measurement_inner(scenario, seed, TraceLevel::Drops, false).0
 }
 
 /// As [`run_measurement`], but with control over trace capture; returns the
-/// testbed for callers that want the raw trace (cross-check tests).
+/// testbed for callers that want the raw trace (cross-check tests). Exact
+/// per-sample recording stays on so traces can be checked sample-for-sample.
 pub fn run_measurement_traced(
     scenario: &Scenario,
     seed: u64,
     trace: TraceLevel,
 ) -> (Measurement, Testbed) {
+    run_measurement_inner(scenario, seed, trace, true)
+}
+
+fn run_measurement_inner(
+    scenario: &Scenario,
+    seed: u64,
+    trace: TraceLevel,
+    exact: bool,
+) -> (Measurement, Testbed) {
     let wifi = scenario.wifi.spec(scenario.period);
     let cellular = scenario.carrier.preset();
+    let horizon = horizon_for(scenario, &wifi, &cellular);
     let mut spec = TestbedSpec::two_path(seed, wifi, cellular);
     spec.trace = trace;
     spec.dual_homed_server = scenario.flow.needs_dual_homed_server();
+    let mut transport = scenario.flow.transport();
     // The server (data sender) runs the scenario's congestion controller
     // and scheduler — the paper switched these at the server (§3.2).
-    if let mpw_mptcp::TransportSpec::Mptcp(cfg) = scenario.flow.transport() {
+    if let TransportSpec::Mptcp(cfg) = &transport {
         spec.server_mptcp = mpw_mptcp::MptcpConfig {
             max_subflows: 8,
-            ..cfg
+            ..cfg.clone()
         };
+    }
+    if !exact {
+        spec.server_mptcp.tcp.record_rtt_samples = false;
+        spec.server_mptcp.record_ofo_samples = false;
+        spec.server_tcp.record_rtt_samples = false;
+        match &mut transport {
+            TransportSpec::Plain { tcp, .. } => tcp.record_rtt_samples = false,
+            TransportSpec::Mptcp(cfg) => {
+                cfg.tcp.record_rtt_samples = false;
+                cfg.record_ofo_samples = false;
+            }
+        }
     }
     let mut tb = Testbed::build(spec);
     let slot = tb.download(
-        scenario.flow.transport(),
+        transport,
         scenario.size,
         SimTime::from_millis(100),
         scenario.warmup,
     );
-    let horizon = horizon_for(scenario.size);
-    let outcome = tb.world.run_until(horizon);
-    debug_assert_ne!(outcome, RunOutcome::EventBudgetExhausted);
+    // Advance in short slices and stop as soon as the download completes:
+    // the background sources never go idle, so running on to the worst-case
+    // horizon would burn wall-clock simulating nothing but cross-traffic.
+    // Slicing run_until() preserves the exact event order, so results are
+    // identical to a single full-horizon run.
+    let slice = SimDuration::from_secs(5);
+    loop {
+        let next = (tb.world.now() + slice).min(horizon);
+        let outcome = tb.world.run_until(next);
+        debug_assert_ne!(outcome, RunOutcome::EventBudgetExhausted);
+        let done = tb
+            .world
+            .agent::<Host>(tb.client)
+            .and_then(|h| h.app::<Wget>(slot))
+            .is_some_and(|w| w.result.download_time().is_some());
+        if done || outcome == RunOutcome::Idle || next >= horizon {
+            break;
+        }
+    }
 
     let m = harvest(&mut tb, slot, scenario, seed);
     (m, tb)
@@ -121,35 +205,48 @@ fn harvest(tb: &mut Testbed, slot: usize, scenario: &Scenario, seed: u64) -> Mea
     let client_id = tb.client;
     let server_id = tb.server;
 
-    // Client side: download result + delivered-byte shares + OFO samples.
-    let (download_time_s, bytes, per_path_delivered, ofo_samples_ms, fell_back, sub_ifs) = {
+    // Client side: download result + delivered-byte shares + OFO delays.
+    let (download_time_s, bytes, per_path_delivered, ofo, ofo_samples_ms, fell_back, sub_ifs) = {
         let host = tb.world.agent_mut::<Host>(client_id).expect("client");
         let result = host
             .app::<Wget>(slot)
             .map(|w| w.result)
             .unwrap_or_default();
-        let (per_path, fell_back, sub_ifs, ofo) = match host.transport_mut(slot) {
+        let (per_path, fell_back, sub_ifs, ofo, ofo_exact) = match host.transport_mut(slot) {
             Some(Transport::Mp(c)) => {
                 let stats = c.stats();
                 let ifs: Vec<u8> = c.subflows.iter().map(|s| s.if_index).collect();
-                let ofo: Vec<f64> = c
+                let ofo_exact: Vec<f64> = c
                     .take_ofo_samples()
                     .iter()
                     .map(|s| s.delay.as_secs_f64() * 1e3)
                     .collect();
-                (stats.per_subflow_delivered, stats.fell_back, ifs, ofo)
+                (
+                    stats.per_subflow_delivered,
+                    stats.fell_back,
+                    ifs,
+                    c.ofo_summary(),
+                    ofo_exact,
+                )
             }
             Some(Transport::Sp(s)) => {
                 let if_index = s.if_index;
-                (vec![s.recv_offset()], false, vec![if_index], Vec::new())
+                (
+                    vec![s.recv_offset()],
+                    false,
+                    vec![if_index],
+                    DistSummary::new(),
+                    Vec::new(),
+                )
             }
-            None => (Vec::new(), false, Vec::new(), Vec::new()),
+            None => (Vec::new(), false, Vec::new(), DistSummary::new(), Vec::new()),
         };
         (
             result.download_time().map(|d| d.as_secs_f64()),
             result.bytes,
             per_path,
             ofo,
+            ofo_exact,
             fell_back,
             sub_ifs,
         )
@@ -165,6 +262,7 @@ fn harvest(tb: &mut Testbed, slot: usize, scenario: &Scenario, seed: u64) -> Mea
                 Transport::Mp(c) => {
                     for (i, sf) in c.subflows.iter_mut().enumerate() {
                         let st = sf.sock.stats();
+                        let rtt = sf.sock.rtt().summary().clone();
                         let rtts: Vec<f64> = sf
                             .sock
                             .take_rtt_samples()
@@ -183,6 +281,7 @@ fn harvest(tb: &mut Testbed, slot: usize, scenario: &Scenario, seed: u64) -> Mea
                                 .unwrap_or_default(),
                             data_segs_sent: st.data_segs_sent,
                             rexmit_segs: st.rexmit_segs,
+                            rtt,
                             rtt_samples_ms: rtts,
                             established: sf.sock.stats().established_at.is_some(),
                         });
@@ -190,6 +289,7 @@ fn harvest(tb: &mut Testbed, slot: usize, scenario: &Scenario, seed: u64) -> Mea
                 }
                 Transport::Sp(s) => {
                     let st = s.stats();
+                    let rtt = s.rtt().summary().clone();
                     let rtts: Vec<f64> = s
                         .take_rtt_samples()
                         .iter()
@@ -202,6 +302,7 @@ fn harvest(tb: &mut Testbed, slot: usize, scenario: &Scenario, seed: u64) -> Mea
                         delivered_bytes: bytes,
                         data_segs_sent: st.data_segs_sent,
                         rexmit_segs: st.rexmit_segs,
+                        rtt,
                         rtt_samples_ms: rtts,
                         established: st.established_at.is_some(),
                     });
@@ -230,6 +331,7 @@ fn harvest(tb: &mut Testbed, slot: usize, scenario: &Scenario, seed: u64) -> Mea
         bytes,
         cellular_share,
         subflows,
+        ofo,
         ofo_samples_ms,
         fell_back,
     }

@@ -37,6 +37,9 @@ pub struct TestbedSpec {
     /// switched congestion controllers *at the server* (§3.2) — the server
     /// is the data sender, so its controller is the one that matters.
     pub server_mptcp: MptcpConfig,
+    /// TCP configuration for plain (non-MPTCP) connections the server
+    /// accepts — lets campaigns disable exact per-sample recording.
+    pub server_tcp: TcpConfig,
 }
 
 impl TestbedSpec {
@@ -52,6 +55,7 @@ impl TestbedSpec {
                 max_subflows: 8,
                 ..MptcpConfig::default()
             },
+            server_tcp: TcpConfig::default(),
         }
     }
 }
@@ -119,7 +123,7 @@ impl Testbed {
             host.listen(
                 SERVER_PORT,
                 spec.server_mptcp.clone(),
-                (TcpConfig::default(), CcConfig::default()),
+                (spec.server_tcp.clone(), CcConfig::default()),
                 Box::new(|_conn_id| Box::new(HttpServer::new())),
             );
         }

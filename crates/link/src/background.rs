@@ -8,7 +8,9 @@
 use std::any::Any;
 
 use bytes::Bytes;
-use mpw_sim::{serialization_delay, Agent, AgentId, Ctx, Event, Frame, SimDuration, SimRng};
+use mpw_sim::{
+    serialization_delay, Agent, AgentId, Ctx, Event, Frame, SimDuration, SimRng, TimerHandle,
+};
 use serde::{Deserialize, Serialize};
 
 /// Frame tag carried by background traffic (routed to the sink by links).
@@ -48,8 +50,8 @@ pub struct OnOffSource {
     rng: SimRng,
     target: (AgentId, u16),
     on: bool,
-    toggle_gen: u64,
-    frame_gen: u64,
+    toggle_timer: Option<TimerHandle>,
+    frame_timer: Option<TimerHandle>,
     /// Frames injected so far.
     pub frames_sent: u64,
 }
@@ -62,8 +64,8 @@ impl OnOffSource {
             rng,
             target,
             on: false,
-            toggle_gen: 0,
-            frame_gen: 0,
+            toggle_timer: None,
+            frame_timer: None,
             frames_sent: 0,
         }
     }
@@ -76,8 +78,7 @@ impl OnOffSource {
     fn schedule_toggle(&mut self, ctx: &mut Ctx<'_>) {
         let mean = if self.on { self.cfg.mean_on } else { self.cfg.mean_off };
         let dwell = SimDuration::from_secs_f64(self.rng.exponential(mean.as_secs_f64()).max(1e-6));
-        self.toggle_gen += 1;
-        ctx.set_timer(dwell, TOKEN_TOGGLE << 32 | self.toggle_gen);
+        self.toggle_timer = Some(ctx.arm_timer(dwell, TOKEN_TOGGLE));
     }
 
     fn schedule_frame(&mut self, ctx: &mut Ctx<'_>) {
@@ -86,8 +87,7 @@ impl OnOffSource {
         let jittered = SimDuration::from_secs_f64(
             self.rng.exponential(gap.as_secs_f64().max(1e-9)),
         );
-        self.frame_gen += 1;
-        ctx.set_timer(jittered, TOKEN_FRAME << 32 | self.frame_gen);
+        self.frame_timer = Some(ctx.arm_timer(jittered, TOKEN_FRAME));
     }
 }
 
@@ -109,24 +109,30 @@ impl Agent for OnOffSource {
                 if self.expired(ctx) {
                     return;
                 }
-                let kind = token >> 32;
-                let gen = token & 0xffff_ffff;
-                if kind == TOKEN_TOGGLE && gen == self.toggle_gen {
+                if token == TOKEN_TOGGLE {
+                    self.toggle_timer = None;
                     self.on = !self.on;
                     self.schedule_toggle(ctx);
                     if self.on {
                         self.schedule_frame(ctx);
+                    } else if let Some(h) = self.frame_timer.take() {
+                        // Going quiet: retract the pending frame instead of
+                        // letting a stale timer fire and be ignored.
+                        ctx.cancel_timer(h);
                     }
-                } else if kind == TOKEN_FRAME && gen == self.frame_gen && self.on {
-                    let bytes = Bytes::from(vec![0u8; self.cfg.frame_bytes]);
-                    ctx.send_frame(
-                        self.target.0,
-                        self.target.1,
-                        SimDuration::ZERO,
-                        Frame::tagged(bytes, BACKGROUND_META),
-                    );
-                    self.frames_sent += 1;
-                    self.schedule_frame(ctx);
+                } else if token == TOKEN_FRAME {
+                    self.frame_timer = None;
+                    if self.on {
+                        let bytes = Bytes::from(vec![0u8; self.cfg.frame_bytes]);
+                        ctx.send_frame(
+                            self.target.0,
+                            self.target.1,
+                            SimDuration::ZERO,
+                            Frame::tagged(bytes, BACKGROUND_META),
+                        );
+                        self.frames_sent += 1;
+                        self.schedule_frame(ctx);
+                    }
                 }
             }
             Event::Frame { .. } => {}

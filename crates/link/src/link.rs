@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 use mpw_sim::trace::{DropReason, TraceEvent, TraceLevel};
 use mpw_sim::{
     serialization_delay, Agent, AgentId, Ctx, Event, Frame, SimDuration, SimRng, SimTime,
+    TimerHandle,
 };
 use serde::{Deserialize, Serialize};
 
@@ -160,7 +161,10 @@ pub struct LinkAgent {
     q: VecDeque<Frame>,
     q_bytes: usize,
     in_service: Option<(Frame, u32)>,
-    service_gen: u64,
+    /// Cancellable handle of the pending service/resume completion timer.
+    /// Handles go stale on fire, so no generation counter is needed to
+    /// reject superseded timers.
+    service_timer: Option<TimerHandle>,
     rrc: RrcState,
     last_delivery: SimTime,
     stats: LinkStats,
@@ -185,7 +189,7 @@ impl LinkAgent {
             q: VecDeque::new(),
             q_bytes: 0,
             in_service: None,
-            service_gen: 0,
+            service_timer: None,
             rrc,
             last_delivery: SimTime::ZERO,
             stats: LinkStats::default(),
@@ -266,9 +270,8 @@ impl LinkAgent {
         let rate = self.cfg.rate.rate_at(start, &mut self.rng);
         let ser = serialization_delay(frame.wire_len(), rate);
         self.in_service = Some((frame, 0));
-        self.service_gen += 1;
         let delay = start.saturating_since(now) + ser;
-        ctx.set_timer(delay, TOKEN_SERVICE | self.service_gen);
+        self.service_timer = Some(ctx.arm_timer(delay, TOKEN_SERVICE));
     }
 
     fn finish_service(&mut self, ctx: &mut Ctx<'_>) {
@@ -330,8 +333,7 @@ impl LinkAgent {
             let resume = ser * tries as u64;
             // Hold the server busy with a zero-length placeholder.
             self.in_service = Some((Frame::new(bytes::Bytes::new()), 0));
-            self.service_gen += 1;
-            ctx.set_timer(resume, TOKEN_RESUME | self.service_gen);
+            self.service_timer = Some(ctx.arm_timer(resume, TOKEN_RESUME));
         }
 
         // Delivery: propagation + ARQ turnarounds + jitter, order-preserved.
@@ -391,12 +393,14 @@ impl Agent for LinkAgent {
                 self.try_start_service(ctx);
             }
             Event::Timer { token } => {
-                if token == TOKEN_SERVICE | self.service_gen {
+                // Only a live timer delivers here (cancellable timers are
+                // generation-checked by the engine), so no staleness test.
+                self.service_timer = None;
+                if token == TOKEN_SERVICE {
                     self.finish_service(ctx);
-                } else if token == TOKEN_RESUME | self.service_gen {
+                } else if token == TOKEN_RESUME {
                     self.resume_service(ctx);
                 }
-                // Stale service timers (superseded generations) are ignored.
             }
         }
     }

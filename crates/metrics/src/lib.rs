@@ -12,9 +12,11 @@
 pub mod analyze;
 pub mod ccdf;
 pub mod stats;
+pub mod stream;
 pub mod table;
 
 pub use analyze::{analyze_flows, analyze_ofo_delays, FlowAnalysis, FlowKey};
 pub use ccdf::Ccdf;
 pub use stats::{quantile_sorted, BoxPlot, Summary};
+pub use stream::{DistSummary, LogHistogram, P2Quantile, StreamingStats};
 pub use table::{to_json, Table};

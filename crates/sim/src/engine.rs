@@ -4,6 +4,26 @@
 //! [`Agent`] and communicate exclusively by scheduling events through a
 //! [`Ctx`]. The event queue orders by `(time, insertion sequence)`, so runs
 //! are fully deterministic: same seed, same build → identical event order.
+//!
+//! # Timers
+//!
+//! Two timer paths exist:
+//!
+//! * **Cancellable timers** ([`Ctx::arm_timer`] → [`TimerHandle`]) are the
+//!   fast path for anything that is routinely superseded (RTO restarts,
+//!   delayed-ACK, link service completions). Cancelling or rescheduling is
+//!   O(1): the slab entry is invalidated and the already-queued heap entry
+//!   becomes a *tombstone* that is discarded with a single generation check
+//!   when it surfaces. A live-entry counter triggers heap compaction when
+//!   tombstones dominate, so the calendar never grows unboundedly with
+//!   superseded timers. (A hierarchical timer wheel was the alternative
+//!   design; the tombstone heap benches faster here because cancellations
+//!   are O(1) without bucket cascades and the `(time, seq)` total order —
+//!   which the determinism guarantee rests on — is preserved for free. See
+//!   DESIGN.md §5.1.)
+//! * **Raw timers** ([`Ctx::set_timer`] / [`World::schedule`] with
+//!   [`Event::Timer`]) are fire-and-forget: never cancelled by the engine.
+//!   The harness uses them for one-shot kickoffs (e.g. connection opens).
 
 use std::any::Any;
 use std::cmp::Reverse;
@@ -19,6 +39,9 @@ use crate::trace::{Trace, TraceEvent, TraceLevel};
 pub type AgentId = u32;
 
 /// A frame in flight: the serialized wire bytes of one packet.
+///
+/// The payload is a [`Bytes`] handle, so forwarding a frame across hops and
+/// fanning it out over links clones a reference count, not the packet.
 #[derive(Clone, Debug)]
 pub struct Frame {
     /// Serialized packet, including protocol headers.
@@ -60,11 +83,11 @@ pub enum Event {
         /// The frame itself.
         frame: Frame,
     },
-    /// A timer set earlier by this agent fired. Timers are never cancelled
-    /// by the engine; agents detect stale timers with their own `token`
-    /// bookkeeping (generation counters).
+    /// A timer fired. Both raw timers ([`Ctx::set_timer`]) and cancellable
+    /// timers ([`Ctx::arm_timer`]) deliver this event; the `token` is the
+    /// value the agent supplied when arming.
     Timer {
-        /// Token passed to [`Ctx::set_timer`].
+        /// Token passed to [`Ctx::set_timer`] / [`Ctx::arm_timer`].
         token: u64,
     },
 }
@@ -80,12 +103,90 @@ pub trait Agent: Any {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
+/// Handle to a cancellable timer armed with [`Ctx::arm_timer`].
+///
+/// Handles are generation-checked: once the timer fires, is cancelled, or
+/// is rescheduled, the old handle goes stale and all operations on it are
+/// harmless no-ops (`cancel_timer` returns `false`, `reschedule_timer`
+/// returns `None`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimerHandle {
+    slot: u32,
+    gen: u32,
+}
+
+/// Slab entry backing one armed timer.
+#[derive(Debug)]
+struct TimerSlot {
+    /// Generation; bumped whenever the slot is disarmed or re-armed, which
+    /// invalidates outstanding handles and queued heap entries in O(1).
+    gen: u32,
+    agent: AgentId,
+    token: u64,
+    armed: bool,
+}
+
+/// Arena of cancellable timers. Slots are pooled through a free list, so
+/// steady-state churn (arm → fire → arm …) allocates nothing.
+#[derive(Default, Debug)]
+struct TimerSlab {
+    slots: Vec<TimerSlot>,
+    free: Vec<u32>,
+    /// Armed timers (live heap entries that will actually fire).
+    live: usize,
+}
+
+impl TimerSlab {
+    fn arm(&mut self, agent: AgentId, token: u64) -> TimerHandle {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            debug_assert!(!s.armed);
+            s.agent = agent;
+            s.token = token;
+            s.armed = true;
+            TimerHandle { slot, gen: s.gen }
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(TimerSlot { gen: 0, agent, token, armed: true });
+            TimerHandle { slot, gen: 0 }
+        }
+    }
+
+    fn is_live(&self, h: TimerHandle) -> bool {
+        self.slots
+            .get(h.slot as usize)
+            .is_some_and(|s| s.armed && s.gen == h.gen)
+    }
+
+    /// Disarm and recycle; returns the slot's token if the handle was live.
+    fn disarm(&mut self, h: TimerHandle) -> Option<u64> {
+        let s = self.slots.get_mut(h.slot as usize)?;
+        if !s.armed || s.gen != h.gen {
+            return None;
+        }
+        s.armed = false;
+        s.gen = s.gen.wrapping_add(1);
+        self.live -= 1;
+        self.free.push(h.slot);
+        Some(s.token)
+    }
+}
+
+/// Internal queued payload: either a public API event or a slab-timer
+/// reference that is resolved (and validity-checked) at pop time.
+#[derive(Debug)]
+enum QueuedEv {
+    Api(Event),
+    SlabTimer { slot: u32, gen: u32 },
+}
+
 #[derive(Debug)]
 struct Queued {
     at: SimTime,
     seq: u64,
     dst: AgentId,
-    ev: Event,
+    ev: QueuedEv,
 }
 
 impl PartialEq for Queued {
@@ -110,6 +211,8 @@ pub struct Ctx<'a> {
     now: SimTime,
     self_id: AgentId,
     out: &'a mut Vec<Queued>,
+    timers: &'a mut TimerSlab,
+    dead_entries: &'a mut usize,
     trace: &'a mut Trace,
     seq: &'a mut u64,
 }
@@ -125,7 +228,7 @@ impl<'a> Ctx<'a> {
         self.self_id
     }
 
-    fn push(&mut self, at: SimTime, dst: AgentId, ev: Event) {
+    fn push(&mut self, at: SimTime, dst: AgentId, ev: QueuedEv) {
         let seq = *self.seq;
         *self.seq += 1;
         self.out.push(Queued { at, seq, dst, ev });
@@ -133,13 +236,48 @@ impl<'a> Ctx<'a> {
 
     /// Deliver `frame` to `dst`'s `port` after `delay`.
     pub fn send_frame(&mut self, dst: AgentId, port: u16, delay: SimDuration, frame: Frame) {
-        self.push(self.now + delay, dst, Event::Frame { port, frame });
+        self.push(self.now + delay, dst, QueuedEv::Api(Event::Frame { port, frame }));
     }
 
     /// Arrange for [`Event::Timer`] with `token` to fire on this agent after
-    /// `delay`.
+    /// `delay`. Raw path: the timer cannot be cancelled; agents that rearm
+    /// raw timers must detect stale deliveries themselves. Prefer
+    /// [`Ctx::arm_timer`] for anything that can be superseded.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
-        self.push(self.now + delay, self.self_id, Event::Timer { token });
+        self.push(self.now + delay, self.self_id, QueuedEv::Api(Event::Timer { token }));
+    }
+
+    /// Arm a cancellable timer: [`Event::Timer`] with `token` fires on this
+    /// agent after `delay` unless the returned handle is cancelled or
+    /// rescheduled first. The handle goes stale once the timer fires.
+    pub fn arm_timer(&mut self, delay: SimDuration, token: u64) -> TimerHandle {
+        let h = self.timers.arm(self.self_id, token);
+        self.push(
+            self.now + delay,
+            self.self_id,
+            QueuedEv::SlabTimer { slot: h.slot, gen: h.gen },
+        );
+        h
+    }
+
+    /// Cancel a timer armed with [`Ctx::arm_timer`]. Returns whether the
+    /// timer was still pending (stale handles return `false`).
+    pub fn cancel_timer(&mut self, h: TimerHandle) -> bool {
+        if self.timers.disarm(h).is_some() {
+            *self.dead_entries += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Move a pending timer to fire after `delay` instead, keeping its
+    /// token. Returns the replacement handle, or `None` if `h` was stale
+    /// (already fired or cancelled) — in that case arm a fresh timer.
+    pub fn reschedule_timer(&mut self, h: TimerHandle, delay: SimDuration) -> Option<TimerHandle> {
+        let token = self.timers.disarm(h)?;
+        *self.dead_entries += 1;
+        Some(self.arm_timer(delay, token))
     }
 
     /// Record a trace event at the current time.
@@ -164,17 +302,37 @@ pub enum RunOutcome {
     EventBudgetExhausted,
 }
 
+/// Event-loop counters, exposed for benches and perf regression tracking.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events delivered to agents.
+    pub events_delivered: u64,
+    /// Tombstoned timer entries discarded at pop (cancelled/rescheduled).
+    pub stale_timer_pops: u64,
+    /// Heap compactions performed.
+    pub compactions: u64,
+}
+
 /// The simulation world: clock, event queue, agents, trace, RNG factory.
 pub struct World {
     now: SimTime,
     heap: BinaryHeap<Reverse<Queued>>,
     agents: Vec<Option<Box<dyn Agent>>>,
+    timers: TimerSlab,
+    /// Queued heap entries known to be tombstones (their slab generation
+    /// was bumped by cancel/reschedule). Drives compaction.
+    dead_entries: usize,
+    /// Persistent staging buffer for events scheduled inside a handler;
+    /// capacity adapts to the observed per-dispatch fan-out, so the steady
+    /// state allocates nothing per event.
+    staged: Vec<Queued>,
     trace: Trace,
     rng: RngFactory,
     seq: u64,
     started: bool,
     events_processed: u64,
     event_budget: u64,
+    stats: EngineStats,
 }
 
 impl World {
@@ -184,6 +342,9 @@ impl World {
             now: SimTime::ZERO,
             heap: BinaryHeap::new(),
             agents: Vec::new(),
+            timers: TimerSlab::default(),
+            dead_entries: 0,
+            staged: Vec::new(),
             trace: Trace::new(trace_level),
             rng: RngFactory::new(seed),
             seq: 0,
@@ -191,6 +352,7 @@ impl World {
             events_processed: 0,
             // Generous default: a 512 MB download is ~4M events round trip.
             event_budget: 2_000_000_000,
+            stats: EngineStats::default(),
         }
     }
 
@@ -210,18 +372,13 @@ impl World {
         let id = self.agents.len() as AgentId;
         self.agents.push(Some(agent));
         if self.started {
-            self.push_event(self.now, id, Event::Start);
+            self.push_event(self.now, id, QueuedEv::Api(Event::Start));
         }
         id
     }
 
-    fn push_event(&mut self, at: SimTime, dst: AgentId, ev: Event) {
-        let q = Queued {
-            at,
-            seq: self.seq,
-            dst,
-            ev,
-        };
+    fn push_event(&mut self, at: SimTime, dst: AgentId, ev: QueuedEv) {
+        let q = Queued { at, seq: self.seq, dst, ev };
         self.seq += 1;
         self.heap.push(Reverse(q));
     }
@@ -229,7 +386,7 @@ impl World {
     /// Schedule an event from outside any agent (harness use).
     pub fn schedule(&mut self, at: SimTime, dst: AgentId, ev: Event) {
         assert!(at >= self.now, "cannot schedule into the past");
-        self.push_event(at, dst, ev);
+        self.push_event(at, dst, QueuedEv::Api(ev));
     }
 
     /// Current simulated time.
@@ -240,6 +397,16 @@ impl World {
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Event-loop counters (tombstones discarded, compactions, ...).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Cancellable timers currently pending.
+    pub fn live_timers(&self) -> usize {
+        self.timers.live
     }
 
     /// Access the captured trace.
@@ -269,8 +436,39 @@ impl World {
         if !self.started {
             self.started = true;
             for id in 0..self.agents.len() as AgentId {
-                self.push_event(self.now, id, Event::Start);
+                self.push_event(self.now, id, QueuedEv::Api(Event::Start));
             }
+        }
+    }
+
+    /// Rebuild the heap without tombstones. `(at, seq)` keys are preserved,
+    /// so the total event order — and therefore determinism — is unchanged;
+    /// compaction only reclaims memory and pop work.
+    fn compact(&mut self) {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let mut kept: Vec<Reverse<Queued>> = Vec::with_capacity(entries.len());
+        for e in entries {
+            match &e.0.ev {
+                QueuedEv::SlabTimer { slot, gen } => {
+                    if self.timers.is_live(TimerHandle { slot: *slot, gen: *gen }) {
+                        kept.push(e);
+                    } else {
+                        self.stats.stale_timer_pops += 1;
+                    }
+                }
+                QueuedEv::Api(_) => kept.push(e),
+            }
+        }
+        self.heap = BinaryHeap::from(kept);
+        self.dead_entries = 0;
+        self.stats.compactions += 1;
+    }
+
+    /// Compact when tombstones outnumber live entries and are numerous
+    /// enough for the O(n) rebuild to pay for itself.
+    fn maybe_compact(&mut self) {
+        if self.dead_entries > 1024 && self.dead_entries * 2 > self.heap.len() {
+            self.compact();
         }
     }
 
@@ -278,22 +476,39 @@ impl World {
     /// first. The clock never advances past `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
         self.ensure_started();
-        let mut staged: Vec<Queued> = Vec::new();
-        loop {
+        let mut staged = std::mem::take(&mut self.staged);
+        let outcome = loop {
             let Some(Reverse(head)) = self.heap.peek() else {
-                return RunOutcome::Idle;
+                break RunOutcome::Idle;
             };
             if head.at > horizon {
                 self.now = horizon;
-                return RunOutcome::HorizonReached;
+                break RunOutcome::HorizonReached;
             }
             if self.events_processed >= self.event_budget {
-                return RunOutcome::EventBudgetExhausted;
+                break RunOutcome::EventBudgetExhausted;
             }
             let Reverse(q) = self.heap.pop().expect("peeked above");
             debug_assert!(q.at >= self.now, "time went backwards");
+
+            // Resolve the payload; tombstoned timers are discarded without
+            // touching the clock or the destination agent.
+            let ev = match q.ev {
+                QueuedEv::Api(ev) => ev,
+                QueuedEv::SlabTimer { slot, gen } => {
+                    match self.timers.disarm(TimerHandle { slot, gen }) {
+                        Some(token) => Event::Timer { token },
+                        None => {
+                            self.stats.stale_timer_pops += 1;
+                            self.dead_entries = self.dead_entries.saturating_sub(1);
+                            continue;
+                        }
+                    }
+                }
+            };
             self.now = q.at;
             self.events_processed += 1;
+            self.stats.events_delivered += 1;
 
             let idx = q.dst as usize;
             // Take the agent out so it can borrow the world context freely.
@@ -310,16 +525,23 @@ impl World {
                     now: self.now,
                     self_id: q.dst,
                     out: &mut staged,
+                    timers: &mut self.timers,
+                    dead_entries: &mut self.dead_entries,
                     trace: &mut self.trace,
                     seq: &mut self.seq,
                 };
-                agent.handle(q.ev, &mut ctx);
+                agent.handle(ev, &mut ctx);
             }
             self.agents[idx] = Some(agent);
             for ev in staged.drain(..) {
                 self.heap.push(Reverse(ev));
             }
-        }
+            self.maybe_compact();
+        };
+        // Hand the staging buffer (and its grown capacity) back for the
+        // next dispatch loop.
+        self.staged = staged;
+        outcome
     }
 
     /// Run until the event queue drains (or the event budget trips).
@@ -507,5 +729,210 @@ mod tests {
         w.schedule(SimTime::from_secs(5), a, Event::Timer { token: 0 });
         w.run_until_idle();
         w.schedule(SimTime::from_secs(1), a, Event::Timer { token: 1 });
+    }
+
+    // ------------------------------------------------ cancellable timers
+
+    /// Agent driving the cancellable-timer API through scripted actions.
+    #[derive(Default)]
+    struct TimerScript {
+        /// (fire-at-start, delay, token) tuples armed on Start.
+        arm_on_start: Vec<(u64, u64)>,
+        /// Tokens to cancel right after arming (by arm index).
+        cancel_idx: Vec<usize>,
+        /// (arm index, new delay) reschedules right after arming.
+        resched: Vec<(usize, u64)>,
+        handles: Vec<TimerHandle>,
+        fired: Vec<(SimTime, u64)>,
+    }
+
+    impl Agent for TimerScript {
+        fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+            match ev {
+                Event::Start => {
+                    for &(delay, token) in &self.arm_on_start.clone() {
+                        let h = ctx.arm_timer(SimDuration::from_millis(delay), token);
+                        self.handles.push(h);
+                    }
+                    for &i in &self.cancel_idx.clone() {
+                        assert!(ctx.cancel_timer(self.handles[i]));
+                    }
+                    for &(i, delay) in &self.resched.clone() {
+                        let h = ctx
+                            .reschedule_timer(self.handles[i], SimDuration::from_millis(delay))
+                            .expect("live handle");
+                        self.handles[i] = h;
+                    }
+                }
+                Event::Timer { token } => self.fired.push((ctx.now(), token)),
+                Event::Frame { .. } => {}
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn cancelled_timers_never_fire() {
+        let mut w = World::new(1, TraceLevel::Off);
+        let a = w.add_agent(Box::new(TimerScript {
+            arm_on_start: vec![(10, 1), (20, 2), (30, 3)],
+            cancel_idx: vec![1],
+            ..Default::default()
+        }));
+        w.run_until_idle();
+        let s = w.agent::<TimerScript>(a).unwrap();
+        assert_eq!(
+            s.fired,
+            vec![
+                (SimTime::from_millis(10), 1),
+                (SimTime::from_millis(30), 3)
+            ]
+        );
+        assert_eq!(w.live_timers(), 0);
+        assert_eq!(w.stats().stale_timer_pops, 1);
+    }
+
+    #[test]
+    fn reschedule_moves_fire_time_both_directions() {
+        let mut w = World::new(1, TraceLevel::Off);
+        let a = w.add_agent(Box::new(TimerScript {
+            arm_on_start: vec![(10, 1), (20, 2)],
+            // Push token 1 later than token 2; pull token 2 earlier.
+            resched: vec![(0, 50), (1, 5)],
+            ..Default::default()
+        }));
+        w.run_until_idle();
+        let s = w.agent::<TimerScript>(a).unwrap();
+        assert_eq!(
+            s.fired,
+            vec![(SimTime::from_millis(5), 2), (SimTime::from_millis(50), 1)]
+        );
+    }
+
+    #[test]
+    fn stale_handles_are_noops() {
+        struct Stale {
+            h: Option<TimerHandle>,
+            fired: u32,
+        }
+        impl Agent for Stale {
+            fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+                match ev {
+                    Event::Start => {
+                        self.h = Some(ctx.arm_timer(SimDuration::from_millis(1), 7));
+                    }
+                    Event::Timer { .. } => {
+                        self.fired += 1;
+                        let h = self.h.expect("armed");
+                        // Fired → handle is stale: cancel and reschedule
+                        // both report that.
+                        assert!(!ctx.cancel_timer(h));
+                        assert!(ctx.reschedule_timer(h, SimDuration::from_millis(1)).is_none());
+                    }
+                    Event::Frame { .. } => {}
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1, TraceLevel::Off);
+        let a = w.add_agent(Box::new(Stale { h: None, fired: 0 }));
+        w.run_until_idle();
+        assert_eq!(w.agent::<Stale>(a).unwrap().fired, 1);
+    }
+
+    #[test]
+    fn slab_slots_are_pooled_across_churn() {
+        // Arm/supersede in a long chain: the slab must not grow beyond a
+        // handful of slots and the heap must shed tombstones via compaction.
+        struct Churn {
+            h: Option<TimerHandle>,
+            remaining: u32,
+        }
+        impl Agent for Churn {
+            fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+                match ev {
+                    Event::Start | Event::Timer { .. } => {
+                        if let Some(h) = self.h.take() {
+                            ctx.cancel_timer(h);
+                        }
+                        if self.remaining > 0 {
+                            self.remaining -= 1;
+                            // Arm two: one superseded immediately (dead), one live.
+                            let dead = ctx.arm_timer(SimDuration::from_millis(5), 0);
+                            ctx.cancel_timer(dead);
+                            self.h = Some(ctx.arm_timer(SimDuration::from_millis(1), 1));
+                        }
+                    }
+                    Event::Frame { .. } => {}
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1, TraceLevel::Off);
+        let a = w.add_agent(Box::new(Churn { h: None, remaining: 50_000 }));
+        w.run_until_idle();
+        assert_eq!(w.agent::<Churn>(a).unwrap().remaining, 0);
+        assert_eq!(w.live_timers(), 0);
+        assert!(w.timers.slots.len() <= 4, "slab grew to {}", w.timers.slots.len());
+        // All 50k superseded entries were discarded (at pop or compaction)...
+        assert_eq!(w.stats().stale_timer_pops, 50_000);
+        // ...and the heap is empty, not full of tombstones.
+        assert!(w.heap.is_empty());
+    }
+
+    #[test]
+    fn compaction_preserves_event_order() {
+        // Interleave cancellations with same-time raw events and live
+        // timers, force a compaction, and confirm insertion order holds.
+        struct Orderly {
+            fired: Vec<u64>,
+        }
+        impl Agent for Orderly {
+            fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+                match ev {
+                    Event::Start => {
+                        let t = SimDuration::from_millis(10);
+                        for token in 0..2000u64 {
+                            if token % 2 == 0 {
+                                ctx.set_timer(t, token);
+                            } else {
+                                let h = ctx.arm_timer(t, token);
+                                if token % 4 == 1 {
+                                    ctx.cancel_timer(h);
+                                }
+                            }
+                        }
+                    }
+                    Event::Timer { token } => self.fired.push(token),
+                    Event::Frame { .. } => {}
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1, TraceLevel::Off);
+        let a = w.add_agent(Box::new(Orderly { fired: vec![] }));
+        w.run_until_idle();
+        let expect: Vec<u64> = (0..2000u64).filter(|t| t % 4 != 1).collect();
+        assert_eq!(w.agent::<Orderly>(a).unwrap().fired, expect);
     }
 }

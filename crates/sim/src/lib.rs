@@ -23,6 +23,6 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Agent, AgentId, Ctx, Event, Frame, RunOutcome, World};
+pub use engine::{Agent, AgentId, Ctx, EngineStats, Event, Frame, RunOutcome, TimerHandle, World};
 pub use rng::{RngFactory, SimRng};
 pub use time::{serialization_delay, SimDuration, SimTime};

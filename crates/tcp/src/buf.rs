@@ -10,6 +10,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use bytes::{Bytes, BytesMut};
+use mpw_metrics::DistSummary;
 use mpw_sim::{SimDuration, SimTime};
 
 /// The sender-side stream buffer: bytes the application has written that are
@@ -155,6 +156,9 @@ pub struct Assembler {
     ooo_bytes: usize,
     /// Out-of-order delay samples (recorded only if enabled).
     ofo: Option<Vec<OfoSample>>,
+    /// Streaming summary of out-of-order delays in milliseconds, weighted
+    /// per promoted range (always on; constant memory).
+    ofo_summary: DistSummary,
     /// Total payload bytes accepted (deduplicated).
     accepted: u64,
     /// Duplicate bytes discarded.
@@ -172,6 +176,7 @@ impl Assembler {
             ready_bytes: 0,
             ooo_bytes: 0,
             ofo: record_ofo.then(Vec::new),
+            ofo_summary: DistSummary::new(),
             accepted: 0,
             duplicate_bytes: 0,
         }
@@ -284,10 +289,12 @@ impl Assembler {
             self.next += len as u64;
             self.ooo_bytes -= len;
             self.ready_bytes += len;
+            let delay = now.saturating_since(arrived);
+            self.ofo_summary.push(delay.as_secs_f64() * 1e3);
             if let Some(samples) = &mut self.ofo {
                 samples.push(OfoSample {
                     at: now,
-                    delay: now.saturating_since(arrived),
+                    delay,
                     bytes: len as u32,
                 });
             }
@@ -301,6 +308,12 @@ impl Assembler {
         let (off, data) = self.ready.pop_front()?;
         self.ready_bytes -= data.len();
         Some((off, data))
+    }
+
+    /// Streaming summary of out-of-order delays (ms), one sample per
+    /// promoted range. Populated whether or not exact recording is on.
+    pub fn ofo_summary(&self) -> &DistSummary {
+        &self.ofo_summary
     }
 
     /// Drain recorded out-of-order delay samples.
@@ -483,6 +496,22 @@ mod tests {
             a.insert(2, b(b"cd"), SimTime::from_millis(9));
             let samples = a.take_ofo_samples();
             assert!(samples.iter().all(|s| s.delay == SimDuration::ZERO));
+        }
+
+        #[test]
+        fn ofo_summary_streams_without_recording() {
+            let mut a = Assembler::new(0, false);
+            let t0 = SimTime::from_millis(100);
+            let t1 = SimTime::from_millis(150);
+            a.insert(2, b(b"cd"), t0);
+            a.insert(0, b(b"ab"), t1);
+            // Exact recording is off...
+            assert!(a.take_ofo_samples().is_empty());
+            // ...but the streaming summary still saw both promoted ranges.
+            let s = a.ofo_summary();
+            assert_eq!(s.count(), 2);
+            assert_eq!(s.min(), 0.0);
+            assert_eq!(s.max(), 50.0);
         }
 
         #[test]

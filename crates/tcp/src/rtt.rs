@@ -1,10 +1,12 @@
 //! Round-trip-time estimation and retransmission timeout (RFC 6298).
 //!
 //! Karn's rule is enforced by the caller (the socket never feeds samples
-//! from retransmitted segments). The estimator also keeps every accepted
-//! sample when asked to, because the paper's Figure 12 plots full per-packet
-//! RTT distributions.
+//! from retransmitted segments). A constant-memory [`DistSummary`] of every
+//! accepted sample (in milliseconds) is always maintained for the paper's
+//! Figure 12 distributions; exact per-sample recording remains available
+//! behind `record_samples` for trace cross-check tests.
 
+use mpw_metrics::DistSummary;
 use mpw_sim::{SimDuration, SimTime};
 
 /// RFC 6298 constants.
@@ -25,6 +27,8 @@ pub struct RttEstimator {
     granularity: SimDuration,
     /// All accepted samples (for distribution analysis), if enabled.
     samples: Option<Vec<(SimTime, SimDuration)>>,
+    /// Streaming summary of accepted samples in milliseconds (always on).
+    summary: DistSummary,
     latest: Option<SimDuration>,
     sample_count: u64,
 }
@@ -42,6 +46,7 @@ impl RttEstimator {
             max_rto: SimDuration::from_secs(60),
             granularity: SimDuration::from_millis(1),
             samples: record_samples.then(Vec::new),
+            summary: DistSummary::new(),
             latest: None,
             sample_count: 0,
         }
@@ -51,6 +56,7 @@ impl RttEstimator {
     pub fn on_sample(&mut self, at: SimTime, rtt: SimDuration) {
         self.sample_count += 1;
         self.latest = Some(rtt);
+        self.summary.push(rtt.as_secs_f64() * 1e3);
         if let Some(v) = &mut self.samples {
             v.push((at, rtt));
         }
@@ -106,6 +112,11 @@ impl RttEstimator {
     /// Number of samples accepted.
     pub fn sample_count(&self) -> u64 {
         self.sample_count
+    }
+
+    /// Streaming summary of all accepted samples, in milliseconds.
+    pub fn summary(&self) -> &DistSummary {
+        &self.summary
     }
 
     /// All recorded samples (empty if recording is disabled).
@@ -215,5 +226,25 @@ mod tests {
         e.on_sample(SimTime::ZERO, ms(10));
         assert!(e.samples().is_empty());
         assert_eq!(e.sample_count(), 1);
+    }
+
+    #[test]
+    fn summary_streams_regardless_of_recording() {
+        let mut e = RttEstimator::new(false);
+        for i in 0..100 {
+            e.on_sample(SimTime::from_millis(i * 10), ms(40 + (i % 20)));
+        }
+        let s = e.summary();
+        assert_eq!(s.count(), 100);
+        assert!(e.samples().is_empty());
+        assert!((s.mean() - 49.5).abs() < 1e-9);
+        assert_eq!(s.min(), 40.0);
+        assert_eq!(s.max(), 59.0);
+        // Draining exact samples must not disturb the summary.
+        let mut r = RttEstimator::new(true);
+        r.on_sample(SimTime::ZERO, ms(25));
+        r.take_samples();
+        assert_eq!(r.summary().count(), 1);
+        assert_eq!(r.summary().mean(), 25.0);
     }
 }

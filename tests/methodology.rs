@@ -101,6 +101,43 @@ fn scales_order_by_effort() {
 }
 
 #[test]
+fn campaign_results_identical_across_worker_counts() {
+    // The parallel campaign executor must be a pure throughput optimization:
+    // workers=1 and workers=4 have to produce byte-identical result vectors
+    // (same job order, same seeds, same measurements).
+    let scale = Scale {
+        runs_per_period: 2,
+        all_periods: false,
+    };
+    let serial = run_campaign(&tiny_scenarios(), scale, 7, 1);
+    let parallel = run_campaign(&tiny_scenarios(), scale, 7, 4);
+    assert_eq!(serial.len(), parallel.len());
+    let a = serde_json::to_string(&serial).expect("serialize serial");
+    let b = serde_json::to_string(&parallel).expect("serialize parallel");
+    assert_eq!(a, b, "worker count changed campaign results");
+}
+
+#[test]
+fn traced_reruns_have_identical_trace_digests() {
+    // Same scenario + seed → identical event trace, byte for byte. Guards
+    // the engine's (at, seq) total order across timer/allocation changes.
+    use mpwild::experiments::run_measurement_traced;
+    use mpwild::sim::trace::TraceLevel;
+    let sc = tiny_scenarios().remove(1);
+    let (m1, tb1) = run_measurement_traced(&sc, 11, TraceLevel::Full);
+    let (m2, tb2) = run_measurement_traced(&sc, 11, TraceLevel::Full);
+    assert_eq!(
+        tb1.world.trace().digest(),
+        tb2.world.trace().digest(),
+        "same seed produced diverging traces"
+    );
+    assert_eq!(
+        serde_json::to_string(&m1).expect("serialize"),
+        serde_json::to_string(&m2).expect("serialize"),
+    );
+}
+
+#[test]
 fn measurements_carry_full_provenance() {
     let scale = Scale {
         runs_per_period: 1,

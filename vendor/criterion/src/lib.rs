@@ -1,0 +1,268 @@
+//! Offline mini-criterion. Same calling conventions as criterion 0.5
+//! (`Criterion`, `benchmark_group`, `Bencher::iter`/`iter_batched`,
+//! `Throughput`, `criterion_group!`/`criterion_main!`) with a simple
+//! wall-clock measurement loop and no statistical machinery.
+//!
+//! One deliberate extension over the real crate: measured results are
+//! retained on the [`Criterion`] value (see [`Criterion::results`]) so
+//! benches can export machine-readable summaries such as
+//! `BENCH_engine.json` without scraping stdout.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work per iteration, used to report a rate next to the timing.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; the mini harness treats all
+/// variants identically (setup is always excluded from timing).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full id, `group/function`.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Declared per-iteration work, if any.
+    pub throughput: Option<Throughput>,
+    /// Iterations actually timed.
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// Elements (or bytes) per second, if a throughput was declared.
+    pub fn per_second(&self) -> Option<f64> {
+        let n = match self.throughput? {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        };
+        Some(n as f64 * 1e9 / self.ns_per_iter)
+    }
+}
+
+/// Benchmark driver; collects results from every group.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: &str,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sizing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Cap the number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Target measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full_id = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        // Warm-up pass: repeatedly invoke with a small per-call iteration
+        // count until the warm-up budget elapses (at least once).
+        let warm_start = Instant::now();
+        let mut est_per_iter = Duration::from_nanos(0);
+        loop {
+            let mut b = Bencher { iters: 1, total: Duration::ZERO, done: 0 };
+            f(&mut b);
+            if b.done > 0 {
+                est_per_iter = b.total / (b.done as u32).max(1);
+            }
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Measurement pass: size iteration count to the budget, capped by
+        // sample_size to keep expensive whole-simulation benches bounded.
+        let per_iter_ns = est_per_iter.as_nanos().max(1);
+        let fit = (self.measurement.as_nanos() / per_iter_ns).clamp(1, u128::from(u32::MAX));
+        let iters = (fit as u64).min(self.sample_size as u64).max(1);
+        let mut b = Bencher { iters, total: Duration::ZERO, done: 0 };
+        f(&mut b);
+        let ns_per_iter = if b.done > 0 {
+            b.total.as_nanos() as f64 / b.done as f64
+        } else {
+            0.0
+        };
+        let result = BenchResult {
+            id: full_id,
+            ns_per_iter,
+            throughput: self.throughput,
+            iters: b.done,
+        };
+        let rate = result
+            .per_second()
+            .map(|r| format!("  ({r:.3e}/s)"))
+            .unwrap_or_default();
+        eprintln!("bench {:<44} {:>14.0} ns/iter{rate}", result.id, result.ns_per_iter);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// End the group (kept for API compatibility; results are already
+    /// recorded on the parent `Criterion`).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    done: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, run back-to-back `iters` times.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.done += self.iters;
+    }
+
+    /// Time `routine` only; `setup` runs untimed before each iteration.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.done += 1;
+        }
+    }
+}
+
+/// Bundle benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(5).warm_up_time(Duration::from_millis(1));
+            g.measurement_time(Duration::from_millis(5));
+            g.throughput(Throughput::Elements(100));
+            g.bench_function("spin", |b| {
+                b.iter(|| (0..1000u64).sum::<u64>());
+            });
+            g.bench_function("batched", |b| {
+                b.iter_batched(
+                    || vec![1u64; 64],
+                    |v| v.into_iter().sum::<u64>(),
+                    BatchSize::SmallInput,
+                );
+            });
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].id, "demo/spin");
+        assert!(c.results()[0].ns_per_iter > 0.0);
+        assert!(c.results()[0].per_second().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,428 @@
+//! Offline mini-serde. Instead of serde's visitor architecture, types
+//! convert to and from a concrete [`Value`] tree; `serde_json` (also
+//! vendored) renders and parses that tree. The trait names, derive-macro
+//! names, and JSON-facing representations match real serde's defaults so
+//! workspace code written against serde 1.x compiles unchanged.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree, the interchange format between typed
+/// values and renderers. Maps preserve field order (struct declaration
+/// order) so serialized output is deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (integers widen losslessly).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(n) => i64::try_from(n).ok(),
+            Value::I64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Build a [`DeError`] (used by generated code).
+pub fn de_err(msg: impl Into<String>) -> DeError {
+    DeError(msg.into())
+}
+
+/// Types that can render themselves as a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Fallback when a struct field is absent. `Option<T>` yields `None`
+    /// (matching serde_json's treatment of missing optional fields);
+    /// everything else reports a missing-field error.
+    #[doc(hidden)]
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+// ------------------------------------------------- derive support helpers
+
+/// Generated-code helper: view a value as a map.
+pub fn expect_map<'v>(v: &'v Value, what: &str) -> Result<&'v [(String, Value)], DeError> {
+    match v {
+        Value::Map(m) => Ok(m),
+        other => Err(de_err(format!("expected map for {what}, got {other:?}"))),
+    }
+}
+
+/// Generated-code helper: view a value as a sequence.
+pub fn expect_seq<'v>(v: &'v Value, what: &str) -> Result<&'v [Value], DeError> {
+    match v {
+        Value::Seq(s) => Ok(s),
+        other => Err(de_err(format!("expected sequence for {what}, got {other:?}"))),
+    }
+}
+
+/// Generated-code helper: extract one named field.
+pub fn field<T: Deserialize>(
+    m: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    for (k, v) in m {
+        if k == name {
+            return T::from_value(v)
+                .map_err(|e| de_err(format!("{ty}.{name}: {}", e.0)));
+        }
+    }
+    T::absent().ok_or_else(|| de_err(format!("missing field `{name}` in {ty}")))
+}
+
+/// Generated-code helper: extract one named field marked
+/// `#[serde(default)]` — absence yields `Default::default()`.
+pub fn field_or_default<T: Deserialize + Default>(
+    m: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    for (k, v) in m {
+        if k == name {
+            return T::from_value(v)
+                .map_err(|e| de_err(format!("{ty}.{name}: {}", e.0)));
+        }
+    }
+    Ok(T::default())
+}
+
+/// Generated-code helper: extract one positional element.
+pub fn seq_item<T: Deserialize>(s: &[Value], i: usize, what: &str) -> Result<T, DeError> {
+    let v = s
+        .get(i)
+        .ok_or_else(|| de_err(format!("{what}: missing element {i}")))?;
+    T::from_value(v).map_err(|e| de_err(format!("{what}[{i}]: {}", e.0)))
+}
+
+// ------------------------------------------------------- primitive impls
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| {
+                    de_err(format!("expected unsigned integer, got {v:?}"))
+                })?;
+                <$t>::try_from(n)
+                    .map_err(|_| de_err(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| {
+                    de_err(format!("expected integer, got {v:?}"))
+                })?;
+                <$t>::try_from(n)
+                    .map_err(|_| de_err(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_f64()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| de_err(format!("expected number, got {v:?}")))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| de_err(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| de_err(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        expect_seq(v, "Vec")?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        expect_map(v, "BTreeMap")?
+            .iter()
+            .map(|(k, v)| V::from_value(v).map(|v| (k.clone(), v)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = expect_seq(v, "tuple")?;
+                Ok(($(seq_item::<$t>(s, $n, "tuple")?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Trait-name module aliases matching real serde's layout.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub mod de {
+    pub use crate::{DeError as Error, Deserialize};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_handles_null_and_absent() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::from_value(&Value::U64(3)).unwrap(), Some(3));
+        let m = [("other".to_string(), Value::U64(1))];
+        let missing: Option<u64> = field(&m, "gone", "T").unwrap();
+        assert_eq!(missing, None);
+        assert!(field::<u64>(&m, "gone", "T").is_err());
+    }
+
+    #[test]
+    fn numeric_coercion_widens() {
+        assert_eq!(f64::from_value(&Value::U64(5)).unwrap(), 5.0);
+        assert_eq!(u64::from_value(&Value::I64(5)).unwrap(), 5);
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+    }
+}

@@ -1,0 +1,457 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! mini-serde. Parses the item's token stream by hand (no `syn`/`quote`)
+//! and emits impls of the `Value`-tree traits in `vendor/serde`.
+//!
+//! Supported shapes — exactly the ones this workspace uses:
+//! unit / newtype / tuple / named-field structs, and enums whose variants
+//! are unit, tuple, or struct-like. Generics and `#[serde(...)]`
+//! attributes are intentionally unsupported (the workspace has none);
+//! hitting one panics at compile time with a clear message.
+//!
+//! JSON-facing representation matches real serde's defaults:
+//! newtype structs are transparent, tuple structs are arrays, named
+//! structs are maps, and enums are externally tagged
+//! (`"Variant"` / `{"Variant": ...}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: missing input yields `Default::default()`.
+    default: bool,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("mini serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("mini serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+type Iter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip outer attributes (`#[...]`, including desugared doc comments) and
+/// a visibility qualifier (`pub`, `pub(crate)`, ...). Returns whether a
+/// `#[serde(default)]` attribute was among them; any other `#[serde(...)]`
+/// content is rejected so unsupported serde features fail loudly.
+fn skip_attrs_and_vis(it: &mut Iter) -> bool {
+    let mut serde_default = false;
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let Some(TokenTree::Ident(id)) = tokens.first() {
+                            if id.to_string() == "serde" {
+                                let body = match tokens.get(1) {
+                                    Some(TokenTree::Group(inner)) => inner.stream().to_string(),
+                                    _ => String::new(),
+                                };
+                                if body.trim() == "default" {
+                                    serde_default = true;
+                                } else {
+                                    panic!(
+                                        "mini serde_derive: unsupported attribute #[serde({body})]"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    t => panic!("mini serde_derive: malformed attribute, got {t:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return serde_default,
+        }
+    }
+}
+
+fn parse_item(ts: TokenStream) -> Item {
+    let mut it = ts.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("mini serde_derive: expected `struct` or `enum`, got {t:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("mini serde_derive: expected type name, got {t:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("mini serde_derive: generic type `{name}` is unsupported");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match it.next() {
+                None => Fields::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                Some(TokenTree::Group(g)) => match g.delimiter() {
+                    Delimiter::Brace => Fields::Named(parse_named_fields(g.stream())),
+                    Delimiter::Parenthesis => Fields::Tuple(count_tuple_fields(g.stream())),
+                    d => panic!("mini serde_derive: unexpected struct body delimiter {d:?}"),
+                },
+                t => panic!("mini serde_derive: unexpected token after struct name: {t:?}"),
+            };
+            Item { name, kind: Kind::Struct(fields) }
+        }
+        "enum" => {
+            let body = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                t => panic!("mini serde_derive: expected enum body, got {t:?}"),
+            };
+            Item { name, kind: Kind::Enum(parse_variants(body.stream())) }
+        }
+        other => panic!("mini serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Parse `name: Type, ...` field lists, returning the field names.
+/// Types are skipped by consuming tokens until a comma at angle-depth 0.
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut it = ts.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        let default = skip_attrs_and_vis(&mut it);
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                names.push(Field { name: id.to_string(), default });
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    t => panic!("mini serde_derive: expected `:` after field, got {t:?}"),
+                }
+                skip_type(&mut it);
+            }
+            t => panic!("mini serde_derive: unexpected token in field list: {t:?}"),
+        }
+    }
+    names
+}
+
+/// Consume one type (plus the trailing comma, if any) from a field list.
+fn skip_type(it: &mut Iter) {
+    let mut angle_depth = 0i64;
+    loop {
+        match it.peek() {
+            None => return,
+            Some(TokenTree::Punct(p)) => {
+                let c = p.as_char();
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' {
+                    angle_depth -= 1;
+                } else if c == ',' && angle_depth == 0 {
+                    it.next();
+                    return;
+                }
+                it.next();
+            }
+            Some(_) => {
+                it.next();
+            }
+        }
+    }
+}
+
+/// Count the fields of a tuple struct/variant body.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut angle_depth = 0i64;
+    let mut count = 0usize;
+    let mut pending = false;
+    for tt in ts {
+        match tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    angle_depth += 1;
+                    pending = true;
+                } else if c == '>' {
+                    angle_depth -= 1;
+                    pending = true;
+                } else if c == ',' && angle_depth == 0 {
+                    if pending {
+                        count += 1;
+                    }
+                    pending = false;
+                } else {
+                    pending = true;
+                }
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<(String, Fields)> {
+    let mut it = ts.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            t => panic!("mini serde_derive: unexpected token in enum body: {t:?}"),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                it.next();
+                Fields::Named(f)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator comma.
+        let mut angle_depth = 0i64;
+        loop {
+            match it.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    } else if c == ',' && angle_depth == 0 {
+                        it.next();
+                        break;
+                    }
+                    it.next();
+                }
+                Some(_) => break,
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn to_value(expr: &str) -> String {
+    format!("::serde::Serialize::to_value({expr})")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Fields::Tuple(1)) => to_value("&self.0"),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| to_value(&format!("&self.{i}"))).collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(\"{f}\".to_string(), {})", to_value(&format!("&self.{f}")))
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Map(vec![(\"{v}\".to_string(), {})]),",
+                        to_value("__f0")
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> =
+                            (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> =
+                            (0..*n).map(|i| to_value(&format!("__f{i}"))).collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds =
+                            fs.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                let f = &f.name;
+                                format!("(\"{f}\".to_string(), {})", to_value(f))
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Value::Map(vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => format!("Ok({name})"),
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::seq_item(__s, {i}usize, \"{name}\")?"))
+                .collect();
+            format!(
+                "let __s = ::serde::expect_seq(__v, \"{name}\")?;\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let helper = if f.default { "field_or_default" } else { "field" };
+                    let f = &f.name;
+                    format!("{f}: ::serde::{helper}(__m, \"{f}\", \"{name}\")?,")
+                })
+                .collect();
+            format!(
+                "let __m = ::serde::expect_map(__v, \"{name}\")?;\n\
+                 Ok({name} {{ {} }})",
+                items.join(" ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+                    }
+                    Fields::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::seq_item(__s, {i}usize, \"{name}::{v}\")?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                                 let __s = ::serde::expect_seq(__inner, \"{name}::{v}\")?;\n\
+                                 Ok({name}::{v}({}))\n\
+                             }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                let helper =
+                                    if f.default { "field_or_default" } else { "field" };
+                                let f = &f.name;
+                                format!("{f}: ::serde::{helper}(__m2, \"{f}\", \"{name}::{v}\")?,")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                                 let __m2 = ::serde::expect_map(__inner, \"{name}::{v}\")?;\n\
+                                 Ok({name}::{v} {{ {} }})\n\
+                             }}\n",
+                            items.join(" ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => Err(::serde::de_err(format!(\n\
+                             \"unknown unit variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__k, __inner) = &__m[0];\n\
+                         match __k.as_str() {{\n\
+                             {data_arms}\
+                             __other => Err(::serde::de_err(format!(\n\
+                                 \"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(::serde::de_err(\n\
+                         \"invalid enum representation for {name}\".to_string())),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
