@@ -325,6 +325,43 @@ fn bench_assembler(c: &mut Criterion) {
     g.finish();
 }
 
+/// Capture overhead: the same MPTCP download with taps detached vs
+/// attached at all four per-path vantages. Detached cost is one `Option`
+/// branch per frame and must stay in the noise; attached cost is the
+/// observer dispatch, record accumulation, and final pcapng serialization.
+fn bench_capture_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capture_overhead");
+    g.sample_size(10);
+    let scenario = Scenario {
+        wifi: WifiKind::Home,
+        carrier: Carrier::Att,
+        flow: FlowConfig::mp2(Coupling::Coupled),
+        size: 1 << 20,
+        period: DayPeriod::Night,
+        warmup: true,
+    };
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("mptcp_1mb_taps_off", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let m = run_measurement(&scenario, seed);
+            assert_eq!(m.bytes, 1 << 20);
+            m
+        })
+    });
+    g.bench_function("mptcp_1mb_taps_on", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let (m, _pcap) = mpw_experiments::run_measurement_captured(&scenario, seed);
+            assert_eq!(m.bytes, 1 << 20);
+            m
+        })
+    });
+    g.finish();
+}
+
 fn bench_full_transfer(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
@@ -380,5 +417,6 @@ fn main() {
     bench_wire(&mut criterion);
     bench_assembler(&mut criterion);
     bench_full_transfer(&mut criterion);
+    bench_capture_overhead(&mut criterion);
     write_summary(&criterion);
 }

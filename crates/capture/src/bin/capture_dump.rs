@@ -1,0 +1,90 @@
+//! Print a pcapng capture in tcpdump-like one-line-per-segment format,
+//! with MPTCP option decoding.
+//!
+//! ```text
+//! capture-dump <file.pcapng> [--summary]
+//! ```
+
+use std::io::Write;
+
+use mpw_capture::{analyze, dump, read_pcapng};
+
+fn usage() -> ! {
+    eprintln!("usage: capture-dump <file.pcapng> [--summary]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut summary = false;
+    for a in &args {
+        match a.as_str() {
+            "--summary" => summary = true,
+            "-h" | "--help" => usage(),
+            _ if path.is_none() => path = Some(a.clone()),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let data = match std::fs::read(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("capture-dump: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let file = match read_pcapng(&data) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("capture-dump: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = out.write_all(dump::dump(&file).as_bytes());
+    if summary {
+        // Port 8080 is the testbed's server port; flows towards it are
+        // oriented client→server.
+        let a = analyze(&file, 8080);
+        let _ = writeln!(out, "---");
+        let _ = writeln!(
+            out,
+            "{} interfaces, {} packets, {} drop records, {} pings, {} unparsed",
+            file.interfaces.len(),
+            file.packets.len(),
+            a.drop_records,
+            a.pings,
+            a.unparsed
+        );
+        for (ci, c) in a.connections.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "conn {ci}: {} subflows, {} bytes delivered, cellular share {:.3}, \
+                 {} ofo samples (mean {:.1} ms)",
+                c.subflows.len(),
+                c.delivered_bytes,
+                c.cellular_share(),
+                c.ofo.count(),
+                if c.ofo.count() > 0 { c.ofo.mean() } else { 0.0 },
+            );
+            for (si, s) in c.subflows.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  subflow {si} path{} {} <-> {}: {} data segs, {} rexmit, \
+                     {} B sent, {} B delivered, {} rtt samples (mean {:.1} ms)",
+                    s.path,
+                    s.client,
+                    s.server,
+                    s.data_segs,
+                    s.rexmit_segs,
+                    s.bytes_sent,
+                    s.delivered_bytes,
+                    s.rtt.count(),
+                    if s.rtt.count() > 0 { s.rtt.mean() } else { 0.0 },
+                );
+            }
+        }
+    }
+}

@@ -838,20 +838,9 @@ impl Host {
 }
 
 fn record(conn_id: u32, subflow: usize, seg: &TcpSegment, sent_by_client: bool) -> SegmentRecord {
-    use mpw_sim::trace::flags as tf;
-    let mut flags = 0u8;
-    if seg.has(tcp_flags::SYN) {
-        flags |= tf::SYN;
-    }
-    if seg.has(tcp_flags::ACK) {
-        flags |= tf::ACK;
-    }
-    if seg.has(tcp_flags::FIN) {
-        flags |= tf::FIN;
-    }
-    if seg.has(tcp_flags::RST) {
-        flags |= tf::RST;
-    }
+    // Trace flags use the wire layout (one canonical constant set); the shim
+    // is a plain mask.
+    let flags = mpw_sim::trace::flags::from_wire(seg.flags);
     SegmentRecord {
         conn: conn_id,
         subflow: subflow as u8,

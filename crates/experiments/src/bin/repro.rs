@@ -11,7 +11,7 @@ use mpw_experiments::artifacts::{group_for, groups};
 use mpw_experiments::Scale;
 
 fn usage() -> ! {
-    eprintln!("usage: repro <artifact|group|all|ablations> [--scale quick|default|full] [--seed N] [--workers N] [--out DIR]");
+    eprintln!("usage: repro <artifact|group|all|ablations|capture> [--scale quick|default|full] [--seed N] [--workers N] [--out DIR]");
     eprintln!("artifacts: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 tab1 tab2 tab3 tab4 tab5 tab6 tab7");
     eprintln!(
         "groups: {}",
@@ -57,6 +57,17 @@ fn main() {
             _ => usage(),
         }
         i += 1;
+    }
+
+    if target == "capture" {
+        // Opt-in (not part of `all`): capture an MPTCP download on the
+        // wire, cross-check the offline analysis against the in-stack
+        // metrics, and leave the pcapng behind for capture-dump /
+        // Wireshark. Exits non-zero if the two measurement paths diverge.
+        // `--scale` picks the download size: quick = fig-5-style 2 MB,
+        // default = 8 MB, full = fig-11-style 64 MB backlog.
+        run_capture_artifact(scale, seed, out_dir.as_deref());
+        return;
     }
 
     if target == "ablations" {
@@ -118,6 +129,65 @@ fn main() {
     }
     if !all_pass {
         eprintln!(">> some shape checks did not reproduce (see MISS lines)");
+        std::process::exit(1);
+    }
+}
+
+/// `repro capture`: a captured MPTCP run plus its wire-vs-stack
+/// cross-check, written as `capture.pcapng` + `capture.json` + text report.
+fn run_capture_artifact(scale: Scale, seed: u64, out_dir: Option<&str>) {
+    use mpw_experiments::{crosscheck, Tolerances};
+
+    let size = if scale.runs_per_period >= Scale::FULL.runs_per_period {
+        64 << 20 // fig-11-style backlog transfer
+    } else if scale.runs_per_period <= Scale::QUICK.runs_per_period {
+        mpw_experiments::sizes::S2M // fig-5-style small flow
+    } else {
+        8 << 20
+    };
+    let scenario = mpw_experiments::Scenario {
+        wifi: mpw_experiments::WifiKind::Home,
+        carrier: mpw_link::Carrier::Att,
+        flow: mpw_experiments::FlowConfig::mp2(mpw_mptcp::Coupling::Coupled),
+        size,
+        period: mpw_link::DayPeriod::Night,
+        warmup: true,
+    };
+    eprintln!(">> capturing {} MB MPTCP download (seed {seed}) …", size >> 20);
+    let (m, pcap) = mpw_experiments::run_measurement_captured(&scenario, seed);
+    let file = mpw_capture::read_pcapng(&pcap).expect("own capture parses");
+    let wa = mpw_capture::analyze(&file, mpw_experiments::SERVER_PORT);
+    let report = crosscheck(&m, &wa, &Tolerances::default());
+
+    let mut text = String::new();
+    text.push_str(&format!(
+        "### capture — wire capture + tcptrace-style cross-check\n\n\
+         scenario: {} {:?} {} B, seed {}\n\
+         capture: {} interfaces, {} packets, {} drop records\n\n{}",
+        scenario.flow.label(scenario.carrier),
+        scenario.carrier,
+        scenario.size,
+        seed,
+        file.interfaces.len(),
+        file.packets.len(),
+        wa.drop_records,
+        report.render()
+    ));
+    println!("{text}");
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).expect("create out dir");
+        std::fs::write(format!("{dir}/capture.pcapng"), &pcap).expect("write pcapng");
+        std::fs::write(format!("{dir}/capture.txt"), &text).expect("write txt");
+        std::fs::write(
+            format!("{dir}/capture.json"),
+            serde_json::to_string_pretty(&report).expect("serialize"),
+        )
+        .expect("write json");
+        eprintln!(">> wrote {dir}/capture.pcapng, {dir}/capture.txt, {dir}/capture.json");
+        eprintln!(">> inspect with: capture-dump {dir}/capture.pcapng --summary");
+    }
+    if !report.pass() {
+        eprintln!(">> wire analysis diverged from in-stack metrics");
         std::process::exit(1);
     }
 }

@@ -20,11 +20,16 @@ pub mod ablations;
 pub mod artifacts;
 pub mod campaign;
 pub mod config;
+pub mod crosscheck;
 pub mod measure;
 pub mod testbed;
 
 pub use artifacts::{group_for, groups, Artifact, Check};
 pub use campaign::{group_by, run_campaign, Scale};
 pub use config::{sizes, FlowConfig, Scenario, WifiKind};
-pub use measure::{run_measurement, run_measurement_traced, Measurement, SubflowMeasurement};
+pub use crosscheck::{crosscheck, CrosscheckReport, Tolerances};
+pub use measure::{
+    run_measurement, run_measurement_captured, run_measurement_traced, Measurement,
+    SubflowMeasurement,
+};
 pub use testbed::{Testbed, TestbedSpec, CLIENT_ADDRS, SERVER_ADDRS, SERVER_PORT};

@@ -123,7 +123,20 @@ fn horizon_for(scenario: &Scenario, wifi: &PathSpec, cellular: &PathSpec) -> Sim
 /// Campaign mode: exact per-sample recording is off, distributions come
 /// from the streaming summaries, memory stays flat in download size.
 pub fn run_measurement(scenario: &Scenario, seed: u64) -> Measurement {
-    run_measurement_inner(scenario, seed, TraceLevel::Drops, false).0
+    run_measurement_inner(scenario, seed, TraceLevel::Drops, false, None).0
+}
+
+/// As [`run_measurement`], but with wire capture taps attached at the
+/// paper's four tcpdump vantages per path. Returns the measurement plus the
+/// serialized pcapng capture. The measurement is byte-identical to what
+/// [`run_measurement`] yields for the same scenario and seed: taps observe
+/// without drawing randomness or scheduling events.
+pub fn run_measurement_captured(scenario: &Scenario, seed: u64) -> (Measurement, Vec<u8>) {
+    let hub = mpw_capture::CaptureHub::shared();
+    let (m, _tb) =
+        run_measurement_inner(scenario, seed, TraceLevel::Drops, false, Some(hub.clone()));
+    let pcap = hub.borrow().to_pcapng();
+    (m, pcap)
 }
 
 /// As [`run_measurement`], but with control over trace capture; returns the
@@ -134,7 +147,7 @@ pub fn run_measurement_traced(
     seed: u64,
     trace: TraceLevel,
 ) -> (Measurement, Testbed) {
-    run_measurement_inner(scenario, seed, trace, true)
+    run_measurement_inner(scenario, seed, trace, true, None)
 }
 
 fn run_measurement_inner(
@@ -142,12 +155,14 @@ fn run_measurement_inner(
     seed: u64,
     trace: TraceLevel,
     exact: bool,
+    capture: Option<mpw_capture::SharedHub>,
 ) -> (Measurement, Testbed) {
     let wifi = scenario.wifi.spec(scenario.period);
     let cellular = scenario.carrier.preset();
     let horizon = horizon_for(scenario, &wifi, &cellular);
     let mut spec = TestbedSpec::two_path(seed, wifi, cellular);
     spec.trace = trace;
+    spec.capture = capture;
     spec.dual_homed_server = scenario.flow.needs_dual_homed_server();
     let mut transport = scenario.flow.transport();
     // The server (data sender) runs the scenario's congestion controller

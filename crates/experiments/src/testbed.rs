@@ -6,7 +6,8 @@
 //! advertised via ADD_ADDR. An option-stripping middlebox can be inserted
 //! (the AT&T port-80 proxy scenario).
 
-use mpw_link::{build_path, BuiltPath, PathSpec};
+use mpw_capture::SharedHub;
+use mpw_link::{build_path, BuiltPath, LinkAgent, LinkTap, PathSpec};
 use mpw_mptcp::host::OptionStrippingMiddlebox;
 use mpw_mptcp::{Host, MptcpConfig, OpenRequest, TransportSpec};
 use mpw_http::{HttpServer, Wget};
@@ -40,6 +41,11 @@ pub struct TestbedSpec {
     /// TCP configuration for plain (non-MPTCP) connections the server
     /// accepts — lets campaigns disable exact per-sample recording.
     pub server_tcp: TcpConfig,
+    /// Optional wire-capture hub. When set, every path gets the paper's
+    /// four tcpdump vantages (both link directions, seen at both ends)
+    /// registered on the hub and tapped on the link agents. Taps are pure
+    /// observation, so a captured run is event-identical to a plain one.
+    pub capture: Option<SharedHub>,
 }
 
 impl TestbedSpec {
@@ -56,6 +62,7 @@ impl TestbedSpec {
                 ..MptcpConfig::default()
             },
             server_tcp: TcpConfig::default(),
+            capture: None,
         }
     }
 }
@@ -107,6 +114,36 @@ impl Testbed {
                 to_server,
                 &format!("path{i}"),
             ));
+        }
+        if let Some(hub) = &spec.capture {
+            for (i, p) in paths.iter().enumerate() {
+                // Hub iface ids in vantage order: (up@client, up@server,
+                // down@server, down@client). The uplink's ingress tap is the
+                // client-side sniffer, its egress the server-side one (and
+                // mirrored for the downlink). Link drops are stamped with
+                // the transmit-side vantage they would have crossed.
+                let (uc, us, sd, cd) = hub.borrow_mut().add_path(i as u8);
+                world
+                    .agent_mut::<LinkAgent>(p.uplink)
+                    .expect("uplink agent")
+                    .set_tap(LinkTap {
+                        observer: hub.clone(),
+                        ingress: Some(uc),
+                        egress: Some(us),
+                        drops: Some(uc),
+                        background: false,
+                    });
+                world
+                    .agent_mut::<LinkAgent>(p.downlink)
+                    .expect("downlink agent")
+                    .set_tap(LinkTap {
+                        observer: hub.clone(),
+                        ingress: Some(sd),
+                        egress: Some(cd),
+                        drops: Some(sd),
+                        background: false,
+                    });
+            }
         }
         {
             let host = world.agent_mut::<Host>(client).expect("client host");

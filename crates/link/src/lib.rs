@@ -23,7 +23,7 @@ pub mod rate;
 
 pub use background::{OnOffConfig, OnOffSource, BACKGROUND_META};
 pub use builder::{build_path, BuiltPath};
-pub use link::{ArqConfig, Jitter, LinkAgent, LinkConfig, LinkStats, NullSink, RrcConfig};
+pub use link::{ArqConfig, Jitter, LinkAgent, LinkConfig, LinkStats, LinkTap, NullSink, RrcConfig};
 pub use loss::{GilbertElliott, LossModel};
 pub use presets::{
     att_lte, sprint_evdo, verizon_lte, wifi_home, wifi_home_80211n, wifi_hotspot, wired_lan,

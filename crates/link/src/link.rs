@@ -10,6 +10,7 @@
 use std::any::Any;
 use std::collections::VecDeque;
 
+use mpw_sim::tap::{SharedObserver, TapDir};
 use mpw_sim::trace::{DropReason, TraceEvent, TraceLevel};
 use mpw_sim::{
     serialization_delay, Agent, AgentId, Ctx, Event, Frame, SimDuration, SimRng, SimTime,
@@ -140,6 +141,31 @@ pub struct LinkStats {
     pub peak_queue_bytes: u64,
 }
 
+/// A capture tap attached to one link direction (the simulated `tcpdump -i`).
+///
+/// Each observation point carries its own capture-interface id so a single
+/// observer can tell vantages apart: *ingress* sees a frame the instant the
+/// transmitting host hands it to the link (a sniffer at the sender), *egress*
+/// sees it at its delivery time (a sniffer at the receiver). Points left as
+/// `None` are not observed. Taps are pure observation — they never draw from
+/// the link's RNG or schedule events, so enabling one cannot perturb the
+/// simulation.
+pub struct LinkTap {
+    /// Observer receiving the raw wire bytes.
+    pub observer: SharedObserver,
+    /// Capture-interface id for ingress observations (transmit timestamps).
+    pub ingress: Option<u32>,
+    /// Capture-interface id for egress observations (arrival timestamps).
+    pub egress: Option<u32>,
+    /// Capture-interface id for link-discarded frames (overflow, channel
+    /// loss, ARQ exhaustion). Real tcpdump never sees these; the simulator
+    /// can.
+    pub drops: Option<u32>,
+    /// Also observe tagged background frames (`meta != 0`). Off by default:
+    /// background payloads are synthetic filler that does not parse as TCP.
+    pub background: bool,
+}
+
 const TOKEN_SERVICE: u64 = 1 << 56;
 const TOKEN_RESUME: u64 = 1 << 57;
 
@@ -168,6 +194,9 @@ pub struct LinkAgent {
     rrc: RrcState,
     last_delivery: SimTime,
     stats: LinkStats,
+    /// Optional capture tap. `None` (the default) costs one branch per
+    /// frame — capture machinery is entirely off-path until attached.
+    tap: Option<LinkTap>,
 }
 
 impl LinkAgent {
@@ -193,12 +222,49 @@ impl LinkAgent {
             rrc,
             last_delivery: SimTime::ZERO,
             stats: LinkStats::default(),
+            tap: None,
         }
     }
 
     /// Route tagged (background) frames to a sink instead of the egress.
     pub fn set_sink(&mut self, sink: (AgentId, u16)) {
         self.sink = Some(sink);
+    }
+
+    /// Attach a capture tap to this link direction.
+    pub fn set_tap(&mut self, tap: LinkTap) {
+        self.tap = Some(tap);
+    }
+
+    /// Detach the capture tap, if any.
+    pub fn clear_tap(&mut self) {
+        self.tap = None;
+    }
+
+    #[inline]
+    fn tap_frame(&self, at: SimTime, dir: TapDir, frame: &Frame) {
+        if let Some(tap) = &self.tap {
+            let iface = match dir {
+                TapDir::Ingress => tap.ingress,
+                TapDir::Egress => tap.egress,
+            };
+            if let Some(iface) = iface {
+                if frame.meta == 0 || tap.background {
+                    tap.observer.borrow_mut().frame(at, iface, dir, &frame.bytes);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn tap_drop(&self, at: SimTime, reason: DropReason, frame: &Frame) {
+        if let Some(tap) = &self.tap {
+            if let Some(iface) = tap.drops {
+                if frame.meta == 0 || tap.background {
+                    tap.observer.borrow_mut().dropped(at, iface, reason, &frame.bytes);
+                }
+            }
+        }
     }
 
     /// Replace the channel loss model mid-run (failure injection: e.g. the
@@ -315,6 +381,7 @@ impl LinkAgent {
             } else {
                 DropReason::ChannelLoss
             };
+            self.tap_drop(now, reason, &frame);
             self.stats.dropped_channel += 1;
             ctx.trace(TraceEvent::Drop {
                 component: ctx.self_id(),
@@ -351,6 +418,9 @@ impl LinkAgent {
         };
         self.stats.delivered += 1;
         self.stats.delivered_bytes += frame.wire_len() as u64;
+        // Egress tap: delivery is scheduled now but observed at arrival time,
+        // like a sniffer on the receiving host.
+        self.tap_frame(arrive, TapDir::Egress, &frame);
         ctx.send_frame(dst, port, arrive.saturating_since(now), frame);
         if self.in_service.is_none() {
             self.try_start_service(ctx);
@@ -370,7 +440,12 @@ impl Agent for LinkAgent {
             Event::Start => {}
             Event::Frame { frame, .. } => {
                 let len = frame.wire_len();
+                // Ingress tap: the transmitting host has already put the
+                // frame on the wire, so a sender-side sniffer sees it even
+                // if the queue then overflows.
+                self.tap_frame(ctx.now(), TapDir::Ingress, &frame);
                 if self.q_bytes + len > self.cfg.buffer_bytes {
+                    self.tap_drop(ctx.now(), DropReason::QueueOverflow, &frame);
                     self.stats.dropped_overflow += 1;
                     ctx.trace(TraceEvent::Drop {
                         component: ctx.self_id(),
@@ -698,6 +773,110 @@ mod tests {
         w.run_until_idle();
         let s = w.agent::<NullSink>(fg_sink).unwrap();
         assert_eq!(s.arrivals, vec![SimTime::from_millis(11)]);
+    }
+
+    #[derive(Default)]
+    struct RecordingObserver {
+        frames: Vec<(SimTime, u32, TapDir, usize)>,
+        drops: Vec<(SimTime, u32, DropReason, usize)>,
+    }
+
+    impl mpw_sim::tap::FrameObserver for RecordingObserver {
+        fn frame(&mut self, at: SimTime, iface: u32, dir: TapDir, bytes: &Bytes) {
+            self.frames.push((at, iface, dir, bytes.len()));
+        }
+        fn dropped(&mut self, at: SimTime, iface: u32, reason: DropReason, bytes: &Bytes) {
+            self.drops.push((at, iface, reason, bytes.len()));
+        }
+    }
+
+    #[test]
+    fn tap_sees_ingress_at_transmit_and_egress_at_arrival() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let (mut w, link, _sink) = rig(simple_cfg(12_000_000, 10, 1 << 20));
+        let obs = Rc::new(RefCell::new(RecordingObserver::default()));
+        w.agent_mut::<LinkAgent>(link).unwrap().set_tap(LinkTap {
+            observer: obs.clone(),
+            ingress: Some(1),
+            egress: Some(2),
+            drops: Some(3),
+            background: false,
+        });
+        w.schedule(SimTime::ZERO, link, Event::Frame { port: 0, frame: frame(1500) });
+        w.run_until_idle();
+        let o = obs.borrow();
+        // 12 Mbps, 1500 B => 1 ms serialization; prop 10 ms => arrival 11 ms.
+        assert_eq!(
+            o.frames,
+            vec![
+                (SimTime::ZERO, 1, TapDir::Ingress, 1500),
+                (SimTime::from_millis(11), 2, TapDir::Egress, 1500),
+            ]
+        );
+        assert!(o.drops.is_empty());
+    }
+
+    #[test]
+    fn tap_reports_overflow_and_channel_drops() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        // Buffer fits exactly one 1500-byte frame, and the channel kills it.
+        let mut cfg = simple_cfg(12_000_000, 0, 1500);
+        cfg.loss = LossModel::Bernoulli { p: 1.0 };
+        let (mut w, link, sink) = rig(cfg);
+        let obs = Rc::new(RefCell::new(RecordingObserver::default()));
+        w.agent_mut::<LinkAgent>(link).unwrap().set_tap(LinkTap {
+            observer: obs.clone(),
+            ingress: Some(1),
+            egress: Some(2),
+            drops: Some(3),
+            background: false,
+        });
+        for _ in 0..2 {
+            w.schedule(SimTime::ZERO, link, Event::Frame { port: 0, frame: frame(1500) });
+        }
+        w.run_until_idle();
+        assert_eq!(w.agent::<NullSink>(sink).unwrap().frames, 0);
+        let o = obs.borrow();
+        // Both frames observed on ingress (the sender transmitted both).
+        assert_eq!(o.frames.len(), 2);
+        assert!(o.frames.iter().all(|f| f.2 == TapDir::Ingress));
+        // One overflow drop (second frame), one channel drop (first frame).
+        let reasons: Vec<DropReason> = o.drops.iter().map(|d| d.2).collect();
+        assert!(reasons.contains(&DropReason::QueueOverflow));
+        assert!(reasons.contains(&DropReason::ChannelLoss));
+        assert_eq!(o.drops.len(), 2);
+    }
+
+    #[test]
+    fn tap_skips_background_frames_unless_asked() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let mut w = World::new(1, TraceLevel::Off);
+        let fg_sink = w.add_agent(Box::new(NullSink::default()));
+        let bg_sink = w.add_agent(Box::new(NullSink::default()));
+        let rng = w.rng().stream("t");
+        let mut la = LinkAgent::new(simple_cfg(10_000_000, 1, 1 << 20), rng, (fg_sink, 0));
+        la.set_sink((bg_sink, 0));
+        let obs = Rc::new(RefCell::new(RecordingObserver::default()));
+        la.set_tap(LinkTap {
+            observer: obs.clone(),
+            ingress: Some(0),
+            egress: None,
+            drops: None,
+            background: false,
+        });
+        let link = w.add_agent(Box::new(la));
+        w.schedule(SimTime::ZERO, link, Event::Frame { port: 0, frame: frame(100) });
+        w.schedule(
+            SimTime::ZERO,
+            link,
+            Event::Frame { port: 0, frame: Frame::tagged(Bytes::from(vec![0u8; 100]), 7) },
+        );
+        w.run_until_idle();
+        // Only the untagged foreground frame was observed.
+        assert_eq!(obs.borrow().frames.len(), 1);
     }
 
     #[test]

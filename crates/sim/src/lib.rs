@@ -20,6 +20,7 @@
 
 mod engine;
 pub mod rng;
+pub mod tap;
 pub mod time;
 pub mod trace;
 

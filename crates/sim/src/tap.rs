@@ -1,0 +1,97 @@
+//! Frame-level capture taps (the simulator's `tcpdump` attachment points).
+//!
+//! The [`trace`](crate::trace) module records *compact, stack-annotated*
+//! summaries (the white-box view). A [`FrameObserver`] instead sees the
+//! fully-encoded wire bytes exactly as a link carries them — the black-box
+//! view a packet sniffer would get. Link components expose optional tap
+//! points; when no observer is attached the per-frame cost is a single
+//! `Option` check.
+//!
+//! The trait lives in the substrate (like [`trace`](crate::trace)) so that
+//! `mpw-link` can call into it and `mpw-capture` can implement it without a
+//! dependency cycle.
+//!
+//! Observers are shared via `Rc<RefCell<…>>`: a `World` and all its agents
+//! live on one thread (campaign parallelism builds one world per worker
+//! thread), so single-threaded shared ownership is sufficient and keeps the
+//! crate `forbid(unsafe_code)`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use crate::time::SimTime;
+use crate::trace::DropReason;
+
+/// Where, relative to the observed link, a frame was seen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TapDir {
+    /// Frame entered the link (it just left the transmitting host's stack).
+    Ingress,
+    /// Frame exited the link (it is arriving at the receiving host). The
+    /// timestamp reported for egress observations is the *arrival* time.
+    Egress,
+}
+
+/// A passive observer of frames crossing a tap point.
+///
+/// Implementations must be observation-only: they may copy bytes and record
+/// timestamps but must not influence the simulation (no RNG draws, no event
+/// scheduling). This is what makes capture-on and capture-off runs of the
+/// same seed byte-identical in their metrics.
+pub trait FrameObserver {
+    /// A frame crossed a tap point.
+    ///
+    /// `iface` is the capture-interface id the tap was registered with
+    /// (observer-assigned, not an [`AgentId`](crate::AgentId)); `at` is the
+    /// simulated time of the observation (transmit time for
+    /// [`TapDir::Ingress`], arrival time for [`TapDir::Egress`]).
+    fn frame(&mut self, at: SimTime, iface: u32, dir: TapDir, bytes: &Bytes);
+
+    /// The link discarded a frame instead of delivering it.
+    ///
+    /// Real tcpdump never sees these at the receiver; surfacing them on a
+    /// dedicated channel is the one place the simulated sniffer is more
+    /// powerful than the real one.
+    fn dropped(&mut self, at: SimTime, iface: u32, reason: DropReason, bytes: &Bytes);
+}
+
+/// Shared handle to a frame observer, cloneable across many tap points.
+pub type SharedObserver = Rc<RefCell<dyn FrameObserver>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        frames: usize,
+        drops: usize,
+    }
+
+    impl FrameObserver for Counter {
+        fn frame(&mut self, _at: SimTime, _iface: u32, _dir: TapDir, _bytes: &Bytes) {
+            self.frames += 1;
+        }
+        fn dropped(&mut self, _at: SimTime, _iface: u32, _reason: DropReason, _bytes: &Bytes) {
+            self.drops += 1;
+        }
+    }
+
+    #[test]
+    fn shared_observer_is_cloneable_and_mutable() {
+        let counter = Rc::new(RefCell::new(Counter::default()));
+        let obs: SharedObserver = counter.clone();
+        obs.borrow_mut()
+            .frame(SimTime::ZERO, 0, TapDir::Ingress, &Bytes::from_static(b"x"));
+        obs.borrow_mut().dropped(
+            SimTime::ZERO,
+            1,
+            DropReason::QueueOverflow,
+            &Bytes::from_static(b"y"),
+        );
+        assert_eq!(counter.borrow().frames, 1);
+        assert_eq!(counter.borrow().drops, 1);
+    }
+}

@@ -24,15 +24,59 @@ pub enum Dir {
 }
 
 /// TCP flag bits as captured in trace records.
+///
+/// These are the *canonical* flag constants for the whole workspace and use
+/// the real RFC 793 wire layout, so a trace record's `flags` byte is
+/// bit-identical to the flags field of the encoded TCP header
+/// (`mpw_tcp::wire` re-exports this module as `tcp_flags`). Keeping one
+/// definition prevents the trace vocabulary and the wire codec from
+/// drifting apart.
 pub mod flags {
-    /// Synchronize (connection establishment).
-    pub const SYN: u8 = 0b0000_0001;
-    /// Acknowledgment field is valid.
-    pub const ACK: u8 = 0b0000_0010;
     /// No more data from sender.
-    pub const FIN: u8 = 0b0000_0100;
+    pub const FIN: u8 = 0x01;
+    /// Synchronize (connection establishment).
+    pub const SYN: u8 = 0x02;
     /// Reset the connection.
-    pub const RST: u8 = 0b0000_1000;
+    pub const RST: u8 = 0x04;
+    /// Push buffered data to the application.
+    pub const PSH: u8 = 0x08;
+    /// Acknowledgment field is valid.
+    pub const ACK: u8 = 0x10;
+
+    /// Mask of every flag bit the simulator uses.
+    pub const ALL: u8 = FIN | SYN | RST | PSH | ACK;
+
+    /// Convert a raw wire flags byte into the subset recorded in traces.
+    ///
+    /// Because the trace layout *is* the wire layout this is just a mask,
+    /// but call sites go through the shim so any future divergence has a
+    /// single place to live.
+    #[inline]
+    pub fn from_wire(wire: u8) -> u8 {
+        wire & ALL
+    }
+
+    /// Render flags in tcpdump's compact notation (e.g. `[S.]`, `[P.]`).
+    pub fn tcpdump_str(fl: u8) -> String {
+        let mut s = String::from("[");
+        if fl & SYN != 0 {
+            s.push('S');
+        }
+        if fl & FIN != 0 {
+            s.push('F');
+        }
+        if fl & RST != 0 {
+            s.push('R');
+        }
+        if fl & PSH != 0 {
+            s.push('P');
+        }
+        if fl & ACK != 0 {
+            s.push('.');
+        }
+        s.push(']');
+        s
+    }
 }
 
 /// A compact summary of one TCP segment on the wire.

@@ -15,6 +15,9 @@
 //!   scheduling, and the coupled/OLIA/reno controllers,
 //! - [`http`] — the paper's workloads: wget downloads and streaming sessions,
 //! - [`metrics`] — statistics, CCDFs, and tcptrace-style trace analysis,
+//! - [`capture`] — pcapng wire capture via link taps plus a black-box
+//!   tcptrace-style analyzer that re-derives the headline metrics from the
+//!   captured bytes alone,
 //! - [`experiments`] — the paper's methodology and one driver per
 //!   table/figure (regenerate anything with the `repro` binary).
 //!
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use mpw_capture as capture;
 pub use mpw_experiments as experiments;
 pub use mpw_http as http;
 pub use mpw_link as link;
