@@ -1,0 +1,53 @@
+//! CLI for the determinism lint wall: scans the protocol crates for
+//! wall-clock reads, ambient randomness, and hash-ordered collections.
+//! Exit codes: 0 = clean, 1 = findings, 2 = I/O error.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut root = PathBuf::from(".");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                root = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("usage: lint [--root DIR]");
+                    std::process::exit(2);
+                }));
+            }
+            _ => {
+                eprintln!("usage: lint [--root DIR]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    // Fall back to the workspace root when invoked via `cargo run` from
+    // somewhere else: the manifest dir is crates/check.
+    if !root.join("crates").is_dir() {
+        if let Ok(md) = std::env::var("CARGO_MANIFEST_DIR") {
+            let ws = PathBuf::from(md).join("../..");
+            if ws.join("crates").is_dir() {
+                root = ws;
+            }
+        }
+    }
+    match mpw_check::lint::scan_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("determinism lint: clean");
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("determinism lint: {} finding(s)", findings.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("determinism lint: scan failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}

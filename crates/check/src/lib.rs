@@ -1,0 +1,24 @@
+//! mpw-check: correctness tooling for the mpwild MPTCP stack.
+//!
+//! Three facilities, described in DESIGN.md §5.8:
+//!
+//! * **Invariant oracles** live in the protocol crates themselves
+//!   (`TcpSocket::validate`, `MptcpConnection::validate`,
+//!   `World::validate_timers`, the coupled-CC per-ACK increase oracle).
+//!   They are always compiled; the event-processing paths run them under
+//!   `debug_assertions` or the `check-invariants` feature, which this
+//!   crate's default features force onto its dependencies so the model
+//!   checker checks them even in `--release`.
+//! * **[`explore`]** — a bespoke explicit-state model checker that
+//!   exhaustively enumerates bounded adversarial network schedules (drop /
+//!   reorder / duplicate / timer races) over a real client–server pair of
+//!   [`mpw_mptcp::MptcpConnection`] machines, checking every invariant plus
+//!   end-to-end data integrity and eventual delivery, and printing a
+//!   shrunk, replayable counterexample trace on failure.
+//! * **[`lint`]** — the determinism lint wall: a textual scan of the
+//!   protocol crates for wall-clock reads, ambient randomness, and
+//!   hash-ordered collections, backing up the per-crate `clippy.toml`
+//!   `disallowed-methods` / `disallowed-types` walls.
+
+pub mod explore;
+pub mod lint;

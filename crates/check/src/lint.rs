@@ -1,0 +1,150 @@
+//! The determinism lint wall.
+//!
+//! The protocol crates (`mpw-tcp`, `mpw-mptcp`, `mpw-sim`) must be bitwise
+//! deterministic: same seed, same build → identical event order, identical
+//! traces. Three classes of construct silently break that promise, and
+//! each is walled off twice — by clippy (`disallowed-methods` /
+//! `disallowed-types` in each crate's `clippy.toml`, enforced under
+//! `-D warnings` in CI) and by this textual scan, which also catches uses
+//! clippy cannot see (macros, strings that later get `eval`-style use,
+//! commented-back-in code):
+//!
+//! * **wall clocks** — `Instant::now`, `SystemTime::now`: simulated time
+//!   comes only from `mpw_sim::SimTime`;
+//! * **ambient randomness** — `thread_rng`, `rand::random`: randomness
+//!   comes only from the seeded `RngFactory`/`SimRng` streams;
+//! * **hash-ordered collections** — `HashMap`, `HashSet`: iteration order
+//!   varies across runs/platforms; protocol state uses `BTreeMap`/`BTreeSet`.
+//!
+//! A line may opt out with a `determinism-ok` marker comment plus a reason
+//! (none of the protocol crates currently needs one).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates covered by the wall, relative to the workspace root.
+pub const WALLED_CRATES: [&str; 3] = ["crates/tcp", "crates/core", "crates/sim"];
+
+/// Forbidden tokens and why.
+pub const FORBIDDEN: [(&str, &str); 6] = [
+    ("Instant::now", "wall clock; use mpw_sim::SimTime"),
+    ("SystemTime::now", "wall clock; use mpw_sim::SimTime"),
+    ("thread_rng", "ambient randomness; use the seeded SimRng streams"),
+    ("rand::random", "ambient randomness; use the seeded SimRng streams"),
+    ("HashMap", "nondeterministic iteration order; use BTreeMap"),
+    ("HashSet", "nondeterministic iteration order; use BTreeSet"),
+];
+
+/// One lint hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// File the token was found in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The forbidden token.
+    pub token: &'static str,
+    /// Why it is forbidden.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: `{}` — {}",
+            self.file.display(),
+            self.line,
+            self.token,
+            self.reason
+        )
+    }
+}
+
+/// Scan one source text. `label` is used in findings (usually the path).
+pub fn scan_source(label: &Path, src: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if line.contains("determinism-ok") {
+            continue;
+        }
+        for &(token, reason) in &FORBIDDEN {
+            if line.contains(token) {
+                out.push(Finding {
+                    file: label.to_path_buf(),
+                    line: i + 1,
+                    token,
+                    reason,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<std::io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            walk(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Scan every `.rs` file under the walled crates' `src/` (plus their
+/// `tests/` and `benches/`, which must stay deterministic too), rooted at
+/// the workspace directory.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for krate in WALLED_CRATES {
+        for sub in ["src", "tests", "benches"] {
+            let dir = root.join(krate).join(sub);
+            if dir.is_dir() {
+                walk(&dir, &mut files)?;
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    for f in files {
+        let src = std::fs::read_to_string(&f)?;
+        let rel = f.strip_prefix(root).unwrap_or(&f);
+        findings.extend(scan_source(rel, &src));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scanner_flags_each_forbidden_token() {
+        for &(token, _) in &FORBIDDEN {
+            let src = format!("fn f() {{ let _ = {token}(); }}\n");
+            let hits = scan_source(Path::new("x.rs"), &src);
+            assert_eq!(hits.len(), 1, "token {token} not flagged");
+            assert_eq!(hits[0].token, token);
+            assert_eq!(hits[0].line, 1);
+        }
+    }
+
+    #[test]
+    fn marker_comment_opts_a_line_out() {
+        let src = "let t = Instant::now(); // determinism-ok: test harness timing\n";
+        assert!(scan_source(Path::new("x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let src = "use std::collections::BTreeMap;\nfn f(now: SimTime) {}\n";
+        assert!(scan_source(Path::new("x.rs"), src).is_empty());
+    }
+}

@@ -452,6 +452,9 @@ pub struct MptcpConnection {
     rng: SimRng,
     next_port: u16,
     last_penalty_at: SimTime,
+    /// Test-only fault injection: record fresh DSS mappings shifted back by
+    /// one byte, silently corrupting the dseq space (ISSUE 3's planted bug).
+    inject_overlapping_dss: bool,
     /// Download bookkeeping: when the first SYN left (paper's download-time
     /// start point).
     pub opened_at: SimTime,
@@ -505,6 +508,7 @@ impl MptcpConnection {
             rng,
             next_port,
             last_penalty_at: SimTime::ZERO,
+            inject_overlapping_dss: false,
             opened_at: now,
         };
         conn.spawn_subflow(0, remote, HsRole::CapableClient, now);
@@ -572,6 +576,7 @@ impl MptcpConnection {
             rng,
             next_port: 0,
             last_penalty_at: SimTime::ZERO,
+            inject_overlapping_dss: false,
             opened_at: now,
         };
         conn.accept_subflow(local, remote, HsRole::CapableServer, syn, now);
@@ -876,6 +881,11 @@ impl MptcpConnection {
     /// Housekeeping after any event: advance acks, launch joins, advertise
     /// addresses, reinject from dead subflows, schedule new data.
     pub fn post_event(&mut self, now: SimTime) {
+        self.post_event_inner(now);
+        self.debug_check("post_event");
+    }
+
+    fn post_event_inner(&mut self, now: SimTime) {
         // Fallback short-circuits all MPTCP machinery.
         if self.fell_back() {
             self.pump_fallback();
@@ -1157,10 +1167,17 @@ impl MptcpConnection {
                 break;
             }
             {
+                // Fault injection (test-only): shift the recorded mapping
+                // back one byte so the wire DSS overlaps its predecessor.
+                let map_dseq = if self.inject_overlapping_dss && dseq > 0 {
+                    dseq - 1
+                } else {
+                    dseq
+                };
                 let mut shared = self.shared.borrow_mut();
                 shared.flows[pick]
                     .tx_maps
-                    .push((sub_abs, pushed as u32, dseq));
+                    .push((sub_abs, pushed as u32, map_dseq));
             }
             self.assignments.insert(
                 dseq,
@@ -1248,6 +1265,251 @@ impl MptcpConnection {
     /// Per-subflow established timestamps (subflow utilization analysis).
     pub fn subflow_established_at(&self, idx: usize) -> Option<SimTime> {
         self.shared.borrow().flows.get(idx)?.established_at
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant oracles (ISSUE 3 / DESIGN.md §5.8)
+    // ------------------------------------------------------------------
+
+    /// Record fresh DSS mappings shifted back by one byte — a deliberately
+    /// injected protocol bug used to prove the invariant oracles and the
+    /// model checker catch silent dseq-space corruption. Never set outside
+    /// tests/checkers.
+    #[doc(hidden)]
+    pub fn inject_overlapping_dss(&mut self) {
+        self.inject_overlapping_dss = true;
+    }
+
+    /// Disable the RFC 6356 TCP-compatibility clamp on this connection's
+    /// coupled controller — the second planted bug, caught by the
+    /// per-ACK increase oracle in [`CouplingState`]. Never set outside
+    /// tests/checkers.
+    #[doc(hidden)]
+    pub fn inject_unclamped_cc(&mut self) {
+        self.coupling.borrow_mut().inject_unclamped_increase();
+    }
+
+    /// Check the connection-level protocol invariants. Always compiled
+    /// (the model checker calls it in release builds); the event path runs
+    /// it via `debug_check`, which compiles away in campaign builds.
+    pub fn validate(&self) -> Result<(), String> {
+        self.conn_buf.validate().map_err(|e| format!("conn_buf: {e}"))?;
+        for (i, sf) in self.subflows.iter().enumerate() {
+            sf.sock
+                .validate()
+                .map_err(|e| format!("subflow {i}: {e}"))?;
+        }
+        if let Some(v) = self.coupling.borrow().violation() {
+            return Err(format!("coupling: {v}"));
+        }
+        if self.next_unassigned < self.conn_buf.base() || self.next_unassigned > self.conn_buf.end()
+        {
+            return Err(format!(
+                "next_unassigned {} outside conn_buf [{}, {}]",
+                self.next_unassigned,
+                self.conn_buf.base(),
+                self.conn_buf.end()
+            ));
+        }
+        if self.fell_back() {
+            // Plain-TCP fallback bypasses DSS machinery entirely; the
+            // subflow-level checks above are the whole story.
+            return Ok(());
+        }
+
+        let shared = self.shared.borrow();
+        // --- DSS coverage: assignments ∪ reinject partition the assigned,
+        // --- un-data-acked dseq space [conn_buf.base(), next_unassigned)
+        let mut ranges: Vec<(u64, u64, &str)> = Vec::new();
+        for (&d, a) in &self.assignments {
+            if a.len == 0 {
+                return Err(format!("assignment at {d} has zero length"));
+            }
+            if a.subflow >= self.subflows.len() {
+                return Err(format!(
+                    "assignment at {d} names unknown subflow {}",
+                    a.subflow
+                ));
+            }
+            ranges.push((d, d + a.len as u64, "assignment"));
+        }
+        for &(d, l) in &self.reinject {
+            if l == 0 {
+                return Err(format!("reinject chunk at {d} has zero length"));
+            }
+            ranges.push((d, d + l as u64, "reinject"));
+        }
+        ranges.sort_unstable();
+        let base = self.conn_buf.base();
+        let mut cursor: Option<u64> = None;
+        for &(lo, hi, kind) in &ranges {
+            if hi > self.next_unassigned {
+                return Err(format!(
+                    "{kind} [{lo}, {hi}) beyond next_unassigned {}",
+                    self.next_unassigned
+                ));
+            }
+            match cursor {
+                None => {
+                    if lo > base {
+                        return Err(format!(
+                            "dseq coverage gap: [{base}, {lo}) is assigned but untracked"
+                        ));
+                    }
+                }
+                Some(c) => {
+                    if lo < c {
+                        return Err(format!(
+                            "dseq ranges overlap: {kind} at {lo} begins before {c} — \
+                             a connection-level byte is mapped twice"
+                        ));
+                    }
+                    if lo > c && c >= base {
+                        return Err(format!(
+                            "dseq coverage gap: [{c}, {lo}) is assigned but untracked"
+                        ));
+                    }
+                }
+            }
+            cursor = Some(hi);
+        }
+        let covered_to = cursor.unwrap_or(base);
+        if covered_to < self.next_unassigned {
+            return Err(format!(
+                "dseq coverage gap at tail: [{covered_to}, {}) untracked",
+                self.next_unassigned
+            ));
+        }
+
+        // --- per-flow DSS mappings: contiguous in subflow-stream space,
+        // --- not yet fully subflow-acked, and within the assigned space
+        for (i, fl) in shared.flows.iter().enumerate() {
+            let sock = &self.subflows[i].sock;
+            let mut cursor: Option<u64> = None;
+            for &(s, l, d) in &fl.tx_maps {
+                if l == 0 {
+                    return Err(format!("flow {i}: empty DSS mapping at {s}"));
+                }
+                if let Some(c) = cursor {
+                    if s != c {
+                        return Err(format!(
+                            "flow {i}: DSS mappings not contiguous at subflow offset {s} \
+                             (expected {c})"
+                        ));
+                    }
+                }
+                cursor = Some(s + l as u64);
+                if s + l as u64 > sock.write_offset() {
+                    return Err(format!(
+                        "flow {i}: DSS mapping [{s}, {}) beyond written stream {}",
+                        s + l as u64,
+                        sock.write_offset()
+                    ));
+                }
+                if s + l as u64 <= sock.acked_offset() {
+                    return Err(format!(
+                        "flow {i}: fully acked DSS mapping at {s} not pruned"
+                    ));
+                }
+                if d + l as u64 > self.next_unassigned {
+                    return Err(format!(
+                        "flow {i}: DSS mapping covers dseq [{d}, {}) beyond \
+                         next_unassigned {}",
+                        d + l as u64,
+                        self.next_unassigned
+                    ));
+                }
+            }
+        }
+
+        // --- receive side: reassembly consistent, every delivered byte
+        // --- attributed to exactly one subflow
+        shared.rx.validate().map_err(|e| format!("conn rx: {e}"))?;
+        let per_flow: u64 = shared.flows.iter().map(|f| f.delivered_bytes).sum();
+        if per_flow != shared.rx.accepted_bytes() {
+            return Err(format!(
+                "conn-level byte conservation broken: subflows delivered {per_flow}, \
+                 reassembler accepted {}",
+                shared.rx.accepted_bytes()
+            ));
+        }
+        if let Some(fin) = shared.peer_data_fin {
+            if shared.rx.next_expected() > fin {
+                return Err(format!(
+                    "delivered data beyond peer DATA_FIN: {} > {fin}",
+                    shared.rx.next_expected()
+                ));
+            }
+        }
+        // The peer can only data-ack dseq space we actually assigned
+        // (+1 for our DATA_FIN).
+        let fin_slot = u64::from(shared.tx_data_fin.is_some());
+        if shared.peer_data_ack > self.next_unassigned + fin_slot {
+            return Err(format!(
+                "peer data-acked {} beyond assigned space {}",
+                shared.peer_data_ack,
+                self.next_unassigned + fin_slot
+            ));
+        }
+        Ok(())
+    }
+
+    #[inline]
+    #[allow(unused_variables)]
+    fn debug_check(&self, site: &str) {
+        #[cfg(any(debug_assertions, feature = "check-invariants"))]
+        if let Err(e) = self.validate() {
+            panic!(
+                "MPTCP invariant violated after {site} (conn {}): {e}",
+                self.conn_id
+            );
+        }
+    }
+
+    /// Feed an order-relevant summary of the full connection state into `h`
+    /// — the model checker's state fingerprint. Absolute times are excluded
+    /// (untimed exploration); armed-timer booleans are hashed inside the
+    /// subflow fingerprints.
+    pub fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
+        h.write_u64(self.conn_buf.base());
+        h.write_u64(self.conn_buf.end());
+        h.write_u64(self.next_unassigned);
+        h.write_u8(u8::from(self.app_closed) | (u8::from(self.joins_launched) << 1));
+        for (&d, a) in &self.assignments {
+            h.write_u64(d);
+            h.write_u32(a.len);
+            h.write_usize(a.subflow);
+        }
+        for &(d, l) in &self.reinject {
+            h.write_u64(d);
+            h.write_u32(l);
+        }
+        let shared = self.shared.borrow();
+        h.write_u8(match shared.remote_capable {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+        h.write_u64(shared.peer_data_ack);
+        h.write_u64(shared.peer_data_fin.unwrap_or(u64::MAX));
+        h.write_u64(shared.tx_data_fin.unwrap_or(u64::MAX));
+        h.write_u8(u8::from(shared.data_fin_needs_ack));
+        shared.rx.fingerprint(h);
+        for fl in &shared.flows {
+            h.write_u8(u8::from(fl.established) | (u8::from(fl.closed) << 1));
+            h.write_u64(fl.delivered_bytes);
+            for &(s, l, d) in &fl.tx_maps {
+                h.write_u64(s);
+                h.write_u32(l);
+                h.write_u64(d);
+            }
+        }
+        drop(shared);
+        for sf in &self.subflows {
+            h.write_u8(sf.if_index);
+            h.write_u8(u8::from(sf.backup));
+            sf.sock.fingerprint(h);
+        }
     }
 }
 

@@ -67,6 +67,13 @@ pub struct CouplingState {
     algo: Coupling,
     mss: usize,
     flows: Vec<SubflowCc>,
+    /// First recorded violation of the coupled-increase fairness bound
+    /// (RFC 6356 §3 / OLIA): set by the invariant oracle, surfaced through
+    /// `MptcpConnection::validate` rather than panicking mid-ACK.
+    violation: Option<String>,
+    /// Test-only fault injection: skip the OLIA increase clamp (ISSUE 3's
+    /// deliberately planted bug, used to prove the oracles catch it).
+    unclamped: bool,
 }
 
 impl CouplingState {
@@ -76,7 +83,47 @@ impl CouplingState {
             algo,
             mss,
             flows: Vec::new(),
+            violation: None,
+            unclamped: false,
         }))
+    }
+
+    /// First fairness-bound violation observed, if any.
+    pub fn violation(&self) -> Option<&str> {
+        self.violation.as_deref()
+    }
+
+    /// Disable the OLIA increase clamp — a deliberately injected bug for
+    /// exercising the invariant oracles. Never set outside tests/checkers.
+    #[doc(hidden)]
+    pub fn inject_unclamped_increase(&mut self) {
+        self.unclamped = true;
+    }
+
+    /// The fairness bound every coupled controller must respect on each ACK
+    /// in congestion avoidance (paper §2, RFC 6356 §3): the per-MSS-acked
+    /// increase of flow `i` may not exceed what single-path New Reno would
+    /// add on that flow (`1/w_i`), nor the increase New Reno would achieve
+    /// on the best (fastest-growing) path (`max_j 1/w_j`).
+    #[cfg(any(debug_assertions, feature = "check-invariants"))]
+    fn record_increase_violation(&mut self, i: usize, inc: f64) {
+        if self.violation.is_some() {
+            return;
+        }
+        let eps = 1e-9;
+        let w_i = (self.flows[i].cwnd as f64 / self.mss as f64).max(1e-9);
+        let best = self
+            .live()
+            .map(|(_, w, _)| 1.0 / w.max(1e-9))
+            .fold(0.0f64, f64::max);
+        if inc > 1.0 / w_i + eps || inc > best + eps {
+            self.violation = Some(format!(
+                "{} increase {inc:.6} on flow {i} exceeds New Reno bound \
+                 (1/w_i = {:.6}, best-path = {best:.6})",
+                self.algo.name(),
+                1.0 / w_i
+            ));
+        }
     }
 
     fn register(&mut self, cfg: &CcConfig) -> usize {
@@ -197,7 +244,15 @@ impl CouplingState {
         let inc = base + alpha / w_i.max(1e-9);
         // OLIA never decreases the window on an ACK below zero growth; the
         // negative α term may cancel growth but must not shrink the window.
-        inc.max(-1.0 / w_i.max(1e-9) * 0.5)
+        let inc = inc.max(-1.0 / w_i.max(1e-9) * 0.5);
+        if self.unclamped {
+            return inc;
+        }
+        // TCP-compatibility clamp: the positive re-balancing term may push
+        // the raw increase past New Reno's 1/w_i on a path that already
+        // dominates the rate sum (small w_i, tiny RTT next to a large
+        // slow path); RFC 6356's "no more aggressive than TCP" rule caps it.
+        inc.min(1.0 / w_i.max(1e-9))
     }
 }
 
@@ -263,6 +318,8 @@ impl CongestionControl for CoupledCc {
             }
             Coupling::Olia => st.olia_increase(self.idx),
         };
+        #[cfg(any(debug_assertions, feature = "check-invariants"))]
+        st.record_increase_violation(self.idx, inc_per_mss_acked);
         drop(st);
         // Accumulate fractional MSS growth.
         self.ca_frac += bytes_acked as f64 / mss as f64 * inc_per_mss_acked;
@@ -530,5 +587,143 @@ mod tests {
         drive_to_ca(&mut a);
         let alpha = shared.borrow().lia_alpha();
         assert!((alpha - 1.0).abs() < 1e-9, "alpha {alpha}");
+    }
+
+    /// An asymmetric topology where OLIA's raw (unclamped) increase breaks
+    /// the New Reno bound: flow 0 is small-window/short-RTT with the best
+    /// loss history (so it gets the positive α term) while flow 1 holds the
+    /// max window behind a huge RTT, leaving flow 0 dominating the rate sum.
+    fn asymmetric_olia_state() -> Rc<RefCell<CouplingState>> {
+        let shared = CouplingState::new(Coupling::Olia, 1400);
+        let _a = CoupledCc::new(shared.clone(), cfg());
+        let _b = CoupledCc::new(shared.clone(), cfg());
+        {
+            let mut st = shared.borrow_mut();
+            st.flows[0].cwnd = 10 * 1400;
+            st.flows[0].rtt = 0.01;
+            st.flows[0].epoch_bytes = 1e6;
+            st.flows[0].ssthresh = 1400;
+            st.flows[1].cwnd = 20 * 1400;
+            st.flows[1].rtt = 2.0;
+            st.flows[1].epoch_bytes = 1.0;
+            st.flows[1].ssthresh = 1400;
+        }
+        shared
+    }
+
+    #[test]
+    fn olia_clamp_holds_the_reno_bound_where_raw_term_breaks_it() {
+        let shared = asymmetric_olia_state();
+        let inc = shared.borrow().olia_increase(0);
+        let w0 = 10.0;
+        assert!(
+            inc <= 1.0 / w0 + 1e-9,
+            "clamped OLIA increase {inc} exceeds 1/w_0"
+        );
+        // The same state with the clamp removed *does* break the bound —
+        // i.e., the clamp is load-bearing, not vacuous.
+        shared.borrow_mut().inject_unclamped_increase();
+        let raw = shared.borrow().olia_increase(0);
+        assert!(
+            raw > 1.0 / w0 + 1e-6,
+            "expected the unclamped increase {raw} to break 1/w_0"
+        );
+    }
+
+    #[test]
+    fn injected_unclamped_bug_is_caught_by_the_increase_oracle() {
+        let shared = asymmetric_olia_state();
+        let mut a = CoupledCc::new(shared.clone(), cfg());
+        // Re-point handle 'a' at flow 0 by constructing state fresh: the
+        // two registration handles above were dropped, so build a real
+        // driver for flow index 2 instead — give it the same shape.
+        {
+            let mut st = shared.borrow_mut();
+            st.flows[2].cwnd = 10 * 1400;
+            st.flows[2].rtt = 0.01;
+            st.flows[2].epoch_bytes = 2e6; // strictly best quality
+            st.flows[2].ssthresh = 1400;
+            st.flows[1].alive = true;
+            st.flows[0].alive = false; // keep the 2-path asymmetry
+            st.inject_unclamped_increase();
+        }
+        a.on_ack(1400, SimTime::ZERO);
+        let st = shared.borrow();
+        assert!(
+            st.violation().is_some(),
+            "unclamped OLIA increase went unnoticed"
+        );
+        assert!(st.violation().unwrap().contains("olia"));
+    }
+
+    #[test]
+    fn clamped_controllers_never_record_violations() {
+        for algo in Coupling::ALL {
+            let (mut a, mut b) = two_flows(algo);
+            a.on_rtt_update(SimDuration::from_millis(10));
+            b.on_rtt_update(SimDuration::from_millis(300));
+            drive_to_ca(&mut a);
+            drive_to_ca(&mut b);
+            for _ in 0..500 {
+                a.on_ack(1400, SimTime::ZERO);
+            }
+            b.on_ack(1400, SimTime::ZERO);
+            let shared = a.shared.borrow();
+            assert!(
+                shared.violation().is_none(),
+                "{}: spurious violation {:?}",
+                algo.name(),
+                shared.violation()
+            );
+        }
+    }
+
+    proptest::proptest! {
+        /// The paper's §2 fairness claim, machine-checked: for arbitrary
+        /// window/RTT/loss-history vectors, the per-ACK increase granted to
+        /// any path by LIA or OLIA never exceeds the single-path New Reno
+        /// increase on that path (1/w_i) nor on the best path (max_j 1/w_j).
+        #[test]
+        fn coupled_increases_never_exceed_best_path_reno(
+            windows in proptest::collection::vec(2u64..600, 2..5),
+            rtts_ms in proptest::collection::vec(1u64..800, 4..5),
+            epochs in proptest::collection::vec(0u64..5_000_000, 4..5),
+        ) {
+            let mss = 1400usize;
+            for algo in [Coupling::Coupled, Coupling::Olia] {
+                let shared = CouplingState::new(algo, mss);
+                for (i, &w) in windows.iter().enumerate() {
+                    let _handle = CoupledCc::new(shared.clone(), cfg());
+                    let mut st = shared.borrow_mut();
+                    let fl = st.flows.last_mut().unwrap();
+                    fl.cwnd = w as usize * mss;
+                    fl.rtt = rtts_ms[i % rtts_ms.len()] as f64 / 1e3;
+                    fl.epoch_bytes = epochs[i % epochs.len()] as f64;
+                    fl.prev_epoch_bytes = epochs[(i + 1) % epochs.len()] as f64;
+                }
+                let st = shared.borrow();
+                let best: f64 = windows.iter().map(|&w| 1.0 / w as f64).fold(0.0, f64::max);
+                for (i, &w) in windows.iter().enumerate() {
+                    let w_i = w as f64;
+                    let inc = match algo {
+                        Coupling::Coupled => {
+                            let alpha = st.lia_alpha();
+                            let w_total = st.total_cwnd() as f64 / mss as f64;
+                            (alpha / w_total).min(1.0 / w_i)
+                        }
+                        Coupling::Olia => st.olia_increase(i),
+                        Coupling::Reno => unreachable!(),
+                    };
+                    proptest::prop_assert!(
+                        inc <= 1.0 / w_i + 1e-9,
+                        "{} flow {i}: inc {inc} > 1/w_i {}", algo.name(), 1.0 / w_i
+                    );
+                    proptest::prop_assert!(
+                        inc <= best + 1e-9,
+                        "{} flow {i}: inc {inc} > best-path reno {best}", algo.name()
+                    );
+                }
+            }
+        }
     }
 }

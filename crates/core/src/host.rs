@@ -10,7 +10,7 @@
 //! the kernel implementation does.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mpw_sim::trace::{Dir, DropReason, SegmentRecord, TraceEvent, TraceLevel};
 use mpw_sim::{Agent, AgentId, Ctx, Event, Frame, SimDuration, SimRng, SimTime, TimerHandle};
@@ -247,17 +247,17 @@ pub struct Host {
     app_factory: Option<AppFactory>,
     slots: Vec<Slot>,
     /// (local, remote) → (slot, subflow) demux.
-    demux: HashMap<(Endpoint, Endpoint), (usize, usize)>,
+    demux: BTreeMap<(Endpoint, Endpoint), (usize, usize)>,
     /// MPTCP token → slot (for MP_JOIN).
-    tokens: HashMap<u32, usize>,
+    tokens: BTreeMap<u32, usize>,
     /// JOIN SYNs that arrived before their MP_CAPABLE (simultaneous mode).
     pending_joins: Vec<(u32, Endpoint, Endpoint, TcpSegment, SimTime)>,
     pending_opens: Vec<PendingOpen>,
     /// Ping replies expected: token → (if_index asked).
-    pings_inflight: HashMap<u64, u8>,
+    pings_inflight: BTreeMap<u64, u8>,
     /// Completed ping RTTs.
     pub ping_rtts: Vec<SimDuration>,
-    ping_sent_at: HashMap<u64, SimTime>,
+    ping_sent_at: BTreeMap<u64, SimTime>,
     next_conn_id: u32,
     conn_id_base: u32,
     rng: SimRng,
@@ -286,13 +286,13 @@ impl Host {
             listen_plain_tcp: (TcpConfig::default(), CcConfig::default()),
             app_factory: None,
             slots: Vec::new(),
-            demux: HashMap::new(),
-            tokens: HashMap::new(),
+            demux: BTreeMap::new(),
+            tokens: BTreeMap::new(),
             pending_joins: Vec::new(),
             pending_opens: Vec::new(),
-            pings_inflight: HashMap::new(),
+            pings_inflight: BTreeMap::new(),
             ping_rtts: Vec::new(),
-            ping_sent_at: HashMap::new(),
+            ping_sent_at: BTreeMap::new(),
             next_conn_id: conn_id_base,
             conn_id_base,
             rng,

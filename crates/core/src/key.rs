@@ -41,7 +41,7 @@ mod tests {
 
     #[test]
     fn tokens_differ_across_keys() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for k in 0..10_000u64 {
             seen.insert(token_from_key(key_from_seed(k)));
         }

@@ -171,6 +171,41 @@ impl TimerSlab {
         self.free.push(h.slot);
         Some(s.token)
     }
+
+    /// Structural invariants of the slab: the live counter matches the armed
+    /// slots, every slot is either armed or on the free list, and the free
+    /// list holds each recycled slot exactly once. See DESIGN.md §5.8.
+    fn validate(&self) -> Result<(), String> {
+        let armed = self.slots.iter().filter(|s| s.armed).count();
+        if armed != self.live {
+            return Err(format!(
+                "timer slab: live counter {} != {} armed slots",
+                self.live, armed
+            ));
+        }
+        if self.slots.len() != self.live + self.free.len() {
+            return Err(format!(
+                "timer slab: {} slots != {} live + {} free",
+                self.slots.len(),
+                self.live,
+                self.free.len()
+            ));
+        }
+        let mut on_free_list = vec![false; self.slots.len()];
+        for &f in &self.free {
+            let Some(s) = self.slots.get(f as usize) else {
+                return Err(format!("timer slab: free list references slot {f} out of range"));
+            };
+            if s.armed {
+                return Err(format!("timer slab: free list references armed slot {f}"));
+            }
+            if on_free_list[f as usize] {
+                return Err(format!("timer slab: slot {f} on free list twice"));
+            }
+            on_free_list[f as usize] = true;
+        }
+        Ok(())
+    }
 }
 
 /// Internal queued payload: either a public API event or a slab-timer
@@ -409,6 +444,41 @@ impl World {
         self.timers.live
     }
 
+    /// Check the timer-wheel invariants: slab structure (armed/free/live
+    /// consistency), one live heap entry per armed slot, and an exact
+    /// tombstone count backing the compaction trigger. Meaningful between
+    /// dispatches (the staging buffer must be drained); `run_until` leaves
+    /// the world in that state. Always compiled so harnesses can call it
+    /// from release builds; the engine itself invokes it at compaction only
+    /// under `debug_assertions` / the `check-invariants` feature.
+    pub fn validate_timers(&self) -> Result<(), String> {
+        self.timers.validate()?;
+        let mut live_entries = 0usize;
+        let mut tombstones = 0usize;
+        for e in self.heap.iter() {
+            if let QueuedEv::SlabTimer { slot, gen } = e.0.ev {
+                if self.timers.is_live(TimerHandle { slot, gen }) {
+                    live_entries += 1;
+                } else {
+                    tombstones += 1;
+                }
+            }
+        }
+        if live_entries != self.timers.live {
+            return Err(format!(
+                "timer heap: {} live entries queued for {} armed slots",
+                live_entries, self.timers.live
+            ));
+        }
+        if tombstones != self.dead_entries {
+            return Err(format!(
+                "timer heap: {} tombstones in heap but dead_entries counter says {}",
+                tombstones, self.dead_entries
+            ));
+        }
+        Ok(())
+    }
+
     /// Access the captured trace.
     pub fn trace(&self) -> &Trace {
         &self.trace
@@ -445,6 +515,10 @@ impl World {
     /// so the total event order — and therefore determinism — is unchanged;
     /// compaction only reclaims memory and pop work.
     fn compact(&mut self) {
+        #[cfg(any(debug_assertions, feature = "check-invariants"))]
+        if let Err(e) = self.validate_timers() {
+            panic!("timer invariant violated entering compaction: {e}");
+        }
         let entries = std::mem::take(&mut self.heap).into_vec();
         let mut kept: Vec<Reverse<Queued>> = Vec::with_capacity(entries.len());
         for e in entries {
@@ -893,6 +967,51 @@ mod tests {
         assert_eq!(w.stats().stale_timer_pops, 50_000);
         // ...and the heap is empty, not full of tombstones.
         assert!(w.heap.is_empty());
+    }
+
+    #[test]
+    fn timer_invariants_hold_through_churn_and_compaction() {
+        struct Churn {
+            h: Option<TimerHandle>,
+            remaining: u32,
+        }
+        impl Agent for Churn {
+            fn handle(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+                if matches!(ev, Event::Start | Event::Timer { .. }) {
+                    if let Some(h) = self.h.take() {
+                        ctx.cancel_timer(h);
+                    }
+                    if self.remaining > 0 {
+                        self.remaining -= 1;
+                        // Far-future deadline: the tombstone sits in the heap
+                        // (instead of popping stale) until compaction eats it.
+                        let doomed = ctx.arm_timer(SimDuration::from_secs(900), 0);
+                        let moved = ctx.arm_timer(SimDuration::from_millis(7), 2);
+                        ctx.reschedule_timer(moved, SimDuration::from_millis(3));
+                        ctx.cancel_timer(doomed);
+                        self.h = Some(ctx.arm_timer(SimDuration::from_millis(1), 1));
+                    }
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut w = World::new(1, TraceLevel::Off);
+        w.add_agent(Box::new(Churn { h: None, remaining: 5_000 }));
+        // Step through in slices so validate_timers runs with tombstones
+        // present mid-run, not just on the drained final heap.
+        for ms in (0..60_000).step_by(500) {
+            w.run_until(SimTime::from_millis(ms));
+            w.validate_timers().unwrap();
+        }
+        w.run_until_idle();
+        w.validate_timers().unwrap();
+        assert!(w.stats().compactions > 0, "churn never triggered compaction");
+        assert_eq!(w.live_timers(), 0);
     }
 
     #[test]

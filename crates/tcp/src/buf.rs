@@ -107,6 +107,45 @@ impl SendBuffer {
         }
     }
 
+    /// Check the buffer's structural invariants: chunks form a contiguous,
+    /// gap-free cover of exactly `[base, end)`.
+    ///
+    /// Cheap enough to run after every mutation in tests; campaign builds
+    /// never call it (see `TcpSocket::debug_check`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.base > self.end {
+            return Err(format!("send_buf base {} > end {}", self.base, self.end));
+        }
+        if self.chunks.is_empty() {
+            if self.base != self.end {
+                return Err(format!(
+                    "send_buf has no chunks but covers [{}, {})",
+                    self.base, self.end
+                ));
+            }
+            return Ok(());
+        }
+        let mut cursor = self.base;
+        for (i, (start, data)) in self.chunks.iter().enumerate() {
+            if *start != cursor {
+                return Err(format!(
+                    "send_buf chunk {i} starts at {start}, expected {cursor} (gap or overlap)"
+                ));
+            }
+            if data.is_empty() {
+                return Err(format!("send_buf chunk {i} at {start} is empty"));
+            }
+            cursor = start + data.len() as u64;
+        }
+        if cursor != self.end {
+            return Err(format!(
+                "send_buf chunks end at {cursor}, expected end {}",
+                self.end
+            ));
+        }
+        Ok(())
+    }
+
     /// Release everything below `new_base` (cumulative acknowledgment).
     pub fn advance(&mut self, new_base: u64) {
         let new_base = new_base.min(self.end);
@@ -150,6 +189,8 @@ pub struct Assembler {
     segs: BTreeMap<u64, (Bytes, SimTime)>,
     /// Next in-order offset expected.
     next: u64,
+    /// The offset this assembler started at (for byte-conservation checks).
+    origin: u64,
     /// Ready in-order data not yet consumed by the layer above.
     ready: VecDeque<(u64, Bytes)>,
     ready_bytes: usize,
@@ -172,6 +213,7 @@ impl Assembler {
         Assembler {
             segs: BTreeMap::new(),
             next: start,
+            origin: start,
             ready: VecDeque::new(),
             ready_bytes: 0,
             ooo_bytes: 0,
@@ -322,6 +364,93 @@ impl Assembler {
             Some(v) => std::mem::take(v),
             None => Vec::new(),
         }
+    }
+
+    /// Feed an order-relevant summary (in-order point, out-of-order ranges,
+    /// undelivered ready bytes) into `h` for model-checker state hashing.
+    pub fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
+        h.write_u64(self.next);
+        h.write_u64(self.origin);
+        h.write_usize(self.ready_bytes);
+        for (&start, (data, _)) in &self.segs {
+            h.write_u64(start);
+            h.write_usize(data.len());
+        }
+    }
+
+    /// Check the reassembly invariants (ISSUE 3 / DESIGN.md §5.8):
+    /// out-of-order segments are disjoint, above the in-order point, and
+    /// their byte count matches `ooo_bytes`; ready chunks are contiguous and
+    /// end exactly at `next`; accepted bytes are conserved
+    /// (`accepted == (next - origin) + ooo_bytes`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.next < self.origin {
+            return Err(format!(
+                "assembler next {} below origin {}",
+                self.next, self.origin
+            ));
+        }
+        // Out-of-order store: every segment strictly above `next`, sorted
+        // and non-overlapping (adjacency is allowed — merging is lazy).
+        let mut cursor = self.next;
+        let mut ooo = 0usize;
+        for (&start, (data, _)) in &self.segs {
+            if data.is_empty() {
+                return Err(format!("assembler stores empty segment at {start}"));
+            }
+            if start <= self.next {
+                // A segment at exactly `next` would have been promoted.
+                return Err(format!(
+                    "assembler segment at {start} not above in-order point {}",
+                    self.next
+                ));
+            }
+            if start < cursor {
+                return Err(format!(
+                    "assembler segments overlap: segment at {start} begins before {cursor}"
+                ));
+            }
+            cursor = start + data.len() as u64;
+            ooo += data.len();
+        }
+        if ooo != self.ooo_bytes {
+            return Err(format!(
+                "assembler ooo_bytes {} != stored segment bytes {ooo}",
+                self.ooo_bytes
+            ));
+        }
+        // Ready queue: contiguous, ending exactly at `next`.
+        let mut ready = 0usize;
+        let mut expect = self.next - self.ready_bytes as u64;
+        for (off, data) in &self.ready {
+            if *off != expect {
+                return Err(format!(
+                    "assembler ready chunk at {off}, expected {expect} (gap in delivered stream)"
+                ));
+            }
+            expect += data.len() as u64;
+            ready += data.len();
+        }
+        if expect != self.next || ready != self.ready_bytes {
+            return Err(format!(
+                "assembler ready queue ends at {expect} ({ready} bytes), \
+                 expected next {} ({} bytes)",
+                self.next, self.ready_bytes
+            ));
+        }
+        // Byte conservation: every accepted byte is either delivered
+        // in-order (next - origin, including already-popped bytes) or still
+        // waiting out of order. Exactly-once coverage of the stream.
+        let conserved = (self.next - self.origin) + self.ooo_bytes as u64;
+        if self.accepted != conserved {
+            return Err(format!(
+                "assembler byte conservation broken: accepted {} != in-order {} + ooo {}",
+                self.accepted,
+                self.next - self.origin,
+                self.ooo_bytes
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -519,11 +519,220 @@ impl TcpSocket {
     }
 
     // ------------------------------------------------------------------
+    // Invariant oracles (ISSUE 3 / DESIGN.md §5.8)
+    // ------------------------------------------------------------------
+
+    /// Check the socket's machine-checkable protocol invariants.
+    ///
+    /// Always compiled (the `mpw-check` model checker calls it explicitly,
+    /// even in release builds); the hot-path entry points only run it via
+    /// [`TcpSocket::debug_check`], which compiles away unless
+    /// `debug_assertions` or the `check-invariants` feature is active.
+    pub fn validate(&self) -> Result<(), String> {
+        // --- send side: SND.UNA ≤ SND.NXT, wraparound-safely ---
+        if self.snd_una > self.snd_nxt {
+            return Err(format!(
+                "snd_una {} > snd_nxt {}",
+                self.snd_una, self.snd_nxt
+            ));
+        }
+        if self.snd_nxt > self.send_buf.end() {
+            return Err(format!(
+                "snd_nxt {} beyond written stream end {}",
+                self.snd_nxt,
+                self.send_buf.end()
+            ));
+        }
+        // The seq.rs comparison contract is only valid for spans < 2^31;
+        // the in-flight span is what we map onto 32-bit wire sequences.
+        if self.snd_nxt - self.snd_una >= 1 << 31 {
+            return Err(format!(
+                "in-flight span {} breaks the 2^31 wire-seq ambiguity bound",
+                self.snd_nxt - self.snd_una
+            ));
+        }
+        let una_w = self.tx_wire_seq(self.snd_una);
+        let nxt_w = self.tx_wire_seq(self.snd_nxt);
+        if !(una_w.before_eq(nxt_w) && nxt_w.after_eq(una_w)) {
+            return Err(format!(
+                "wire seq order inconsistent: una {una_w:?} vs nxt {nxt_w:?}"
+            ));
+        }
+        if self.send_buf.base() != self.snd_una {
+            return Err(format!(
+                "send_buf base {} != snd_una {}",
+                self.send_buf.base(),
+                self.snd_una
+            ));
+        }
+        self.send_buf.validate().map_err(|e| format!("send: {e}"))?;
+
+        // --- flight: a contiguous partition of [snd_una, snd_nxt) ---
+        let mut cursor = self.snd_una;
+        let mut flight = 0usize;
+        let mut sacked = 0usize;
+        let mut queued = 0usize;
+        for (&start, info) in &self.flight {
+            if start != cursor {
+                return Err(format!(
+                    "flight gap/overlap: entry at {start}, expected {cursor}"
+                ));
+            }
+            if info.len == 0 {
+                return Err(format!("flight entry at {start} has zero length"));
+            }
+            cursor = start + info.len as u64;
+            flight += info.len as usize;
+            if info.sacked {
+                sacked += info.len as usize;
+            }
+            if info.queued {
+                queued += info.len as usize;
+            }
+        }
+        if cursor != self.snd_nxt {
+            return Err(format!(
+                "flight covers [{}, {cursor}), expected up to snd_nxt {}",
+                self.snd_una, self.snd_nxt
+            ));
+        }
+        if flight != self.flight_bytes || sacked != self.sacked_bytes || queued != self.queued_bytes
+        {
+            return Err(format!(
+                "flight accounting drifted: bytes {}/{flight} sacked {}/{sacked} queued {}/{queued}",
+                self.flight_bytes, self.sacked_bytes, self.queued_bytes
+            ));
+        }
+
+        // --- FIN state machine consistency ---
+        if self.fin_sent && !self.fin_queued {
+            return Err("fin_sent without fin_queued".into());
+        }
+        if self.fin_acked && !self.fin_sent {
+            return Err("fin_acked without fin_sent".into());
+        }
+        if self.fin_sent && self.snd_nxt != self.send_buf.end() {
+            return Err(format!(
+                "FIN sent with unsent data: snd_nxt {} < end {}",
+                self.snd_nxt,
+                self.send_buf.end()
+            ));
+        }
+
+        // --- receive side: reassembly store is internally consistent ---
+        self.asm.validate().map_err(|e| format!("recv: {e}"))?;
+        if let Some(fin_at) = self.fin_rcvd_at {
+            if self.asm.next_expected() > fin_at {
+                return Err(format!(
+                    "received data beyond peer FIN: rcv_nxt {} > fin at {fin_at}",
+                    self.asm.next_expected()
+                ));
+            }
+            if self.fin_consumed && self.asm.next_expected() != fin_at {
+                return Err("FIN consumed before the stream reached it".into());
+            }
+        } else if self.fin_consumed {
+            return Err("fin_consumed without fin_rcvd_at".into());
+        }
+
+        // --- byte conservation mirrors the stats counters ---
+        if self.stats.payload_bytes_received != self.asm.accepted_bytes() {
+            return Err(format!(
+                "rx byte conservation: stats {} != assembler accepted {}",
+                self.stats.payload_bytes_received,
+                self.asm.accepted_bytes()
+            ));
+        }
+        if self.stats.dup_bytes_received < self.asm.duplicate_bytes() {
+            return Err(format!(
+                "duplicate accounting: stats {} < assembler {}",
+                self.stats.dup_bytes_received,
+                self.asm.duplicate_bytes()
+            ));
+        }
+
+        // --- timers: outstanding data must be covered by a timer ---
+        if matches!(
+            self.state,
+            TcpState::Established
+                | TcpState::FinWait1
+                | TcpState::CloseWait
+                | TcpState::LastAck
+                | TcpState::Closing
+        ) && (!self.flight.is_empty() || self.fin_outstanding())
+            && self.rto_deadline.is_none()
+        {
+            return Err("in-flight data with no RTO armed".into());
+        }
+        Ok(())
+    }
+
+    #[inline]
+    #[allow(unused_variables)]
+    fn debug_check(&self, site: &str) {
+        #[cfg(any(debug_assertions, feature = "check-invariants"))]
+        if let Err(e) = self.validate() {
+            panic!(
+                "TCP invariant violated after {site} ({:?} {:?}->{:?}): {e}",
+                self.state, self.local, self.remote
+            );
+        }
+    }
+
+    /// Feed an order-relevant summary of the socket state into `h` — the
+    /// model checker's state fingerprint. Absolute times are deliberately
+    /// excluded (the exploration is untimed); what matters is which timers
+    /// are armed, not when they fire.
+    pub fn fingerprint(&self, h: &mut dyn std::hash::Hasher) {
+        h.write_u8(self.state as u8);
+        h.write_u64(self.snd_una);
+        h.write_u64(self.snd_nxt);
+        h.write_u64(self.send_buf.end());
+        for (&start, info) in &self.flight {
+            h.write_u64(start);
+            h.write_u32(info.len);
+            h.write_u8(u8::from(info.sacked) | (u8::from(info.queued) << 1));
+            h.write_u32(info.rexmits);
+        }
+        for &off in &self.rexmit_queue {
+            h.write_u64(off);
+        }
+        h.write_u32(self.dupacks);
+        h.write_u8(
+            u8::from(self.in_recovery)
+                | (u8::from(self.fin_queued) << 1)
+                | (u8::from(self.fin_sent) << 2)
+                | (u8::from(self.fin_acked) << 3)
+                | (u8::from(self.need_syn) << 4)
+                | (u8::from(self.need_synack) << 5)
+                | (u8::from(self.need_hs_ack) << 6)
+                | (u8::from(self.pending_reset) << 7),
+        );
+        h.write_u8(
+            u8::from(self.fin_consumed)
+                | (u8::from(self.rto_deadline.is_some()) << 1)
+                | (u8::from(self.persist_deadline.is_some()) << 2)
+                | (u8::from(self.time_wait_deadline.is_some()) << 3)
+                | ((self.ack_urgency as u8) << 4),
+        );
+        h.write_u64(self.fin_rcvd_at.unwrap_or(u64::MAX));
+        h.write_usize(self.peer_window);
+        h.write_u32(self.consecutive_rtos);
+        h.write_usize(self.cc.cwnd());
+        self.asm.fingerprint(h);
+    }
+
+    // ------------------------------------------------------------------
     // Incoming segments
     // ------------------------------------------------------------------
 
     /// Process one incoming segment addressed to this socket.
     pub fn on_segment(&mut self, seg: &TcpSegment, now: SimTime) {
+        self.on_segment_inner(seg, now);
+        self.debug_check("on_segment");
+    }
+
+    fn on_segment_inner(&mut self, seg: &TcpSegment, now: SimTime) {
         if self.state == TcpState::Closed {
             return;
         }
@@ -983,6 +1192,11 @@ impl TcpSocket {
 
     /// Handle timer expirations up to `now`.
     pub fn on_timer(&mut self, now: SimTime) {
+        self.on_timer_inner(now);
+        self.debug_check("on_timer");
+    }
+
+    fn on_timer_inner(&mut self, now: SimTime) {
         if self.state == TcpState::Closed {
             return;
         }
@@ -1190,6 +1404,12 @@ impl TcpSocket {
 
     /// Emit the next owed segment, if any. Call repeatedly until `None`.
     pub fn poll_transmit(&mut self, now: SimTime) -> Option<TcpSegment> {
+        let seg = self.poll_transmit_inner(now);
+        self.debug_check("poll_transmit");
+        seg
+    }
+
+    fn poll_transmit_inner(&mut self, now: SimTime) -> Option<TcpSegment> {
         if self.pending_reset {
             self.pending_reset = false;
             let seg = TcpSegment::bare(
