@@ -30,7 +30,7 @@ use mpw_tcp::wire::{parse_any, Endpoint, MptcpOption, Packet, TcpSegment};
 use mpw_tcp::SeqNum;
 
 use crate::hub::{IfaceRole, Vantage};
-use crate::pcapng::PcapFile;
+use crate::pcapng::{PcapFile, PcapPacket};
 
 /// Wire-derived per-subflow statistics (download direction: server→client
 /// data, like the reference in-stack metrics).
@@ -210,15 +210,15 @@ pub fn analyze(file: &PcapFile, server_port: u16) -> WireAnalysis {
         .map(|i| IfaceRole::parse(&i.name))
         .collect();
 
-    let mut order: Vec<usize> = (0..file.packets.len()).collect();
-    order.sort_by_key(|&i| file.packets[i].at);
+    // Stable sort keeps ties in file order.
+    let mut order: Vec<&PcapPacket> = file.packets.iter().collect();
+    order.sort_by_key(|p| p.at);
 
     let mut sub_index: HashMap<SubflowKey, usize> = HashMap::new();
     let mut subs: Vec<(WireSubflow, SubflowState)> = Vec::new();
     let mut conns: Vec<(WireConnection, ConnState)> = Vec::new();
 
-    for idx in order {
-        let pkt = &file.packets[idx];
+    for pkt in order {
         let Some(&role) = roles.get(pkt.iface as usize) else {
             out.unparsed += 1;
             continue;
@@ -257,41 +257,51 @@ pub fn analyze(file: &PcapFile, server_port: u16) -> WireAnalysis {
             }
         };
 
-        let si = *sub_index.entry(key).or_insert_with(|| {
-            let (conn, join_token, client_key) = classify_new_subflow(&seg, to_server, &conns);
-            let conn = match conn {
-                Some(c) => c,
-                None => {
-                    conns.push((WireConnection::default(), ConnState::default()));
-                    conns.len() - 1
+        let si = match sub_index.get(&key) {
+            Some(&si) => si,
+            None => {
+                let (conn, join_token, client_key) =
+                    classify_new_subflow(&seg, to_server, &conns);
+                let conn = match conn {
+                    Some(c) => c,
+                    None => {
+                        conns.push((WireConnection::default(), ConnState::default()));
+                        conns.len() - 1
+                    }
+                };
+                if let Some(k) = client_key {
+                    if let Some((wc, _)) = conns.get_mut(conn) {
+                        wc.client_key = Some(k);
+                    }
                 }
-            };
-            if let Some(k) = client_key {
-                conns[conn].0.client_key = Some(k);
+                subs.push((
+                    WireSubflow {
+                        path: role.path,
+                        client: key.client,
+                        server: key.server,
+                        established: false,
+                        join_token,
+                        syn_rtt_ms: None,
+                        data_segs: 0,
+                        rexmit_segs: 0,
+                        bytes_sent: 0,
+                        delivered_bytes: 0,
+                        rtt: DistSummary::new(),
+                        rtt_samples_ms: Vec::new(),
+                    },
+                    SubflowState {
+                        conn,
+                        ..SubflowState::default()
+                    },
+                ));
+                let si = subs.len() - 1;
+                sub_index.insert(key, si);
+                si
             }
-            subs.push((
-                WireSubflow {
-                    path: role.path,
-                    client: key.client,
-                    server: key.server,
-                    established: false,
-                    join_token,
-                    syn_rtt_ms: None,
-                    data_segs: 0,
-                    rexmit_segs: 0,
-                    bytes_sent: 0,
-                    delivered_bytes: 0,
-                    rtt: DistSummary::new(),
-                    rtt_samples_ms: Vec::new(),
-                },
-                SubflowState {
-                    conn,
-                    ..SubflowState::default()
-                },
-            ));
-            subs.len() - 1
-        });
-        let (sub, st) = &mut subs[si];
+        };
+        let Some((sub, st)) = subs.get_mut(si) else {
+            continue; // unreachable: si was just inserted or looked up
+        };
 
         use mpw_tcp::wire::tcp_flags as fl;
         let syn = seg.has(fl::SYN);
@@ -318,15 +328,21 @@ pub fn analyze(file: &PcapFile, server_port: u16) -> WireAnalysis {
                     st.syn_ack_seen = true;
                 }
                 if !seg.payload.is_empty() {
-                    let conn = st.conn;
                     let novel = match seg.dss().and_then(|(_, m, _)| *m) {
                         Some(mapping) => {
+                            // Saturate rather than overflow on a hostile
+                            // dseq near u64::MAX (fuzzer find; regression
+                            // input in tests/fuzz-corpus/analyze/).
                             let start = mapping.dseq;
-                            let end = start + seg.payload.len() as u64;
-                            let cs = &mut conns[conn].1;
-                            let novel = cs.coverage.insert(start, end);
-                            ofo_arrival(&mut conns[conn], start, end, pkt.at);
-                            novel
+                            let end = start.saturating_add(seg.payload.len() as u64);
+                            match conns.get_mut(st.conn) {
+                                Some(entry) => {
+                                    let novel = entry.1.coverage.insert(start, end);
+                                    ofo_arrival(entry, start, end, pkt.at);
+                                    novel
+                                }
+                                None => 0,
+                            }
                         }
                         None => {
                             // Plain TCP (or DSS-less fallback): account in
@@ -338,7 +354,9 @@ pub fn analyze(file: &PcapFile, server_port: u16) -> WireAnalysis {
                         }
                     };
                     sub.delivered_bytes += novel;
-                    conns[st.conn].0.delivered_bytes += novel;
+                    if let Some((wc, _)) = conns.get_mut(st.conn) {
+                        wc.delivered_bytes += novel;
+                    }
                 }
             }
 
@@ -395,7 +413,9 @@ pub fn analyze(file: &PcapFile, server_port: u16) -> WireAnalysis {
     // Assemble output, attaching subflows to their connections in order.
     let mut result: Vec<WireConnection> = conns.into_iter().map(|(c, _)| c).collect();
     for (sub, st) in subs {
-        result[st.conn].subflows.push(sub);
+        if let Some(c) = result.get_mut(st.conn) {
+            c.subflows.push(sub);
+        }
     }
     out.connections = result.into_iter().filter(|c| !c.subflows.is_empty()).collect();
     out
@@ -674,6 +694,28 @@ mod tests {
         assert_eq!(c.subflows[0].delivered_bytes, 150);
         assert_eq!(c.delivered_bytes, 150);
         assert!(c.ofo_samples_ms.is_empty());
+    }
+
+    /// Regression for a fuzzer find: a DSS mapping with dseq near u64::MAX
+    /// used to overflow `start + payload.len()` when computing connection
+    /// coverage (debug panic on adversarial captures). Minimized reproducer
+    /// in tests/fuzz-corpus/analyze/.
+    #[test]
+    fn hostile_dseq_near_u64_max_does_not_panic() {
+        let mut rig = Rig::new(1);
+        handshake(
+            &mut rig,
+            0,
+            0,
+            40_000,
+            CLIENT,
+            MptcpOption::Capable { key_local: 7, key_remote: None },
+        );
+        rig.seg(0, 100, false, data(40_000, 1001, 100, Some(u64::MAX)), CLIENT);
+        rig.seg(0, 110, false, data(40_000, 1101, 100, Some(u64::MAX - 40)), CLIENT);
+        let a = rig.analyze();
+        // The nonsense mappings contribute at most the saturated range.
+        assert!(a.connections[0].delivered_bytes <= 40);
     }
 
     #[test]

@@ -109,6 +109,7 @@ impl PcapWriter {
     /// Append one packet. `comment`, when present, is stored as the EPB's
     /// `opt_comment` (the capture uses it to label drop records).
     pub fn packet(&mut self, iface: u32, at: SimTime, data: &[u8], comment: Option<&str>) {
+        // lint: allow-panic(writer-side caller contract, not wire-derived input)
         assert!(iface < self.n_ifaces, "packet on undeclared interface");
         let ts = at.as_nanos();
         let mut body = Vec::with_capacity(20 + data.len() + 16);
@@ -133,6 +134,7 @@ impl PcapWriter {
     }
 
     fn block(&mut self, block_type: u32, body: &[u8]) {
+        // lint: allow-panic(writer-side internal invariant, not wire-derived input)
         debug_assert!(body.len().is_multiple_of(4), "block body must be padded");
         let total = 12 + body.len() as u32;
         put_u32(&mut self.buf, block_type);
@@ -188,6 +190,11 @@ impl PcapFile {
 }
 
 /// Parse a (little-endian, single-section) pcapng file.
+///
+/// The reader is total over arbitrary bytes: every read of the input goes
+/// through [`get_u32`]/[`get_u16`]/`slice::get`, so truncated or mangled
+/// files produce a typed [`PcapError`], never a panic. The panic-free-parser
+/// lint (`crates/check/src/parser_lint.rs`) enforces this.
 pub fn read_pcapng(data: &[u8]) -> Result<PcapFile, PcapError> {
     let mut out = PcapFile::default();
     let mut at = 0usize;
@@ -196,8 +203,8 @@ pub fn read_pcapng(data: &[u8]) -> Result<PcapFile, PcapError> {
         if data.len() - at < 12 {
             return Err(PcapError::Truncated);
         }
-        let block_type = get_u32(data, at);
-        let total = get_u32(data, at + 4) as usize;
+        let block_type = get_u32(data, at).ok_or(PcapError::Truncated)?;
+        let total = get_u32(data, at + 4).ok_or(PcapError::Truncated)? as usize;
         if first {
             if block_type != BT_SHB {
                 return Err(PcapError::NotASection);
@@ -207,20 +214,18 @@ pub fn read_pcapng(data: &[u8]) -> Result<PcapFile, PcapError> {
         if total < 12 || !total.is_multiple_of(4) {
             return Err(PcapError::BadBlockLength);
         }
-        if at + total > data.len() {
+        let end = at.checked_add(total).ok_or(PcapError::BadBlockLength)?;
+        if end > data.len() {
             return Err(PcapError::Truncated);
         }
-        let body = &data[at + 8..at + total - 4];
-        let trailer = get_u32(data, at + total - 4) as usize;
+        let body = data.get(at + 8..end - 4).ok_or(PcapError::Truncated)?;
+        let trailer = get_u32(data, end - 4).ok_or(PcapError::Truncated)? as usize;
         if trailer != total {
             return Err(PcapError::BadBlockLength);
         }
         match block_type {
             BT_SHB => {
-                if body.len() < 4 {
-                    return Err(PcapError::Truncated);
-                }
-                let magic = get_u32(body, 0);
+                let magic = get_u32(body, 0).ok_or(PcapError::Truncated)?;
                 if magic == BYTE_ORDER_MAGIC.swap_bytes() {
                     return Err(PcapError::ByteSwapped);
                 }
@@ -236,13 +241,18 @@ pub fn read_pcapng(data: &[u8]) -> Result<PcapFile, PcapError> {
                     name: String::new(),
                     tsresol_exp: 6,
                 };
-                for (code, val) in OptionIter::new(&body[8..]) {
+                let opts = body.get(8..).unwrap_or(&[]);
+                for (code, val) in OptionIter::new(opts) {
                     match code {
                         OPT_IF_NAME => {
                             iface.name = String::from_utf8_lossy(val).into_owned();
                         }
-                        OPT_IF_TSRESOL if val.len() == 1 && val[0] & 0x80 == 0 => {
-                            iface.tsresol_exp = val[0];
+                        OPT_IF_TSRESOL => {
+                            if let &[exp] = val {
+                                if exp & 0x80 == 0 {
+                                    iface.tsresol_exp = exp;
+                                }
+                            }
                         }
                         _ => {}
                     }
@@ -253,25 +263,33 @@ pub fn read_pcapng(data: &[u8]) -> Result<PcapFile, PcapError> {
                 if body.len() < 20 {
                     return Err(PcapError::Truncated);
                 }
-                let iface = get_u32(body, 0);
+                let iface = get_u32(body, 0).ok_or(PcapError::Truncated)?;
                 let Some(idesc) = out.interfaces.get(iface as usize) else {
                     return Err(PcapError::UnknownInterface(iface));
                 };
-                let ts = (u64::from(get_u32(body, 4)) << 32) | u64::from(get_u32(body, 8));
-                let caplen = get_u32(body, 12) as usize;
-                let packet_end = 20 + caplen;
-                if packet_end > body.len() {
-                    return Err(PcapError::Truncated);
-                }
+                let ts_hi = get_u32(body, 4).ok_or(PcapError::Truncated)?;
+                let ts_lo = get_u32(body, 8).ok_or(PcapError::Truncated)?;
+                let ts = (u64::from(ts_hi) << 32) | u64::from(ts_lo);
+                let caplen = get_u32(body, 12).ok_or(PcapError::Truncated)? as usize;
+                let packet_end = 20usize.checked_add(caplen).ok_or(PcapError::Truncated)?;
+                let pkt = body.get(20..packet_end).ok_or(PcapError::Truncated)?;
                 let nanos = match idesc.tsresol_exp {
                     9 => ts,
                     exp if exp < 9 => ts.saturating_mul(10u64.pow(u32::from(9 - exp))),
-                    exp => ts / 10u64.pow(u32::from(exp - 9)),
+                    // A sub-attosecond if_tsresol (exp ≥ 29) makes the
+                    // divisor exceed u64::MAX: every timestamp rounds to 0.
+                    // The unchecked `10u64.pow(exp - 9)` here wrapped to 0
+                    // and divided by it (fuzzer find; regression input in
+                    // tests/fuzz-corpus/pcapng/).
+                    exp => match 10u64.checked_pow(u32::from(exp - 9)) {
+                        Some(div) => ts / div,
+                        None => 0,
+                    },
                 };
                 let mut comment = None;
                 let opts_at = packet_end.next_multiple_of(4);
-                if opts_at <= body.len() {
-                    for (code, val) in OptionIter::new(&body[opts_at..]) {
+                if let Some(opts) = body.get(opts_at..) {
+                    for (code, val) in OptionIter::new(opts) {
                         if code == OPT_COMMENT && comment.is_none() {
                             comment = Some(String::from_utf8_lossy(val).into_owned());
                         }
@@ -280,13 +298,13 @@ pub fn read_pcapng(data: &[u8]) -> Result<PcapFile, PcapError> {
                 out.packets.push(PcapPacket {
                     iface,
                     at: SimTime::from_nanos(nanos),
-                    data: body[20..packet_end].to_vec(),
+                    data: pkt.to_vec(),
                     comment,
                 });
             }
             _ => {} // unknown block: skip
         }
-        at += total;
+        at = end;
     }
     if first {
         return Err(PcapError::Truncated);
@@ -307,20 +325,17 @@ impl<'a> OptionIter<'a> {
 impl<'a> Iterator for OptionIter<'a> {
     type Item = (u16, &'a [u8]);
     fn next(&mut self) -> Option<(u16, &'a [u8])> {
-        if self.buf.len() < 4 {
-            return None;
-        }
-        let code = u16::from_le_bytes([self.buf[0], self.buf[1]]);
-        let len = u16::from_le_bytes([self.buf[2], self.buf[3]]) as usize;
+        let code = get_u16(self.buf, 0)?;
+        let len = get_u16(self.buf, 2)? as usize;
         if code == OPT_END {
             return None;
         }
-        let end = 4 + len;
-        if end > self.buf.len() {
-            return None;
-        }
-        let val = &self.buf[4..end];
-        self.buf = &self.buf[end.next_multiple_of(4).min(self.buf.len())..];
+        let end = 4usize.checked_add(len)?;
+        let val = self.buf.get(4..end)?;
+        self.buf = self
+            .buf
+            .get(end.next_multiple_of(4)..)
+            .unwrap_or(&[]);
         Some((code, val))
     }
 }
@@ -333,8 +348,16 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn get_u32(data: &[u8], at: usize) -> u32 {
-    u32::from_le_bytes([data[at], data[at + 1], data[at + 2], data[at + 3]])
+fn get_u16(data: &[u8], at: usize) -> Option<u16> {
+    data.get(at..at.checked_add(2)?)
+        .and_then(|s| <[u8; 2]>::try_from(s).ok())
+        .map(u16::from_le_bytes)
+}
+
+fn get_u32(data: &[u8], at: usize) -> Option<u32> {
+    data.get(at..at.checked_add(4)?)
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .map(u32::from_le_bytes)
 }
 
 fn put_option(out: &mut Vec<u8>, code: u16, val: &[u8]) {
@@ -413,7 +436,7 @@ mod tests {
         let mut bytes = w.into_bytes();
         // Corrupt the EPB's interface id (EPB body starts 8 bytes into the
         // block; the block follows SHB(28) + IDB).
-        let idb_total = get_u32(&bytes, 32) as usize;
+        let idb_total = get_u32(&bytes, 32).unwrap() as usize;
         let epb_body = 28 + idb_total + 8;
         bytes[epb_body..epb_body + 4].copy_from_slice(&7u32.to_le_bytes());
         assert_eq!(read_pcapng(&bytes), Err(PcapError::UnknownInterface(7)));
@@ -430,7 +453,7 @@ mod tests {
         // linktype(4) + if_name option + if_tsresol option. Find the byte 9
         // following the tsresol option header.
         let idb_start = 28;
-        let total = get_u32(&bytes, idb_start + 4) as usize;
+        let total = get_u32(&bytes, idb_start + 4).unwrap() as usize;
         let body = idb_start + 8..idb_start + total - 4;
         // if_tsresol has code 9, len 1; scan the body for that header.
         let mut patched = false;
@@ -448,5 +471,85 @@ mod tests {
         let f = read_pcapng(&bytes).expect("parse");
         assert_eq!(f.interfaces[0].tsresol_exp, 6);
         assert_eq!(f.packets[0].at, SimTime::from_micros(1500));
+    }
+
+    #[test]
+    fn huge_tsresol_exponent_rounds_to_zero_instead_of_panicking() {
+        // An if_tsresol exponent of 81 declares 10^-81-second units; the
+        // nanosecond divisor 10^72 does not fit u64 and used to wrap to 0,
+        // panicking the timestamp division (mpw-fuzz pcapng target find;
+        // regression input in tests/fuzz-corpus/pcapng/).
+        let mut w = PcapWriter::new();
+        w.add_interface("weird");
+        w.packet(0, SimTime::from_nanos(u64::MAX), b"x", None);
+        let mut bytes = w.into_bytes();
+        let idb_start = 28;
+        let total = get_u32(&bytes, idb_start + 4).unwrap() as usize;
+        let mut patched = false;
+        for i in idb_start + 8..idb_start + total - 8 {
+            if bytes[i] == 9 && bytes[i + 1] == 0 && bytes[i + 2] == 1 && bytes[i + 3] == 0 {
+                bytes[i + 4] = 81;
+                patched = true;
+                break;
+            }
+        }
+        assert!(patched, "did not find if_tsresol option");
+        let f = read_pcapng(&bytes).expect("parse");
+        assert_eq!(f.interfaces[0].tsresol_exp, 81);
+        assert_eq!(f.packets[0].at, SimTime::ZERO);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Anything the writer emits, the reader parses back exactly —
+            /// interfaces, nanosecond timestamps, payload bytes, and
+            /// comments. CI also runs this under miri (PROPTEST_CASES=16).
+            #[test]
+            fn writer_reader_roundtrip(
+                n_ifaces in 1u32..4,
+                pkts in proptest::collection::vec(
+                    (
+                        any::<u32>(),
+                        any::<u64>(),
+                        proptest::collection::vec(any::<u8>(), 0..64),
+                        any::<bool>(),
+                        proptest::collection::vec(0x20u8..0x7f, 0..12),
+                    ),
+                    0..12,
+                ),
+            ) {
+                let mut w = PcapWriter::new();
+                for i in 0..n_ifaces {
+                    w.add_interface(&format!("path{i}:down@client"));
+                }
+                let mut want = Vec::new();
+                for (iface_raw, nanos, data, has_comment, comment) in pkts {
+                    let iface = iface_raw % n_ifaces;
+                    let at = SimTime::from_nanos(nanos);
+                    let comment = has_comment
+                        .then(|| String::from_utf8(comment).expect("ascii"));
+                    w.packet(iface, at, &data, comment.as_deref());
+                    want.push(PcapPacket { iface, at, data, comment });
+                }
+                let f = read_pcapng(&w.into_bytes()).expect("parse");
+                prop_assert_eq!(f.interfaces.len() as u32, n_ifaces);
+                for (i, iface) in f.interfaces.iter().enumerate() {
+                    prop_assert_eq!(iface.tsresol_exp, 9);
+                    prop_assert_eq!(&iface.name, &format!("path{i}:down@client"));
+                }
+                prop_assert_eq!(f.packets, want);
+            }
+
+            /// The reader is total: arbitrary bytes never panic it.
+            #[test]
+            fn reader_never_panics_on_arbitrary_bytes(
+                data in proptest::collection::vec(any::<u8>(), 0..256),
+            ) {
+                let _ = read_pcapng(&data);
+            }
+        }
     }
 }

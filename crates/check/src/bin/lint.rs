@@ -1,6 +1,7 @@
-//! CLI for the determinism lint wall: scans the protocol crates for
-//! wall-clock reads, ambient randomness, and hash-ordered collections.
-//! Exit codes: 0 = clean, 1 = findings, 2 = I/O error.
+//! CLI for the lint walls: the determinism wall (wall-clock reads, ambient
+//! randomness, hash-ordered collections in the protocol crates) and the
+//! panic-free-parser wall (panicking byte access in the designated parser
+//! modules). Exit codes: 0 = clean, 1 = findings, 2 = I/O error.
 
 use std::path::PathBuf;
 
@@ -34,6 +35,7 @@ fn main() {
             }
         }
     }
+    let mut dirty = false;
     match mpw_check::lint::scan_workspace(&root) {
         Ok(findings) if findings.is_empty() => {
             println!("determinism lint: clean");
@@ -43,11 +45,30 @@ fn main() {
                 println!("{f}");
             }
             eprintln!("determinism lint: {} finding(s)", findings.len());
-            std::process::exit(1);
+            dirty = true;
         }
         Err(e) => {
             eprintln!("determinism lint: scan failed: {e}");
             std::process::exit(2);
         }
+    }
+    match mpw_check::parser_lint::scan_parser_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("panic-free-parser lint: clean");
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("panic-free-parser lint: {} finding(s)", findings.len());
+            dirty = true;
+        }
+        Err(e) => {
+            eprintln!("panic-free-parser lint: scan failed: {e}");
+            std::process::exit(2);
+        }
+    }
+    if dirty {
+        std::process::exit(1);
     }
 }

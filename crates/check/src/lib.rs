@@ -19,6 +19,13 @@
 //!   protocol crates for wall-clock reads, ambient randomness, and
 //!   hash-ordered collections, backing up the per-crate `clippy.toml`
 //!   `disallowed-methods` / `disallowed-types` walls.
+//! * **[`parser_lint`]** — the panic-free-parser wall (DESIGN.md §5.9): in
+//!   the designated parser modules (`tcp/wire.rs`, `capture/pcapng.rs`,
+//!   `capture/analyze.rs`), panicking macros and expression indexing on
+//!   wire-derived bytes are forbidden outside `#[cfg(test)]`, allowlisted
+//!   only by explicit `lint: allow-panic(reason)` markers. It is the static
+//!   half of the adversarial-input story whose dynamic half is `mpw-fuzz`.
 
 pub mod explore;
 pub mod lint;
+pub mod parser_lint;

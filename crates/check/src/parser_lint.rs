@@ -1,0 +1,363 @@
+//! The panic-free-parser lint wall.
+//!
+//! Every byte that crosses the simulated wire is untrusted: the paper's
+//! methodology (tcpdump + tcptrace over real MPTCP traffic, §3) only works
+//! because the offline tools are *total* over arbitrary input, and
+//! longitudinal MPTCP measurements show real traces full of truncated and
+//! middlebox-mangled options. The designated parser modules must therefore
+//! never panic on wire-derived data. This lint textually forbids, outside
+//! `#[cfg(test)]`:
+//!
+//! * **panicking macros/methods** — `panic!`, `unreachable!`, `todo!`,
+//!   `unimplemented!`, `assert!`/`assert_eq!`/`assert_ne!` (and their
+//!   `debug_` variants), `.unwrap()`, `.expect(`;
+//! * **indexing an expression** — `buf[..]`-style slice/array indexing,
+//!   which panics on out-of-range input. (Array *types* `[u8; 4]`, slice
+//!   patterns, attributes and literals are not flagged.)
+//!
+//! A construct may opt out with a `lint: allow-panic(reason)` marker on the
+//! same line or the line directly above — encode-side code patching
+//! checksums into buffers it just built is the canonical use. A marker with
+//! an empty reason, or one that allows nothing (stale), is itself a
+//! finding, so the allowlist cannot rot silently.
+//!
+//! Like the determinism wall in [`crate::lint`], this is a textual scan:
+//! deliberately dumb, zero-dependency, and immune to macro tricks that hide
+//! constructs from clippy.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Parser modules covered by the wall, relative to the workspace root.
+/// Every file must exist — a rename breaks the lint loudly rather than
+/// silently dropping coverage.
+pub const PARSER_MODULES: [&str; 3] = [
+    "crates/tcp/src/wire.rs",
+    "crates/capture/src/pcapng.rs",
+    "crates/capture/src/analyze.rs",
+];
+
+/// The opt-out marker. Must be followed by `(reason)` with a non-empty
+/// reason and sit on the flagged line or the line directly above it.
+pub const MARKER: &str = "lint: allow-panic";
+
+/// Panicking constructs searched for in code (comments and string literals
+/// are stripped first). Dot-prefixed tokens match anywhere; bare tokens
+/// require a non-identifier character before them, so `assert!` inside
+/// `debug_assert!` is not double-counted.
+const PANIC_TOKENS: [&str; 12] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+    "debug_assert_eq!",
+    "debug_assert_ne!",
+    "debug_assert!",
+    "assert_eq!",
+    "assert_ne!",
+    "assert!",
+];
+
+/// One parser-lint hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParserFinding {
+    /// File the construct was found in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found.
+    pub what: String,
+}
+
+impl fmt::Display for ParserFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file.display(), self.line, self.what)
+    }
+}
+
+enum Marker {
+    None,
+    Valid,
+    MissingReason,
+}
+
+fn marker_on(raw: &str) -> Marker {
+    let Some(p) = raw.find(MARKER) else {
+        return Marker::None;
+    };
+    let rest = &raw[p + MARKER.len()..];
+    let trimmed = rest.trim_start();
+    if let Some(after_paren) = trimmed.strip_prefix('(') {
+        if let Some(close) = after_paren.find(')') {
+            if !after_paren[..close].trim().is_empty() {
+                return Marker::Valid;
+            }
+        }
+    }
+    Marker::MissingReason
+}
+
+/// Blank out comments and string/char literals, preserving byte positions
+/// of real code so prev-character lookback works. `in_block` carries block
+/// comment state across lines.
+fn strip_noncode(line: &str, in_block: &mut bool) -> String {
+    let b = line.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    let mut i = 0;
+    while i < b.len() {
+        if *in_block {
+            if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                *in_block = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => break, // line comment
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                *in_block = true;
+                i += 2;
+            }
+            b'"' => {
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal ('x' / '\n') vs lifetime tick ('a).
+                if b.get(i + 1) == Some(&b'\\') {
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    i = (j + 1).min(b.len());
+                } else if b.get(i + 2) == Some(&b'\'') {
+                    i += 3;
+                } else {
+                    out[i] = b[i]; // lifetime: harmless, keep
+                    i += 1;
+                }
+            }
+            c => {
+                out[i] = c;
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// Flaggable constructs in one line of comment/string-stripped code.
+fn flaggable(code: &str) -> Vec<String> {
+    let mut hits = Vec::new();
+    for tok in PANIC_TOKENS {
+        let mut from = 0;
+        while let Some(p) = code.get(from..).and_then(|s| s.find(tok)) {
+            let at = from + p;
+            let boundary = tok.starts_with('.')
+                || !matches!(
+                    code[..at].chars().next_back(),
+                    Some(c) if c.is_ascii_alphanumeric() || c == '_'
+                );
+            if boundary {
+                hits.push(format!("`{tok}` can panic on wire-derived data"));
+            }
+            from = at + tok.len();
+        }
+    }
+    for (i, c) in code.char_indices() {
+        if c != '[' {
+            continue;
+        }
+        // An opening bracket immediately after an expression is an index;
+        // after `#`, `&`, `<`, `(`, `=`, an operator, or whitespace it is
+        // an attribute, type, pattern, or literal. (Indexing is never
+        // written with a space before the bracket in this codebase.)
+        let prev = code[..i].chars().next_back();
+        if matches!(
+            prev,
+            Some(p) if p.is_ascii_alphanumeric() || p == '_' || p == ')' || p == ']' || p == '?'
+        ) {
+            hits.push("indexing `[...]` can panic on wire-derived data".into());
+        }
+    }
+    hits
+}
+
+/// Scan one parser-module source text. `label` is used in findings.
+pub fn scan_parser_source(label: &Path, src: &str) -> Vec<ParserFinding> {
+    let mut out = Vec::new();
+    let mut in_block = false;
+    // A valid marker arms an allowance for its own line and the next line.
+    let mut pending: Option<usize> = None;
+    for (i, raw) in src.lines().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            // Tests live in a trailing cfg(test) module in every designated
+            // file; they may assert freely.
+            break;
+        }
+        let carried = pending.take();
+        let marker = marker_on(raw);
+        if let Marker::MissingReason = marker {
+            out.push(ParserFinding {
+                file: label.to_path_buf(),
+                line: i + 1,
+                what: format!("`{MARKER}` marker without a (reason)"),
+            });
+        }
+        let code = strip_noncode(raw, &mut in_block);
+        let hits = flaggable(&code);
+        if hits.is_empty() {
+            if let Some(ml) = carried {
+                out.push(ParserFinding {
+                    file: label.to_path_buf(),
+                    line: ml,
+                    what: format!("stale `{MARKER}` marker allows nothing"),
+                });
+            }
+            if let Marker::Valid = marker {
+                pending = Some(i + 1);
+            }
+            continue;
+        }
+        let allowed = matches!(marker, Marker::Valid) || carried.is_some();
+        if !allowed {
+            for what in hits {
+                out.push(ParserFinding {
+                    file: label.to_path_buf(),
+                    line: i + 1,
+                    what,
+                });
+            }
+        }
+    }
+    if let Some(ml) = pending {
+        out.push(ParserFinding {
+            file: PathBuf::from(label),
+            line: ml,
+            what: format!("stale `{MARKER}` marker allows nothing"),
+        });
+    }
+    out
+}
+
+/// Scan every designated parser module, rooted at the workspace directory.
+/// A missing module is an I/O error: renaming a parser file must update
+/// [`PARSER_MODULES`] rather than silently dropping it from the wall.
+pub fn scan_parser_workspace(root: &Path) -> std::io::Result<Vec<ParserFinding>> {
+    let mut findings = Vec::new();
+    for rel in PARSER_MODULES {
+        let path = root.join(rel);
+        let src = std::fs::read_to_string(&path).map_err(|e| {
+            std::io::Error::new(e.kind(), format!("{rel}: {e} (renamed? update PARSER_MODULES)"))
+        })?;
+        findings.extend(scan_parser_source(Path::new(rel), &src));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<ParserFinding> {
+        scan_parser_source(Path::new("x.rs"), src)
+    }
+
+    #[test]
+    fn panicking_constructs_are_flagged() {
+        for line in [
+            "let x = buf.first().unwrap();",
+            "let x = buf.first().expect(\"short\");",
+            "panic!(\"bad byte\");",
+            "unreachable!();",
+            "assert!(len <= 40);",
+            "assert_eq!(a, b);",
+            "debug_assert!(ok);",
+        ] {
+            let hits = scan(line);
+            assert_eq!(hits.len(), 1, "not flagged: {line} -> {hits:?}");
+        }
+    }
+
+    #[test]
+    fn assert_inside_debug_assert_is_counted_once() {
+        assert_eq!(scan("debug_assert!(x);").len(), 1);
+        assert_eq!(scan("debug_assert_eq!(x, y);").len(), 1);
+    }
+
+    #[test]
+    fn expression_indexing_is_flagged_but_types_are_not() {
+        assert_eq!(scan("let x = data[0];").len(), 1);
+        assert_eq!(scan("let x = &buf[2..len];").len(), 1);
+        assert_eq!(scan("let x = f()[1];").len(), 1);
+        assert!(scan("fn f(b: &[u8]) -> [u8; 4] { todo }").is_empty());
+        assert!(scan("#[derive(Debug)]").is_empty());
+        assert!(scan("let a = [1, 2, 3];").is_empty());
+        assert!(scan("if let [last] = chunks.remainder() {").is_empty());
+        assert!(scan("let v = <[u8; 2]>::try_from(s);").is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_flagged() {
+        assert!(scan("// data[0].unwrap() would panic").is_empty());
+        assert!(scan("let s = \"indexing like buf[0] or .unwrap()\";").is_empty());
+        assert!(scan("/* assert!(x) */ let y = 1;").is_empty());
+        // Block comment spanning lines.
+        assert!(scan("/* start\n data[0]\n end */ let y = 1;").is_empty());
+    }
+
+    #[test]
+    fn marker_on_same_or_previous_line_allows() {
+        assert!(scan("assert!(x); // lint: allow-panic(caller contract)").is_empty());
+        assert!(scan("// lint: allow-panic(caller contract)\nassert!(x);").is_empty());
+    }
+
+    #[test]
+    fn marker_without_reason_is_a_finding() {
+        let hits = scan("assert!(x); // lint: allow-panic()");
+        assert!(hits.iter().any(|f| f.what.contains("without a (reason)")));
+    }
+
+    #[test]
+    fn stale_marker_is_a_finding() {
+        let hits = scan("// lint: allow-panic(left behind)\nlet x = 1;");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].what.contains("stale"));
+        // ...including one dangling at end of file.
+        let hits = scan("let y = 2;\n// lint: allow-panic(dangling)");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].what.contains("stale"));
+    }
+
+    #[test]
+    fn cfg_test_tail_is_exempt() {
+        let src = "fn parse() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\n";
+        assert!(scan(src).is_empty());
+    }
+
+    /// The wall holds on the real workspace: all three parser modules are
+    /// panic-free outside explained allowlist markers.
+    #[test]
+    fn designated_modules_are_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings = scan_parser_workspace(&root).expect("scan");
+        assert!(
+            findings.is_empty(),
+            "panic-free-parser lint findings:\n{}",
+            findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+        );
+    }
+}

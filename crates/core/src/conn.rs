@@ -328,12 +328,16 @@ impl TcpHooks for SubflowHooks {
                             );
                             shared.flows[self.idx].delivered_bytes += accepted as u64;
                         }
+                        // A mapping whose end overflows the 64-bit data
+                        // sequence space is nonsense from the wire; ignore
+                        // its DATA_FIN rather than panicking on overflow.
                         if *data_fin {
-                            let fin_at = map.dseq + map.len as u64;
-                            if shared.peer_data_fin.is_none() {
-                                shared.data_fin_needs_ack = true;
+                            if let Some(fin_at) = map.dseq.checked_add(map.len as u64) {
+                                if shared.peer_data_fin.is_none() {
+                                    shared.data_fin_needs_ack = true;
+                                }
+                                shared.peer_data_fin = Some(fin_at);
                             }
-                            shared.peer_data_fin = Some(fin_at);
                         }
                     } else if *data_fin {
                         // DATA_FIN without mapping: at current data ack edge.

@@ -1,0 +1,77 @@
+//! Corpus persistence.
+//!
+//! Corpus entries are content-addressed: each input is stored as
+//! `<fnv64-of-content>.bin`, so re-saving an unchanged corpus is a no-op
+//! and directory listings are stable for replay. The checked-in regression
+//! corpus under `tests/fuzz-corpus/<target>/` is loaded by both the CLI
+//! (`--corpus`) and the `corpus_replay` integration test, which re-executes
+//! every entry through the target oracles on every `cargo test`.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::cover::hash_bytes;
+
+/// Content-addressed file name for an input.
+pub fn entry_name(data: &[u8]) -> String {
+    format!("{:016x}.bin", hash_bytes(data))
+}
+
+/// Write `entries` into `dir` (created if missing). Returns how many files
+/// were newly written (existing content-addressed names are skipped).
+pub fn save(dir: &Path, entries: &[Vec<u8>]) -> io::Result<usize> {
+    fs::create_dir_all(dir)?;
+    let mut written = 0;
+    for entry in entries {
+        let path = dir.join(entry_name(entry));
+        if !path.exists() {
+            fs::write(&path, entry)?;
+            written += 1;
+        }
+    }
+    Ok(written)
+}
+
+/// Load every `.bin` entry in `dir`, sorted by file name for determinism.
+/// A missing directory is an empty corpus, not an error.
+pub fn load(dir: &Path) -> io::Result<Vec<Vec<u8>>> {
+    let mut names: Vec<std::path::PathBuf> = match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    names.sort();
+    names.into_iter().map(fs::read).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_then_load_roundtrips_sorted() {
+        let dir = std::env::temp_dir().join(format!("mpw-fuzz-corpus-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let entries = vec![vec![1u8, 2, 3], vec![9u8; 10], vec![]];
+        let written = save(&dir, &entries).expect("save");
+        assert_eq!(written, 3);
+        // Saving again writes nothing new.
+        assert_eq!(save(&dir, &entries).expect("resave"), 0);
+        let mut loaded = load(&dir).expect("load");
+        let mut want = entries.clone();
+        loaded.sort();
+        want.sort();
+        assert_eq!(loaded, want);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let dir = std::env::temp_dir().join("mpw-fuzz-no-such-dir-xyzzy");
+        assert_eq!(load(&dir).expect("load"), Vec::<Vec<u8>>::new());
+    }
+}

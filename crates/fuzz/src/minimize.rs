@@ -1,0 +1,95 @@
+//! Greedy input minimizer.
+//!
+//! Once a violation is found, the raw mutant is usually dozens of havoc
+//! steps away from readable. This pass shrinks it with bounded greedy
+//! delta-debugging: repeatedly delete chunks (halving the chunk size down
+//! to single bytes) while the input still violates *some* oracle, then
+//! zero the surviving bytes one at a time. For the wire target each
+//! candidate is also retried with repaired checksums, since deletion
+//! almost always invalidates them. The result is what lands in
+//! `tests/fuzz-corpus/` as a regression input.
+
+use crate::checksum_repair::fix_wire_checksums;
+use crate::targets::{execute, AnalyzeBase, TargetKind};
+
+/// Maximum executions the minimizer may spend.
+const BUDGET: u32 = 4096;
+
+fn violates(kind: TargetKind, cand: &[u8], base: Option<&AnalyzeBase>, execs: &mut u32) -> bool {
+    *execs += 1;
+    execute(kind, cand, base).violation.is_some()
+}
+
+/// Shrink `input` while it keeps violating. Returns the smallest violating
+/// input found within the execution budget (possibly `input` itself).
+pub fn minimize(kind: TargetKind, input: &[u8], base: Option<&AnalyzeBase>) -> Vec<u8> {
+    let mut best = input.to_vec();
+    let mut execs = 0u32;
+    // Chunk-deletion passes.
+    let mut chunk = (best.len() / 2).max(1);
+    while chunk >= 1 && execs < BUDGET {
+        let mut i = 0;
+        while i + chunk <= best.len() && execs < BUDGET {
+            let mut cand: Vec<u8> = Vec::with_capacity(best.len() - chunk);
+            cand.extend_from_slice(&best[..i]);
+            cand.extend_from_slice(&best[i + chunk..]);
+            if violates(kind, &cand, base, &mut execs) {
+                best = cand;
+                continue; // same i: the next chunk slid into place
+            }
+            if kind == TargetKind::Wire {
+                let mut fixed = cand;
+                fix_wire_checksums(&mut fixed);
+                if violates(kind, &fixed, base, &mut execs) {
+                    best = fixed;
+                    continue;
+                }
+            }
+            i += chunk;
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    // Byte-zeroing pass: make the surviving structure obvious.
+    let mut i = 0;
+    while i < best.len() && execs < BUDGET {
+        if best[i] != 0 {
+            let saved = best[i];
+            best[i] = 0;
+            let mut ok = violates(kind, &best, base, &mut execs);
+            if !ok && kind == TargetKind::Wire {
+                let mut fixed = best.clone();
+                fix_wire_checksums(&mut fixed);
+                if violates(kind, &fixed, base, &mut execs) {
+                    best = fixed;
+                    ok = true;
+                }
+            }
+            if !ok {
+                best[i] = saved;
+            }
+        }
+        i += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizer_preserves_the_violation_and_shrinks() {
+        // An assembler program violating nothing can't be tested here, so
+        // synthesize a violating oracle via the assembler target is not
+        // possible while the bugs are fixed. Exercise the mechanics on a
+        // crafted "violation": popped > accepted can't happen either, so
+        // drive the minimizer with an input that does NOT violate and
+        // check it returns the input unchanged (the budget path).
+        let input = vec![3u8; 64];
+        let out = minimize(TargetKind::Assembler, &input, None);
+        assert_eq!(out, input, "non-violating input must come back unchanged");
+    }
+}

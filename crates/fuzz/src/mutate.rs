@@ -1,0 +1,147 @@
+//! Generic byte-level mutators.
+//!
+//! One call to [`mutate`] applies a short burst (1–8) of randomly chosen
+//! operations: bit flips, interesting-byte overwrites, range deletion and
+//! duplication, random insertion, dictionary token injection, truncation,
+//! and two-parent splicing against the live corpus. Target-specific repair
+//! (e.g. wire checksum fixup) happens afterwards in the target layer so
+//! that mutants reach the deep parser paths instead of dying at the first
+//! integrity check.
+
+use crate::rng::Rng;
+
+/// Bytes that tend to sit on decision boundaries.
+const INTERESTING: &[u8] = &[0x00, 0x01, 0x02, 0x04, 0x0f, 0x10, 0x1e, 0x20, 0x7f, 0x80, 0xfe, 0xff];
+
+/// Cap mutant growth so havoc runs cannot balloon the corpus.
+const MAX_LEN: usize = 16 * 1024;
+
+/// Produce one mutant of `base`, splicing against `corpus` and injecting
+/// `tokens` from the target dictionary.
+pub fn mutate(rng: &mut Rng, base: &[u8], corpus: &[Vec<u8>], tokens: &[&[u8]]) -> Vec<u8> {
+    let mut out = base.to_vec();
+    let ops = 1 + rng.below(8);
+    for _ in 0..ops {
+        apply_one(rng, &mut out, corpus, tokens);
+    }
+    out.truncate(MAX_LEN);
+    out
+}
+
+fn apply_one(rng: &mut Rng, out: &mut Vec<u8>, corpus: &[Vec<u8>], tokens: &[&[u8]]) {
+    match rng.below(10) {
+        // Flip one bit.
+        0 => {
+            if !out.is_empty() {
+                let i = rng.below(out.len());
+                out[i] ^= 1 << rng.below(8);
+            }
+        }
+        // Overwrite one byte with a random value.
+        1 => {
+            if !out.is_empty() {
+                let i = rng.below(out.len());
+                out[i] = rng.byte();
+            }
+        }
+        // Overwrite one byte with an interesting value.
+        2 => {
+            if !out.is_empty() {
+                let i = rng.below(out.len());
+                out[i] = INTERESTING[rng.below(INTERESTING.len())];
+            }
+        }
+        // Delete a short range.
+        3 => {
+            if !out.is_empty() {
+                let i = rng.below(out.len());
+                let n = 1 + rng.below(8).min(out.len() - i - 1);
+                out.drain(i..i + n);
+            }
+        }
+        // Duplicate a short range in place.
+        4 => {
+            if !out.is_empty() {
+                let i = rng.below(out.len());
+                let n = (1 + rng.below(8)).min(out.len() - i);
+                let chunk: Vec<u8> = out[i..i + n].to_vec();
+                let at = rng.below(out.len() + 1);
+                out.splice(at..at, chunk);
+            }
+        }
+        // Insert a few random bytes.
+        5 => {
+            let at = rng.below(out.len() + 1);
+            let n = 1 + rng.below(6);
+            let fresh: Vec<u8> = (0..n).map(|_| rng.byte()).collect();
+            out.splice(at..at, fresh);
+        }
+        // Insert a dictionary token.
+        6 => {
+            if !tokens.is_empty() {
+                let tok = tokens[rng.below(tokens.len())];
+                let at = rng.below(out.len() + 1);
+                out.splice(at..at, tok.iter().copied());
+            }
+        }
+        // Overwrite with a dictionary token.
+        7 => {
+            if !tokens.is_empty() && !out.is_empty() {
+                let tok = tokens[rng.below(tokens.len())];
+                let at = rng.below(out.len());
+                let n = tok.len().min(out.len() - at);
+                out[at..at + n].copy_from_slice(&tok[..n]);
+            }
+        }
+        // Truncate the tail.
+        8 => {
+            if !out.is_empty() {
+                out.truncate(rng.below(out.len()));
+            }
+        }
+        // Splice with another corpus entry: our head, their tail.
+        _ => {
+            if !corpus.is_empty() {
+                let other = &corpus[rng.below(corpus.len())];
+                if !other.is_empty() {
+                    let head = rng.below(out.len() + 1);
+                    let tail = rng.below(other.len());
+                    out.truncate(head);
+                    out.extend_from_slice(&other[tail..]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict;
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let base = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+        let corpus = vec![vec![9u8; 16], vec![0u8; 4]];
+        let a: Vec<Vec<u8>> = (0..20)
+            .map(|i| mutate(&mut Rng::for_iteration(5, i), &base, &corpus, dict::WIRE_TOKENS))
+            .collect();
+        let b: Vec<Vec<u8>> = (0..20)
+            .map(|i| mutate(&mut Rng::for_iteration(5, i), &base, &corpus, dict::WIRE_TOKENS))
+            .collect();
+        assert_eq!(a, b);
+        // Mutants are not all identical to the base.
+        assert!(a.iter().any(|m| m != &base));
+    }
+
+    #[test]
+    fn mutants_respect_the_size_cap() {
+        let base = vec![0xaau8; MAX_LEN - 1];
+        let corpus = vec![base.clone()];
+        let mut rng = Rng::new(99);
+        for _ in 0..50 {
+            let m = mutate(&mut rng, &base, &corpus, dict::GENERIC_TOKENS);
+            assert!(m.len() <= MAX_LEN);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Proof that the harness catches real parser defects.
+//!
+//! Compiled only under the `planted-parser-bug` feature, which makes
+//! `mpw_tcp::wire::parse_options` read the MP_JOIN nonce one byte early
+//! (overlapping the token field) — the classic misaligned-field defect a
+//! broken middlebox or a hasty refactor would introduce. The bug is
+//! invisible to the no-panic oracle; the decode→encode→decode fixpoint
+//! oracle must find it within a small budget, and the minimizer must keep
+//! the violation while shrinking.
+
+#![cfg(feature = "planted-parser-bug")]
+
+use mpw_fuzz::{engine, EngineConfig, TargetKind};
+
+#[test]
+fn fixpoint_oracle_catches_the_misaligned_join_nonce() {
+    let mut cfg = EngineConfig::new(TargetKind::Wire);
+    cfg.seed = 7;
+    cfg.iters = 5_000;
+    cfg.minimize = true;
+    let report = engine::run(&cfg);
+    let finding = report
+        .finding
+        .expect("planted MP_JOIN misparse must be found within 5k iterations");
+    assert!(
+        finding.message.contains("fixpoint"),
+        "expected a fixpoint violation, got: {}",
+        finding.message
+    );
+    assert!(
+        finding.message.contains("Join"),
+        "expected the Join option in the violation, got: {}",
+        finding.message
+    );
+    let minimized = finding.minimized.expect("minimizer ran");
+    assert!(
+        minimized.len() <= finding.input.len(),
+        "minimizer grew the input"
+    );
+    // The shrunk witness still violates.
+    let outcome = mpw_fuzz::execute(TargetKind::Wire, &minimized, None);
+    assert!(outcome.violation.is_some(), "minimized input lost the violation");
+}
+
+#[test]
+fn campaigns_with_the_planted_bug_are_still_deterministic() {
+    let mut cfg = EngineConfig::new(TargetKind::Wire);
+    cfg.seed = 3;
+    cfg.iters = 2_000;
+    let a = engine::run(&cfg);
+    let b = engine::run(&cfg);
+    match (&a.finding, &b.finding) {
+        (Some(fa), Some(fb)) => {
+            assert_eq!(fa.iter, fb.iter);
+            assert_eq!(fa.input, fb.input);
+            assert_eq!(fa.message, fb.message);
+        }
+        (None, None) => {}
+        _ => panic!("finding presence differed between identical runs"),
+    }
+}

@@ -26,8 +26,8 @@ impl Addr {
 
 impl fmt::Debug for Addr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let b = self.0.to_be_bytes();
-        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+        let [a, b, c, d] = self.0.to_be_bytes();
+        write!(f, "{a}.{b}.{c}.{d}")
     }
 }
 
@@ -272,7 +272,9 @@ fn checksum(data: &[u8]) -> u16 {
     let mut sum: u32 = 0;
     let mut chunks = data.chunks_exact(2);
     for c in &mut chunks {
-        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        if let [hi, lo] = c {
+            sum += u32::from(u16::from_be_bytes([*hi, *lo]));
+        }
     }
     if let [last] = chunks.remainder() {
         sum += u32::from(u16::from_be_bytes([*last, 0]));
@@ -281,6 +283,36 @@ fn checksum(data: &[u8]) -> u16 {
         sum = (sum & 0xffff) + (sum >> 16);
     }
     !(sum as u16)
+}
+
+// ---- Checked byte access ------------------------------------------------
+//
+// Every read of wire-derived bytes in the decode paths below goes through
+// these total accessors (or `slice::get`): no input, however truncated or
+// mangled, can panic the parser. The panic-free-parser lint
+// (`crates/check/src/parser_lint.rs`) forbids direct indexing and
+// unwrap/expect/panic in this file outside `#[cfg(test)]`.
+
+fn get_u8(b: &[u8], at: usize) -> Option<u8> {
+    b.get(at).copied()
+}
+
+fn get_be16(b: &[u8], at: usize) -> Option<u16> {
+    b.get(at..at.checked_add(2)?)
+        .and_then(|s| <[u8; 2]>::try_from(s).ok())
+        .map(u16::from_be_bytes)
+}
+
+fn get_be32(b: &[u8], at: usize) -> Option<u32> {
+    b.get(at..at.checked_add(4)?)
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .map(u32::from_be_bytes)
+}
+
+fn get_be64(b: &[u8], at: usize) -> Option<u64> {
+    b.get(at..at.checked_add(8)?)
+        .and_then(|s| <[u8; 8]>::try_from(s).ok())
+        .map(u64::from_be_bytes)
 }
 
 const MPTCP_KIND: u8 = 30;
@@ -391,36 +423,36 @@ fn encode_options(opts: &[TcpOption], out: &mut BytesMut) -> usize {
 
 fn parse_options(mut buf: &[u8]) -> Result<Vec<TcpOption>, WireError> {
     let mut opts = Vec::new();
-    while !buf.is_empty() {
-        let kind = buf[0];
+    while let Some(&kind) = buf.first() {
         match kind {
-            0 => break,    // EOL
+            0 => break, // EOL
             1 => {
-                buf = &buf[1..]; // NOP
+                buf = buf.get(1..).unwrap_or(&[]); // NOP
                 continue;
             }
             _ => {}
         }
-        if buf.len() < 2 {
+        let len = get_u8(buf, 1).ok_or(WireError::BadOption)? as usize;
+        if len < 2 {
             return Err(WireError::BadOption);
         }
-        let len = buf[1] as usize;
-        if len < 2 || len > buf.len() {
-            return Err(WireError::BadOption);
-        }
-        let body = &buf[2..len];
+        let body = buf.get(2..len).ok_or(WireError::BadOption)?;
         match kind {
             2 => {
                 if body.len() != 2 {
                     return Err(WireError::BadOption);
                 }
-                opts.push(TcpOption::Mss(u16::from_be_bytes([body[0], body[1]])));
+                opts.push(TcpOption::Mss(
+                    get_be16(body, 0).ok_or(WireError::BadOption)?,
+                ));
             }
             3 => {
                 if body.len() != 1 {
                     return Err(WireError::BadOption);
                 }
-                opts.push(TcpOption::WindowScale(body[0]));
+                opts.push(TcpOption::WindowScale(
+                    get_u8(body, 0).ok_or(WireError::BadOption)?,
+                ));
             }
             4 => {
                 if !body.is_empty() {
@@ -434,37 +466,25 @@ fn parse_options(mut buf: &[u8]) -> Result<Vec<TcpOption>, WireError> {
                 }
                 let blocks = body
                     .chunks_exact(8)
-                    .map(|c| {
-                        (
-                            SeqNum(u32::from_be_bytes([c[0], c[1], c[2], c[3]])),
-                            SeqNum(u32::from_be_bytes([c[4], c[5], c[6], c[7]])),
-                        )
-                    })
+                    .filter_map(|c| Some((SeqNum(get_be32(c, 0)?), SeqNum(get_be32(c, 4)?))))
                     .collect();
                 opts.push(TcpOption::Sack(blocks));
             }
             MPTCP_KIND => {
-                if body.is_empty() {
-                    return Err(WireError::BadOption);
-                }
-                let subtype = body[0] >> 4;
+                let b0 = get_u8(body, 0).ok_or(WireError::BadOption)?;
+                let subtype = b0 >> 4;
                 match subtype {
                     0 => {
+                        let key_local = get_be64(body, 2).ok_or(WireError::BadOption)?;
                         if body.len() == 10 {
                             opts.push(TcpOption::Mptcp(MptcpOption::Capable {
-                                key_local: u64::from_be_bytes(
-                                    body[2..10].try_into().unwrap(),
-                                ),
+                                key_local,
                                 key_remote: None,
                             }));
                         } else if body.len() == 18 {
                             opts.push(TcpOption::Mptcp(MptcpOption::Capable {
-                                key_local: u64::from_be_bytes(
-                                    body[2..10].try_into().unwrap(),
-                                ),
-                                key_remote: Some(u64::from_be_bytes(
-                                    body[10..18].try_into().unwrap(),
-                                )),
+                                key_local,
+                                key_remote: Some(get_be64(body, 10).ok_or(WireError::BadOption)?),
                             }));
                         } else {
                             return Err(WireError::BadOption);
@@ -474,41 +494,35 @@ fn parse_options(mut buf: &[u8]) -> Result<Vec<TcpOption>, WireError> {
                         if body.len() != 10 {
                             return Err(WireError::BadOption);
                         }
+                        // The planted-parser-bug feature (CI's proof that the
+                        // fuzz harness catches real defects) reads the nonce
+                        // one byte early, overlapping the token field — the
+                        // classic misaligned-field parser defect. Caught by
+                        // the decode→encode→decode fixpoint oracle.
+                        #[cfg(feature = "planted-parser-bug")]
+                        let nonce_at = 5;
+                        #[cfg(not(feature = "planted-parser-bug"))]
+                        let nonce_at = 6;
                         opts.push(TcpOption::Mptcp(MptcpOption::Join {
-                            token: u32::from_be_bytes(body[2..6].try_into().unwrap()),
-                            nonce: u32::from_be_bytes(body[6..10].try_into().unwrap()),
-                            backup: body[0] & 0x01 != 0,
+                            token: get_be32(body, 2).ok_or(WireError::BadOption)?,
+                            nonce: get_be32(body, nonce_at).ok_or(WireError::BadOption)?,
+                            backup: b0 & 0x01 != 0,
                         }));
                     }
                     2 => {
-                        if body.len() < 2 {
-                            return Err(WireError::BadOption);
-                        }
-                        let flags = body[1];
+                        let flags = get_u8(body, 1).ok_or(WireError::BadOption)?;
                         let mut at = 2usize;
                         let data_ack = if flags & 0x01 != 0 {
-                            if body.len() < at + 8 {
-                                return Err(WireError::BadOption);
-                            }
-                            let v =
-                                u64::from_be_bytes(body[at..at + 8].try_into().unwrap());
+                            let v = get_be64(body, at).ok_or(WireError::BadOption)?;
                             at += 8;
                             Some(v)
                         } else {
                             None
                         };
                         let mapping = if flags & 0x02 != 0 {
-                            if body.len() < at + 14 {
-                                return Err(WireError::BadOption);
-                            }
-                            let dseq =
-                                u64::from_be_bytes(body[at..at + 8].try_into().unwrap());
-                            let ssn = u32::from_be_bytes(
-                                body[at + 8..at + 12].try_into().unwrap(),
-                            );
-                            let len = u16::from_be_bytes(
-                                body[at + 12..at + 14].try_into().unwrap(),
-                            );
+                            let dseq = get_be64(body, at).ok_or(WireError::BadOption)?;
+                            let ssn = get_be32(body, at + 8).ok_or(WireError::BadOption)?;
+                            let len = get_be16(body, at + 12).ok_or(WireError::BadOption)?;
                             Some(DssMapping {
                                 dseq,
                                 subflow_seq: SeqNum(ssn),
@@ -528,9 +542,9 @@ fn parse_options(mut buf: &[u8]) -> Result<Vec<TcpOption>, WireError> {
                             return Err(WireError::BadOption);
                         }
                         opts.push(TcpOption::Mptcp(MptcpOption::AddAddr {
-                            addr_id: body[1],
-                            addr: Addr(u32::from_be_bytes(body[2..6].try_into().unwrap())),
-                            port: u16::from_be_bytes(body[6..8].try_into().unwrap()),
+                            addr_id: get_u8(body, 1).ok_or(WireError::BadOption)?,
+                            addr: Addr(get_be32(body, 2).ok_or(WireError::BadOption)?),
+                            port: get_be16(body, 6).ok_or(WireError::BadOption)?,
                         }));
                     }
                     5 => {
@@ -538,7 +552,7 @@ fn parse_options(mut buf: &[u8]) -> Result<Vec<TcpOption>, WireError> {
                             return Err(WireError::BadOption);
                         }
                         opts.push(TcpOption::Mptcp(MptcpOption::Prio {
-                            backup: body[0] & 0x01 != 0,
+                            backup: b0 & 0x01 != 0,
                         }));
                     }
                     _ => return Err(WireError::BadOption),
@@ -546,7 +560,7 @@ fn parse_options(mut buf: &[u8]) -> Result<Vec<TcpOption>, WireError> {
             }
             _ => return Err(WireError::BadOption),
         }
-        buf = &buf[len..];
+        buf = buf.get(len..).ok_or(WireError::BadOption)?;
     }
     Ok(opts)
 }
@@ -555,6 +569,7 @@ fn parse_options(mut buf: &[u8]) -> Result<Vec<TcpOption>, WireError> {
 pub fn encode_packet(ip: &IpHeader, seg: &TcpSegment) -> Bytes {
     let mut opt_buf = BytesMut::with_capacity(60);
     let opt_len = encode_options(&seg.options, &mut opt_buf);
+    // lint: allow-panic(encode-side caller contract, not wire-derived input)
     assert!(opt_len <= 40, "TCP options exceed 40 bytes ({opt_len})");
     let tcp_len = TCP_HEADER_LEN + opt_len + seg.payload.len();
     let total = IP_HEADER_LEN + tcp_len;
@@ -568,7 +583,9 @@ pub fn encode_packet(ip: &IpHeader, seg: &TcpSegment) -> Bytes {
     out.put_u32(ip.dst.0);
     out.put_u16(0); // header checksum placeholder
     out.put_u16(0); // ident
+    // lint: allow-panic(encoder patches checksum into a buffer it just built)
     let ip_sum = checksum(&out[..IP_HEADER_LEN]);
+    // lint: allow-panic(encoder patches checksum into a buffer it just built)
     out[12..14].copy_from_slice(&ip_sum.to_be_bytes());
 
     // TCP header.
@@ -585,7 +602,9 @@ pub fn encode_packet(ip: &IpHeader, seg: &TcpSegment) -> Bytes {
     out.put_u16(0); // urgent
     out.extend_from_slice(&opt_buf);
     out.extend_from_slice(&seg.payload);
+    // lint: allow-panic(encoder patches checksum into a buffer it just built)
     let tcp_sum = checksum(&out[tcp_start..]);
+    // lint: allow-panic(encoder patches checksum into a buffer it just built)
     out[tcp_start + 16..tcp_start + 18].copy_from_slice(&tcp_sum.to_be_bytes());
 
     out.freeze()
@@ -593,50 +612,51 @@ pub fn encode_packet(ip: &IpHeader, seg: &TcpSegment) -> Bytes {
 
 /// Parse wire bytes into (network header, TCP segment), verifying checksums.
 pub fn parse_packet(data: &[u8]) -> Result<(IpHeader, TcpSegment), WireError> {
-    if data.len() < IP_HEADER_LEN {
-        return Err(WireError::Truncated);
-    }
-    if data[0] >> 4 != 4 {
+    let header = data.get(..IP_HEADER_LEN).ok_or(WireError::Truncated)?;
+    let b0 = get_u8(header, 0).ok_or(WireError::Truncated)?;
+    if b0 >> 4 != 4 {
         return Err(WireError::BadVersion);
     }
-    let protocol = data[0] & 0x0f;
-    let ttl = data[1];
-    let total = u16::from_be_bytes([data[2], data[3]]) as usize;
+    let protocol = b0 & 0x0f;
+    let ttl = get_u8(header, 1).ok_or(WireError::Truncated)?;
+    let total = get_be16(header, 2).ok_or(WireError::Truncated)? as usize;
     if total > data.len() || total < IP_HEADER_LEN {
         return Err(WireError::Truncated);
     }
-    if checksum(&data[..IP_HEADER_LEN]) != 0 {
+    if checksum(header) != 0 {
         return Err(WireError::BadChecksum);
     }
     let ip = IpHeader {
-        src: Addr(u32::from_be_bytes(data[4..8].try_into().unwrap())),
-        dst: Addr(u32::from_be_bytes(data[8..12].try_into().unwrap())),
+        src: Addr(get_be32(header, 4).ok_or(WireError::Truncated)?),
+        dst: Addr(get_be32(header, 8).ok_or(WireError::Truncated)?),
         protocol,
         ttl,
     };
     if protocol != PROTO_TCP {
         return Err(WireError::UnknownProtocol(protocol));
     }
-    let tcp = &data[IP_HEADER_LEN..total];
+    let tcp = data.get(IP_HEADER_LEN..total).ok_or(WireError::Truncated)?;
     if tcp.len() < TCP_HEADER_LEN {
         return Err(WireError::Truncated);
     }
     if checksum(tcp) != 0 {
         return Err(WireError::BadChecksum);
     }
-    let data_off = ((tcp[12] >> 4) as usize) * 4;
-    if data_off < TCP_HEADER_LEN || data_off > tcp.len() {
+    let data_off = ((get_u8(tcp, 12).ok_or(WireError::Truncated)? >> 4) as usize) * 4;
+    if data_off < TCP_HEADER_LEN {
         return Err(WireError::Truncated);
     }
+    let options = tcp.get(TCP_HEADER_LEN..data_off).ok_or(WireError::Truncated)?;
+    let payload = tcp.get(data_off..).ok_or(WireError::Truncated)?;
     let seg = TcpSegment {
-        src_port: u16::from_be_bytes([tcp[0], tcp[1]]),
-        dst_port: u16::from_be_bytes([tcp[2], tcp[3]]),
-        seq: SeqNum(u32::from_be_bytes(tcp[4..8].try_into().unwrap())),
-        ack: SeqNum(u32::from_be_bytes(tcp[8..12].try_into().unwrap())),
-        flags: tcp[13],
-        window: u16::from_be_bytes([tcp[14], tcp[15]]),
-        options: parse_options(&tcp[TCP_HEADER_LEN..data_off])?,
-        payload: Bytes::copy_from_slice(&tcp[data_off..]),
+        src_port: get_be16(tcp, 0).ok_or(WireError::Truncated)?,
+        dst_port: get_be16(tcp, 2).ok_or(WireError::Truncated)?,
+        seq: SeqNum(get_be32(tcp, 4).ok_or(WireError::Truncated)?),
+        ack: SeqNum(get_be32(tcp, 8).ok_or(WireError::Truncated)?),
+        flags: get_u8(tcp, 13).ok_or(WireError::Truncated)?,
+        window: get_be16(tcp, 14).ok_or(WireError::Truncated)?,
+        options: parse_options(options)?,
+        payload: Bytes::copy_from_slice(payload),
     };
     Ok((ip, seg))
 }
@@ -663,7 +683,9 @@ pub fn encode_ping(ip: &IpHeader, ping: &PingPacket) -> Bytes {
     out.put_u32(ip.dst.0);
     out.put_u16(0);
     out.put_u16(0);
+    // lint: allow-panic(encoder patches checksum into a buffer it just built)
     let ip_sum = checksum(&out[..IP_HEADER_LEN]);
+    // lint: allow-panic(encoder patches checksum into a buffer it just built)
     out[12..14].copy_from_slice(&ip_sum.to_be_bytes());
     out.put_u8(ping.reply as u8);
     out.put_u64(ping.token);
@@ -681,33 +703,32 @@ pub enum Packet {
 
 /// Parse a packet of any supported protocol.
 pub fn parse_any(data: &[u8]) -> Result<Packet, WireError> {
-    if data.len() < IP_HEADER_LEN {
-        return Err(WireError::Truncated);
-    }
-    let protocol = data[0] & 0x0f;
+    let header = data.get(..IP_HEADER_LEN).ok_or(WireError::Truncated)?;
+    let b0 = get_u8(header, 0).ok_or(WireError::Truncated)?;
+    let protocol = b0 & 0x0f;
     if protocol == PROTO_PING {
-        if data[0] >> 4 != 4 {
+        if b0 >> 4 != 4 {
             return Err(WireError::BadVersion);
         }
-        if checksum(&data[..IP_HEADER_LEN]) != 0 {
+        if checksum(header) != 0 {
             return Err(WireError::BadChecksum);
         }
-        let total = u16::from_be_bytes([data[2], data[3]]) as usize;
+        let total = get_be16(header, 2).ok_or(WireError::Truncated)? as usize;
         if total > data.len() || total < IP_HEADER_LEN + 9 {
             return Err(WireError::Truncated);
         }
         let ip = IpHeader {
-            src: Addr(u32::from_be_bytes(data[4..8].try_into().unwrap())),
-            dst: Addr(u32::from_be_bytes(data[8..12].try_into().unwrap())),
+            src: Addr(get_be32(header, 4).ok_or(WireError::Truncated)?),
+            dst: Addr(get_be32(header, 8).ok_or(WireError::Truncated)?),
             protocol,
-            ttl: data[1],
+            ttl: get_u8(header, 1).ok_or(WireError::Truncated)?,
         };
-        let body = &data[IP_HEADER_LEN..];
+        let body = data.get(IP_HEADER_LEN..).ok_or(WireError::Truncated)?;
         return Ok(Packet::Ping(
             ip,
             PingPacket {
-                reply: body[0] != 0,
-                token: u64::from_be_bytes(body[1..9].try_into().unwrap()),
+                reply: get_u8(body, 0).ok_or(WireError::Truncated)? != 0,
+                token: get_be64(body, 1).ok_or(WireError::Truncated)?,
             },
         ));
     }
