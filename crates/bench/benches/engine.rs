@@ -1,8 +1,19 @@
-//! Micro-benchmarks of the simulation and protocol hot paths.
+//! Micro-benchmarks of the simulation and protocol hot paths, plus the
+//! allocation-regression gate: a counting global allocator measures heap
+//! activity inside a steady-state window of a loss-free MPTCP download and
+//! fails the run if it exceeds the checked-in budgets (zero for the plain
+//! data path). `MPW_ALLOC_GATE_ONLY=1` runs just the gate (CI's
+//! alloc-regression job); a full run also records the counts in
+//! `BENCH_engine.json`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 use criterion::{BatchSize, Criterion, Throughput};
-use mpw_experiments::{run_measurement, FlowConfig, Scenario, WifiKind};
+use mpw_experiments::{
+    run_lossfree_download_windowed, run_measurement, FlowConfig, Scenario, WifiKind,
+};
 use mpw_link::{Carrier, DayPeriod};
 use mpw_mptcp::Coupling;
 use mpw_sim::trace::TraceLevel;
@@ -10,6 +21,192 @@ use mpw_sim::{Agent, Ctx, Event, Frame, SimDuration, SimTime, TimerHandle, World
 use mpw_tcp::buf::Assembler;
 use mpw_tcp::wire::{self, tcp_flags, DssMapping, MptcpOption, TcpOption, TcpSegment};
 use mpw_tcp::SeqNum;
+
+/// Heap-operation counter wrapping the system allocator. Counts every
+/// `alloc`/`alloc_zeroed`/`realloc` (frees are not interesting to the
+/// gate); one relaxed fetch_add per operation, cheap enough to leave on for
+/// the timing benches too.
+struct CountingAlloc;
+
+static ALLOC_OPS: AtomicU64 = AtomicU64::new(0);
+/// Debug aid: when armed (MPW_ALLOC_PANIC=N, counts down inside the
+/// window), the N-th heap op panics with a backtrace pointing at the
+/// offender. The swap-to-zero disarms before panicking so the panic
+/// machinery's own allocations don't recurse.
+static PANIC_AFTER: AtomicU64 = AtomicU64::new(0);
+
+/// Debug aid: when MPW_ALLOC_SIZES is set, bucket window allocations by
+/// requested size (log2 buckets) to identify offenders without backtraces.
+static SIZE_HIST: [AtomicU64; 32] = [const { AtomicU64::new(0) }; 32];
+static HIST_ON: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+static PANIC_SIZE_MIN: AtomicU64 = AtomicU64::new(0);
+static PANIC_SIZE_MAX: AtomicU64 = AtomicU64::new(u64::MAX);
+
+fn count_op_sized(size: usize) {
+    ALLOC_OPS.fetch_add(1, Ordering::Relaxed);
+    if HIST_ON.load(Ordering::Relaxed) {
+        let b = (usize::BITS - size.max(1).leading_zeros() - 1).min(31) as usize;
+        SIZE_HIST[b].fetch_add(1, Ordering::Relaxed);
+    }
+    if PANIC_AFTER.load(Ordering::Relaxed) > 0
+        && (size as u64) >= PANIC_SIZE_MIN.load(Ordering::Relaxed)
+        && (size as u64) <= PANIC_SIZE_MAX.load(Ordering::Relaxed)
+        && PANIC_AFTER.fetch_sub(1, Ordering::Relaxed) == 1
+    {
+        panic!("heap operation of {size} bytes inside the steady-state window (run with RUST_BACKTRACE=1)");
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_op_sized(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_op_sized(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_op_sized(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_ops() -> u64 {
+    ALLOC_OPS.load(Ordering::Relaxed)
+}
+
+/// One allocation-gate measurement.
+struct AllocRow {
+    id: &'static str,
+    allocs_in_window: u64,
+    window_segments: u64,
+}
+
+/// Steady-state observation window: by 300 ms the handshake, MP_JOIN and
+/// the slow-start ramp to the 512 KiB send-buffer cap are over; the 4 MiB
+/// download over two 20 Mbit/s loss-free paths completes around 950 ms, so
+/// [300 ms, 600 ms] is pure mid-transfer steady state.
+const ALLOC_PROBE_SIZE: u64 = 4 << 20;
+// Window start leaves ample room past the handshake, the slow-start ramp,
+// and the coupled-CC climb to the pinned 64 KiB per-subflow in-flight cap
+// (reached ~250-350 ms in): only once in-flight has plateaued do the frame
+// pool and every queue stop growing.
+const ALLOC_WINDOW_MS: (u64, u64) = (400, 700);
+
+fn alloc_probe(capture: bool, seed: u64) -> (u64, u64) {
+    let window = (
+        SimTime::from_millis(ALLOC_WINDOW_MS.0),
+        SimTime::from_millis(ALLOC_WINDOW_MS.1),
+    );
+    let mut snaps = [0u64; 2];
+    // Environment reads happen out here: `std::env::var` allocates, and the
+    // mark closure runs *inside* the measured window.
+    let env_u64 = |k: &str, d: u64| {
+        std::env::var(k)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(d)
+    };
+    let armed = env_u64("MPW_ALLOC_PANIC", 0);
+    let size_min = env_u64("MPW_ALLOC_PANIC_MIN", 0);
+    let size_max = env_u64("MPW_ALLOC_PANIC_MAX", u64::MAX);
+    let sizes_on = std::env::var_os("MPW_ALLOC_SIZES").is_some();
+    PANIC_SIZE_MIN.store(size_min, Ordering::Relaxed);
+    PANIC_SIZE_MAX.store(size_max, Ordering::Relaxed);
+    let probe = run_lossfree_download_windowed(
+        ALLOC_PROBE_SIZE,
+        seed,
+        window,
+        capture,
+        &mut |phase| {
+            snaps[usize::from(phase)] = alloc_ops();
+            PANIC_AFTER.store(if phase == 0 { armed } else { 0 }, Ordering::Relaxed);
+            if sizes_on {
+                HIST_ON.store(phase == 0, Ordering::Relaxed);
+                if phase == 1 {
+                    for (b, c) in SIZE_HIST.iter().enumerate() {
+                        let n = c.swap(0, Ordering::Relaxed);
+                        if n > 0 {
+                            eprintln!(
+                                "  alloc size 2^{b} ({}..{}): {n}",
+                                1usize << b,
+                                (1usize << b) * 2 - 1
+                            );
+                        }
+                    }
+                }
+            }
+        },
+    );
+    assert_eq!(probe.bytes, ALLOC_PROBE_SIZE, "probe download must complete");
+    assert_eq!(probe.rexmit_segs, 0, "probe must be loss-free");
+    assert!(probe.window_segments > 0, "window saw no data segments");
+    (snaps[1] - snaps[0], probe.window_segments)
+}
+
+/// Run the allocation probes: one warm-up pass per configuration populates
+/// the thread-local buffer pool and grows every ring and queue to
+/// steady-state capacity, then the measured pass counts heap operations
+/// inside the window. Same seed both passes — the measured run is
+/// event-identical to the warm-up.
+fn run_alloc_probes() -> Vec<AllocRow> {
+    let mut rows = Vec::new();
+    for (id, capture) in [
+        ("alloc/steady_state_segment_allocs", false),
+        ("alloc/capture_path_allocs", true),
+    ] {
+        let _ = alloc_probe(capture, 7);
+        let (allocs, segs) = alloc_probe(capture, 7);
+        eprintln!(
+            "{id}: {allocs} heap ops over {segs} segments in the {}..{} ms window",
+            ALLOC_WINDOW_MS.0, ALLOC_WINDOW_MS.1
+        );
+        rows.push(AllocRow { id, allocs_in_window: allocs, window_segments: segs });
+    }
+    rows
+}
+
+/// Read a budget value out of `ALLOC_budgets.json` (flat `"key": number`
+/// pairs; no JSON dependency needed for that).
+fn budget_for(budgets: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\"");
+    let at = budgets.find(&needle).unwrap_or_else(|| panic!("ALLOC_budgets.json lacks {key}"));
+    let rest = &budgets[at + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':').expect("budget key not followed by ':'");
+    let digits: String = rest.trim_start().chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().unwrap_or_else(|_| panic!("budget for {key} is not an integer"))
+}
+
+/// The regression gate: every probe must stay within its checked-in budget.
+fn check_alloc_budgets(rows: &[AllocRow]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../ALLOC_budgets.json");
+    let budgets = std::fs::read_to_string(path).expect("read ALLOC_budgets.json");
+    let mut bad = false;
+    for row in rows {
+        let key = row.id.rsplit('/').next().unwrap_or(row.id);
+        let budget = budget_for(&budgets, key);
+        if row.allocs_in_window > budget {
+            eprintln!(
+                "ALLOC REGRESSION: {} = {} heap ops in the steady-state window, budget {}",
+                row.id, row.allocs_in_window, budget
+            );
+            bad = true;
+        } else {
+            eprintln!("{}: {} heap ops <= budget {}", row.id, row.allocs_in_window, budget);
+        }
+    }
+    if bad {
+        std::process::exit(1);
+    }
+}
 
 /// A pair of agents ping-ponging a timer — pure engine overhead.
 struct PingPong {
@@ -269,7 +466,7 @@ fn data_segment() -> TcpSegment {
     let mut seg = TcpSegment::bare(8080, 40000, SeqNum(12345), SeqNum(999), tcp_flags::ACK);
     seg.window = 5000;
     seg.payload = Bytes::from(vec![0x5a; 1400]);
-    seg.options = vec![TcpOption::Mptcp(MptcpOption::Dss {
+    seg.options = [TcpOption::Mptcp(MptcpOption::Dss {
         data_ack: Some(1 << 33),
         mapping: Some(DssMapping {
             dseq: 1 << 32,
@@ -277,7 +474,8 @@ fn data_segment() -> TcpSegment {
             len: 1400,
         }),
         data_fin: false,
-    })];
+    })]
+    .into();
     seg
 }
 
@@ -387,9 +585,10 @@ fn bench_full_transfer(c: &mut Criterion) {
 }
 
 /// Export machine-readable results at the workspace root so CI and the
-/// docs can track engine throughput across changes.
-fn write_summary(c: &Criterion) {
-    let rows: Vec<String> = c
+/// docs can track engine throughput across changes. Allocation-gate rows
+/// ride along after the timing rows.
+fn write_summary(c: &Criterion, alloc_rows: &[AllocRow]) {
+    let mut rows: Vec<String> = c
         .results()
         .iter()
         .map(|r| {
@@ -403,6 +602,13 @@ fn write_summary(c: &Criterion) {
             )
         })
         .collect();
+    for a in alloc_rows {
+        let per_seg = a.allocs_in_window as f64 / a.window_segments.max(1) as f64;
+        rows.push(format!(
+            "  {{\"id\": \"{}\", \"allocs_in_window\": {}, \"window_segments\": {}, \"allocs_per_segment\": {per_seg:.4}}}",
+            a.id, a.allocs_in_window, a.window_segments
+        ));
+    }
     let out = format!("[\n{}\n]\n", rows.join(",\n"));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, out).expect("write BENCH_engine.json");
@@ -410,6 +616,13 @@ fn write_summary(c: &Criterion) {
 }
 
 fn main() {
+    // The allocation gate runs first: it is the cheap, binary pass/fail
+    // part, and CI's alloc-regression job stops after it.
+    let alloc_rows = run_alloc_probes();
+    check_alloc_budgets(&alloc_rows);
+    if std::env::var_os("MPW_ALLOC_GATE_ONLY").is_some() {
+        return;
+    }
     let mut criterion = Criterion::default();
     bench_event_queue(&mut criterion);
     bench_timer_wheel(&mut criterion);
@@ -418,5 +631,5 @@ fn main() {
     bench_assembler(&mut criterion);
     bench_full_transfer(&mut criterion);
     bench_capture_overhead(&mut criterion);
-    write_summary(&criterion);
+    write_summary(&criterion, &alloc_rows);
 }

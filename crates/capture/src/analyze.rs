@@ -26,7 +26,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use mpw_metrics::DistSummary;
 use mpw_sim::SimTime;
-use mpw_tcp::wire::{parse_any, Endpoint, MptcpOption, Packet, TcpSegment};
+use mpw_tcp::wire::{parse_any_shared, Endpoint, MptcpOption, Packet, TcpSegment};
 use mpw_tcp::SeqNum;
 
 use crate::hub::{IfaceRole, Vantage};
@@ -228,7 +228,7 @@ pub fn analyze(file: &PcapFile, server_port: u16) -> WireAnalysis {
             out.drop_records += 1;
             continue;
         };
-        let (ip, seg) = match parse_any(&pkt.data) {
+        let (ip, seg) = match parse_any_shared(&pkt.data) {
             Ok(Packet::Tcp(ip, seg)) => (ip, seg),
             Ok(Packet::Ping(..)) => {
                 out.pings += 1;
@@ -547,11 +547,12 @@ mod tests {
         let mut s = TcpSegment::bare(0, client_port, SeqNum(seq), SeqNum(1), tcp_flags::ACK);
         s.payload = Bytes::from(vec![0xAB; len]);
         if let Some(d) = dseq {
-            s.options = vec![TcpOption::Mptcp(MptcpOption::Dss {
+            s.options = [TcpOption::Mptcp(MptcpOption::Dss {
                 data_ack: None,
                 mapping: Some(DssMapping { dseq: d, subflow_seq: SeqNum(seq), len: len as u16 }),
                 data_fin: false,
-            })];
+            })]
+            .into();
         }
         s
     }
@@ -562,7 +563,7 @@ mod tests {
 
     fn handshake(rig: &mut Rig, path: usize, t0: u64, port: u16, addr: Addr, opt: MptcpOption) {
         let mut syn = TcpSegment::bare(port, 0, SeqNum(100), SeqNum(0), tcp_flags::SYN);
-        syn.options = vec![TcpOption::Mptcp(opt)];
+        syn.options = [TcpOption::Mptcp(opt)].into();
         rig.seg(path, t0, true, syn, addr);
         let synack = TcpSegment::bare(
             0,

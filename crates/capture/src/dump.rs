@@ -130,11 +130,12 @@ mod tests {
         );
         seg.window = 512;
         seg.payload = Bytes::from(vec![0u8; 1400]);
-        seg.options = vec![mpw_tcp::wire::TcpOption::Mptcp(MptcpOption::Dss {
+        seg.options = [mpw_tcp::wire::TcpOption::Mptcp(MptcpOption::Dss {
             data_ack: Some(9000),
             mapping: Some(DssMapping { dseq: 5600, subflow_seq: SeqNum(7001), len: 1400 }),
             data_fin: false,
-        })];
+        })]
+        .into();
         let bytes = encode_packet(&ip, &seg);
         let line = format_packet("path0:down@client", 18_123_456_789, &bytes, None);
         assert_eq!(

@@ -32,4 +32,6 @@ pub mod pcapng;
 
 pub use analyze::{analyze, WireAnalysis, WireConnection, WireSubflow};
 pub use hub::{CaptureHub, CapturedRecord, IfaceRole, LinkDir, RecordKind, SharedHub, Vantage, DROPS_IFACE};
-pub use pcapng::{read_pcapng, PcapError, PcapFile, PcapInterface, PcapPacket, PcapWriter};
+pub use pcapng::{
+    read_pcapng, read_pcapng_shared, PcapError, PcapFile, PcapInterface, PcapPacket, PcapWriter,
+};

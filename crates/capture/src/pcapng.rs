@@ -19,6 +19,7 @@
 
 use core::fmt;
 
+use bytes::Bytes;
 use mpw_sim::SimTime;
 
 /// pcapng link type for user-defined encapsulation (LINKTYPE_USER0).
@@ -81,26 +82,26 @@ impl PcapWriter {
             n_ifaces: 0,
         };
         // SHB: magic, version 1.0, unknown section length.
-        let mut body = Vec::with_capacity(16);
-        put_u32(&mut body, BYTE_ORDER_MAGIC);
-        put_u16(&mut body, 1);
-        put_u16(&mut body, 0);
-        body.extend_from_slice(&u64::MAX.to_le_bytes());
-        w.block(BT_SHB, &body);
+        let start = w.begin_block(BT_SHB);
+        put_u32(&mut w.buf, BYTE_ORDER_MAGIC);
+        put_u16(&mut w.buf, 1);
+        put_u16(&mut w.buf, 0);
+        w.buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        w.end_block(start);
         w
     }
 
     /// Declare a capture interface; returns its id for [`Self::packet`].
     pub fn add_interface(&mut self, name: &str) -> u32 {
-        let mut body = Vec::with_capacity(16 + name.len());
-        put_u16(&mut body, LINKTYPE_USER0);
-        put_u16(&mut body, 0); // reserved
-        put_u32(&mut body, 0); // snaplen: unlimited
-        put_option(&mut body, OPT_IF_NAME, name.as_bytes());
-        put_option(&mut body, OPT_IF_TSRESOL, &[9]); // nanoseconds
-        put_u16(&mut body, OPT_END);
-        put_u16(&mut body, 0);
-        self.block(BT_IDB, &body);
+        let start = self.begin_block(BT_IDB);
+        put_u16(&mut self.buf, LINKTYPE_USER0);
+        put_u16(&mut self.buf, 0); // reserved
+        put_u32(&mut self.buf, 0); // snaplen: unlimited
+        put_option(&mut self.buf, OPT_IF_NAME, name.as_bytes());
+        put_option(&mut self.buf, OPT_IF_TSRESOL, &[9]); // nanoseconds
+        put_u16(&mut self.buf, OPT_END);
+        put_u16(&mut self.buf, 0);
+        self.end_block(start);
         let id = self.n_ifaces;
         self.n_ifaces += 1;
         id
@@ -108,24 +109,28 @@ impl PcapWriter {
 
     /// Append one packet. `comment`, when present, is stored as the EPB's
     /// `opt_comment` (the capture uses it to label drop records).
+    ///
+    /// Blocks are serialized straight into the writer's output buffer with a
+    /// length back-patch, so a warmed-up writer appends packets without any
+    /// intermediate per-block allocation.
     pub fn packet(&mut self, iface: u32, at: SimTime, data: &[u8], comment: Option<&str>) {
         // lint: allow-panic(writer-side caller contract, not wire-derived input)
         assert!(iface < self.n_ifaces, "packet on undeclared interface");
         let ts = at.as_nanos();
-        let mut body = Vec::with_capacity(20 + data.len() + 16);
-        put_u32(&mut body, iface);
-        put_u32(&mut body, (ts >> 32) as u32);
-        put_u32(&mut body, ts as u32);
-        put_u32(&mut body, data.len() as u32);
-        put_u32(&mut body, data.len() as u32);
-        body.extend_from_slice(data);
-        pad4(&mut body);
+        let start = self.begin_block(BT_EPB);
+        put_u32(&mut self.buf, iface);
+        put_u32(&mut self.buf, (ts >> 32) as u32);
+        put_u32(&mut self.buf, ts as u32);
+        put_u32(&mut self.buf, data.len() as u32);
+        put_u32(&mut self.buf, data.len() as u32);
+        self.buf.extend_from_slice(data);
+        pad4(&mut self.buf);
         if let Some(c) = comment {
-            put_option(&mut body, OPT_COMMENT, c.as_bytes());
-            put_u16(&mut body, OPT_END);
-            put_u16(&mut body, 0);
+            put_option(&mut self.buf, OPT_COMMENT, c.as_bytes());
+            put_u16(&mut self.buf, OPT_END);
+            put_u16(&mut self.buf, 0);
         }
-        self.block(BT_EPB, &body);
+        self.end_block(start);
     }
 
     /// Finish the section and return the file bytes.
@@ -133,13 +138,23 @@ impl PcapWriter {
         self.buf
     }
 
-    fn block(&mut self, block_type: u32, body: &[u8]) {
-        // lint: allow-panic(writer-side internal invariant, not wire-derived input)
-        debug_assert!(body.len().is_multiple_of(4), "block body must be padded");
-        let total = 12 + body.len() as u32;
+    /// Open a block: write the type and a length placeholder, return the
+    /// block's start offset for [`Self::end_block`].
+    fn begin_block(&mut self, block_type: u32) -> usize {
+        let start = self.buf.len();
         put_u32(&mut self.buf, block_type);
-        put_u32(&mut self.buf, total);
-        self.buf.extend_from_slice(body);
+        put_u32(&mut self.buf, 0); // total length, patched by end_block
+        start
+    }
+
+    /// Close a block: back-patch the total length and append the trailing
+    /// duplicate the spec requires.
+    fn end_block(&mut self, start: usize) {
+        // lint: allow-panic(writer-side internal invariant, not wire-derived input)
+        debug_assert!((self.buf.len() - start).is_multiple_of(4), "block body must be padded");
+        let total = (self.buf.len() - start + 4) as u32;
+        // lint: allow-panic(writer patches the length of a block it just opened)
+        self.buf[start + 4..start + 8].copy_from_slice(&total.to_le_bytes());
         put_u32(&mut self.buf, total);
     }
 }
@@ -167,8 +182,9 @@ pub struct PcapPacket {
     pub iface: u32,
     /// Capture timestamp, converted back to simulated time.
     pub at: SimTime,
-    /// Captured bytes.
-    pub data: Vec<u8>,
+    /// Captured bytes — a refcounted sub-slice of the file buffer, not a
+    /// per-packet copy.
+    pub data: Bytes,
     /// `opt_comment`, if present (drop records carry one).
     pub comment: Option<String>,
 }
@@ -189,13 +205,24 @@ impl PcapFile {
     }
 }
 
-/// Parse a (little-endian, single-section) pcapng file.
+/// Parse a (little-endian, single-section) pcapng file from a plain byte
+/// slice. The input is copied once into a refcounted buffer which every
+/// [`PcapPacket::data`] then sub-slices; callers that already hold the file
+/// as [`Bytes`] should use [`read_pcapng_shared`] to skip even that copy.
+pub fn read_pcapng(data: &[u8]) -> Result<PcapFile, PcapError> {
+    read_pcapng_shared(&Bytes::copy_from_slice(data))
+}
+
+/// Parse a (little-endian, single-section) pcapng file without copying any
+/// packet bytes: every [`PcapPacket::data`] is a refcounted sub-slice of
+/// `src`.
 ///
 /// The reader is total over arbitrary bytes: every read of the input goes
 /// through [`get_u32`]/[`get_u16`]/`slice::get`, so truncated or mangled
 /// files produce a typed [`PcapError`], never a panic. The panic-free-parser
 /// lint (`crates/check/src/parser_lint.rs`) enforces this.
-pub fn read_pcapng(data: &[u8]) -> Result<PcapFile, PcapError> {
+pub fn read_pcapng_shared(src: &Bytes) -> Result<PcapFile, PcapError> {
+    let data: &[u8] = src.as_ref();
     let mut out = PcapFile::default();
     let mut at = 0usize;
     let mut first = true;
@@ -272,7 +299,9 @@ pub fn read_pcapng(data: &[u8]) -> Result<PcapFile, PcapError> {
                 let ts = (u64::from(ts_hi) << 32) | u64::from(ts_lo);
                 let caplen = get_u32(body, 12).ok_or(PcapError::Truncated)? as usize;
                 let packet_end = 20usize.checked_add(caplen).ok_or(PcapError::Truncated)?;
-                let pkt = body.get(20..packet_end).ok_or(PcapError::Truncated)?;
+                if body.get(20..packet_end).is_none() {
+                    return Err(PcapError::Truncated);
+                }
                 let nanos = match idesc.tsresol_exp {
                     9 => ts,
                     exp if exp < 9 => ts.saturating_mul(10u64.pow(u32::from(9 - exp))),
@@ -295,10 +324,14 @@ pub fn read_pcapng(data: &[u8]) -> Result<PcapFile, PcapError> {
                         }
                     }
                 }
+                // The payload is `body[20..packet_end]` and `body` starts 8
+                // bytes into the block, so its absolute range in `src` is
+                // `at + 28 .. at + 8 + packet_end` (bounds proven by the
+                // `body.get` check above).
                 out.packets.push(PcapPacket {
                     iface,
                     at: SimTime::from_nanos(nanos),
-                    data: pkt.to_vec(),
+                    data: src.slice(at + 28..at + 8 + packet_end),
                     comment,
                 });
             }
@@ -392,10 +425,27 @@ mod tests {
         assert_eq!(f.iface_named("drops"), Some(1));
         assert_eq!(f.packets.len(), 2);
         assert_eq!(f.packets[0].at, SimTime::from_millis(5));
-        assert_eq!(f.packets[0].data, b"hello");
+        assert_eq!(f.packets[0].data, *b"hello");
         assert_eq!(f.packets[0].comment, None);
         assert_eq!(f.packets[1].at, SimTime::from_nanos(123_456_789_012));
         assert_eq!(f.packets[1].comment.as_deref(), Some("dropped: ChannelLoss"));
+    }
+
+    #[test]
+    fn shared_read_is_zero_copy() {
+        let mut w = PcapWriter::new();
+        let i0 = w.add_interface("x");
+        w.packet(i0, SimTime::from_millis(1), b"payload!", None);
+        let file_bytes = Bytes::from(w.into_bytes());
+        let f = read_pcapng_shared(&file_bytes).expect("parse");
+        let data = &f.packets[0].data;
+        assert_eq!(**data, *b"payload!");
+        let base = file_bytes.as_ref().as_ptr() as usize;
+        let p = data.as_ref().as_ptr() as usize;
+        assert!(
+            p >= base && p + data.len() <= base + file_bytes.len(),
+            "packet data must be a sub-slice of the file buffer"
+        );
     }
 
     #[test]
@@ -532,7 +582,7 @@ mod tests {
                     let comment = has_comment
                         .then(|| String::from_utf8(comment).expect("ascii"));
                     w.packet(iface, at, &data, comment.as_deref());
-                    want.push(PcapPacket { iface, at, data, comment });
+                    want.push(PcapPacket { iface, at, data: data.into(), comment });
                 }
                 let f = read_pcapng(&w.into_bytes()).expect("parse");
                 prop_assert_eq!(f.interfaces.len() as u32, n_ifaces);

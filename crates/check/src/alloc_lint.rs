@@ -1,0 +1,142 @@
+//! The allocation-discipline lint wall.
+//!
+//! The steady-state data path is allocation-free by construction: TCP
+//! options live in the inline [`OptionList`](mpw_tcp::wire::OptionList)
+//! (fixed capacity, no heap), frames are encoded into pooled buffers, and
+//! payloads travel as refcounted sub-slices from the sender's buffer to the
+//! capture file. The `mpw-bench` allocation gate *measures* that property;
+//! this wall keeps the two easiest regressions from being reintroduced
+//! textually, outside `#[cfg(test)]`, in the designated data-path modules:
+//!
+//! * **`Vec<TcpOption>`** — the pre-refactor per-segment option list. Any
+//!   reappearance means a heap allocation per parsed or built segment.
+//! * **`.to_vec()`** — the idiom that used to copy every captured packet
+//!   out of its file buffer (and every payload out of its frame).
+//!
+//! Like the determinism wall in [`crate::lint`] and the panic wall in
+//! [`crate::parser_lint`], this is a deliberately dumb textual scan with no
+//! opt-out marker: the designated modules have zero legitimate uses of
+//! either construct outside their trailing test modules.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::parser_lint::strip_noncode;
+
+/// Data-path modules covered by the wall, relative to the workspace root.
+/// Every file must exist — a rename breaks the lint loudly rather than
+/// silently dropping coverage.
+pub const ALLOC_MODULES: [&str; 2] = [
+    "crates/tcp/src/wire.rs",
+    "crates/capture/src/pcapng.rs",
+];
+
+/// Forbidden constructs and why.
+const FORBIDDEN: [(&str, &str); 2] = [
+    (
+        "Vec<TcpOption>",
+        "allocates per segment; use the inline `OptionList`",
+    ),
+    (
+        ".to_vec()",
+        "copies per packet; return a pooled/refcounted `Bytes` sub-slice",
+    ),
+];
+
+/// One allocation-lint hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllocFinding {
+    /// File the construct was found in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found.
+    pub what: String,
+}
+
+impl fmt::Display for AllocFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file.display(), self.line, self.what)
+    }
+}
+
+/// Scan one data-path module source text. `label` is used in findings.
+pub fn scan_alloc_source(label: &Path, src: &str) -> Vec<AllocFinding> {
+    let mut out = Vec::new();
+    let mut in_block = false;
+    for (i, raw) in src.lines().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            // Tests live in a trailing cfg(test) module in every designated
+            // file; they may copy freely.
+            break;
+        }
+        let code = strip_noncode(raw, &mut in_block);
+        for (tok, why) in FORBIDDEN {
+            if code.contains(tok) {
+                out.push(AllocFinding {
+                    file: label.to_path_buf(),
+                    line: i + 1,
+                    what: format!("`{tok}` on the data path: {why}"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Scan every designated data-path module, rooted at the workspace
+/// directory. A missing module is an I/O error: renaming a file must update
+/// [`ALLOC_MODULES`] rather than silently dropping it from the wall.
+pub fn scan_alloc_workspace(root: &Path) -> std::io::Result<Vec<AllocFinding>> {
+    let mut findings = Vec::new();
+    for rel in ALLOC_MODULES {
+        let path = root.join(rel);
+        let src = std::fs::read_to_string(&path).map_err(|e| {
+            std::io::Error::new(e.kind(), format!("{rel}: {e} (renamed? update ALLOC_MODULES)"))
+        })?;
+        findings.extend(scan_alloc_source(Path::new(rel), &src));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<AllocFinding> {
+        scan_alloc_source(Path::new("x.rs"), src)
+    }
+
+    #[test]
+    fn forbidden_constructs_are_flagged() {
+        assert_eq!(scan("pub options: Vec<TcpOption>,").len(), 1);
+        assert_eq!(scan("let d = pkt.to_vec();").len(), 1);
+        assert_eq!(scan("let o: Vec<TcpOption> = x.to_vec();").len(), 2);
+    }
+
+    #[test]
+    fn comments_strings_and_other_vecs_are_not_flagged() {
+        assert!(scan("// a Vec<TcpOption> would allocate").is_empty());
+        assert!(scan("let s = \"pkt.to_vec()\";").is_empty());
+        assert!(scan("let v: Vec<u8> = Vec::new();").is_empty());
+        assert!(scan("let v = data.to_owned();").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_tail_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n let v = pkt.to_vec();\n}\n";
+        assert!(scan(src).is_empty());
+    }
+
+    /// The wall holds on the real workspace.
+    #[test]
+    fn designated_modules_are_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings = scan_alloc_workspace(&root).expect("scan");
+        assert!(
+            findings.is_empty(),
+            "allocation lint findings:\n{}",
+            findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+        );
+    }
+}

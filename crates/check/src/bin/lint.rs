@@ -1,7 +1,8 @@
 //! CLI for the lint walls: the determinism wall (wall-clock reads, ambient
-//! randomness, hash-ordered collections in the protocol crates) and the
+//! randomness, hash-ordered collections in the protocol crates), the
 //! panic-free-parser wall (panicking byte access in the designated parser
-//! modules). Exit codes: 0 = clean, 1 = findings, 2 = I/O error.
+//! modules), and the allocation wall (per-segment heap constructs in the
+//! data-path modules). Exit codes: 0 = clean, 1 = findings, 2 = I/O error.
 
 use std::path::PathBuf;
 
@@ -65,6 +66,22 @@ fn main() {
         }
         Err(e) => {
             eprintln!("panic-free-parser lint: scan failed: {e}");
+            std::process::exit(2);
+        }
+    }
+    match mpw_check::alloc_lint::scan_alloc_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("allocation lint: clean");
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("allocation lint: {} finding(s)", findings.len());
+            dirty = true;
+        }
+        Err(e) => {
+            eprintln!("allocation lint: scan failed: {e}");
             std::process::exit(2);
         }
     }

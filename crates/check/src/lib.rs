@@ -25,7 +25,13 @@
 //!   wire-derived bytes are forbidden outside `#[cfg(test)]`, allowlisted
 //!   only by explicit `lint: allow-panic(reason)` markers. It is the static
 //!   half of the adversarial-input story whose dynamic half is `mpw-fuzz`.
+//! * **[`alloc_lint`]** — the allocation-discipline wall (DESIGN.md §5.10):
+//!   the data-path modules (`tcp/wire.rs`, `capture/pcapng.rs`) must not
+//!   reintroduce `Vec<TcpOption>` or `.to_vec()` outside `#[cfg(test)]`. It
+//!   is the static half of the zero-allocation story whose dynamic half is
+//!   the `mpw-bench` allocation gate.
 
+pub mod alloc_lint;
 pub mod explore;
 pub mod lint;
 pub mod parser_lint;

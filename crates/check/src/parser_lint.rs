@@ -101,8 +101,8 @@ fn marker_on(raw: &str) -> Marker {
 
 /// Blank out comments and string/char literals, preserving byte positions
 /// of real code so prev-character lookback works. `in_block` carries block
-/// comment state across lines.
-fn strip_noncode(line: &str, in_block: &mut bool) -> String {
+/// comment state across lines. Shared with [`crate::alloc_lint`].
+pub(crate) fn strip_noncode(line: &str, in_block: &mut bool) -> String {
     let b = line.as_bytes();
     let mut out = vec![b' '; b.len()];
     let mut i = 0;

@@ -11,7 +11,7 @@
 //! timestamps arrivals to produce the paper's out-of-order-delay metric.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -19,7 +19,8 @@ use mpw_sim::{SimDuration, SimRng, SimTime};
 use mpw_tcp::buf::{Assembler, OfoSample, SendBuffer};
 use mpw_tcp::wire::{tcp_flags, DssMapping};
 use mpw_tcp::{
-    Addr, CcConfig, Endpoint, MptcpOption, SeqNum, TcpConfig, TcpHooks, TcpOption, TcpSegment,
+    Addr, CcConfig, Endpoint, MptcpOption, OptionList, SeqNum, TcpConfig, TcpHooks, TcpOption,
+    TcpSegment,
     TcpSocket, TxKind,
 };
 use serde::{Deserialize, Serialize};
@@ -200,35 +201,42 @@ impl SubflowHooks {
 }
 
 impl TcpHooks for SubflowHooks {
-    fn tx_options(&mut self, kind: TxKind, _now: SimTime) -> Vec<TcpOption> {
+    fn tx_options(&mut self, kind: TxKind, _now: SimTime, opts: &mut OptionList) {
         let mut shared = self.shared.borrow_mut();
         if shared.remote_capable == Some(false) {
-            return Vec::new(); // fallback: plain TCP from here on
+            return; // fallback: plain TCP from here on
         }
-        let mut opts = Vec::new();
         match kind {
             TxKind::Syn => match self.role {
-                HsRole::CapableClient => opts.push(TcpOption::Mptcp(MptcpOption::Capable {
-                    key_local: shared.local_key,
-                    key_remote: None,
-                })),
-                HsRole::JoinClient => opts.push(TcpOption::Mptcp(MptcpOption::Join {
-                    token: shared.token,
-                    nonce: self.nonce,
-                    backup: self.backup,
-                })),
+                HsRole::CapableClient => {
+                    opts.push(TcpOption::Mptcp(MptcpOption::Capable {
+                        key_local: shared.local_key,
+                        key_remote: None,
+                    }));
+                }
+                HsRole::JoinClient => {
+                    opts.push(TcpOption::Mptcp(MptcpOption::Join {
+                        token: shared.token,
+                        nonce: self.nonce,
+                        backup: self.backup,
+                    }));
+                }
                 _ => {}
             },
             TxKind::SynAck => match self.role {
-                HsRole::CapableServer => opts.push(TcpOption::Mptcp(MptcpOption::Capable {
-                    key_local: shared.local_key,
-                    key_remote: None,
-                })),
-                HsRole::JoinServer => opts.push(TcpOption::Mptcp(MptcpOption::Join {
-                    token: shared.token,
-                    nonce: self.nonce,
-                    backup: self.backup,
-                })),
+                HsRole::CapableServer => {
+                    opts.push(TcpOption::Mptcp(MptcpOption::Capable {
+                        key_local: shared.local_key,
+                        key_remote: None,
+                    }));
+                }
+                HsRole::JoinServer => {
+                    opts.push(TcpOption::Mptcp(MptcpOption::Join {
+                        token: shared.token,
+                        nonce: self.nonce,
+                        backup: self.backup,
+                    }));
+                }
                 _ => {}
             },
             TxKind::HandshakeAck => {
@@ -281,7 +289,6 @@ impl TcpHooks for SubflowHooks {
         if let Some(backup) = shared.flows[self.idx].pending_prio.take() {
             opts.push(TcpOption::Mptcp(MptcpOption::Prio { backup }));
         }
-        opts
     }
 
     fn on_rx(&mut self, seg: &TcpSegment, _payload_abs_start: u64, now: SimTime) {
@@ -416,6 +423,52 @@ struct Assignment {
     len: u32,
 }
 
+/// dseq → assignment ledger, sorted ascending by dseq in a ring buffer.
+///
+/// The scheduler assigns fresh dseq ranges in order, so the steady-state
+/// write is a `push_back` and the steady-state cleanup (connection-level
+/// data-acks) is a `pop_front` — no per-segment allocator traffic, unlike
+/// the `BTreeMap` this replaced. Reinjection after a subflow dies may
+/// re-insert a lower dseq; that rare case pays an O(n) shift.
+#[derive(Debug, Default)]
+struct Assignments {
+    entries: VecDeque<(u64, Assignment)>,
+}
+
+impl Assignments {
+    fn front(&self) -> Option<(u64, Assignment)> {
+        self.entries.front().copied()
+    }
+
+    fn pop_front(&mut self) -> Option<(u64, Assignment)> {
+        self.entries.pop_front()
+    }
+
+    fn insert(&mut self, dseq: u64, a: Assignment) {
+        match self.entries.back() {
+            Some(&(d, _)) if d >= dseq => {
+                let i = self.entries.partition_point(|&(d, _)| d < dseq);
+                if self.entries.get(i).is_some_and(|&(d, _)| d == dseq) {
+                    self.entries[i].1 = a;
+                } else {
+                    self.entries.insert(i, (dseq, a));
+                }
+            }
+            _ => self.entries.push_back((dseq, a)),
+        }
+    }
+
+    fn remove(&mut self, dseq: u64) {
+        if let Ok(i) = self.entries.binary_search_by_key(&dseq, |&(d, _)| d) {
+            self.entries.remove(i);
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &(u64, Assignment)> {
+        self.entries.iter()
+    }
+}
+
 /// Statistics snapshot of an MPTCP connection.
 #[derive(Clone, Debug, Default)]
 pub struct ConnStats {
@@ -440,11 +493,14 @@ pub struct MptcpConnection {
     sched: SchedulerState,
     conn_buf: SendBuffer,
     /// dseq → assignment, for reinjection bookkeeping.
-    assignments: BTreeMap<u64, Assignment>,
+    assignments: Assignments,
     /// Next dseq not yet assigned to any subflow.
     next_unassigned: u64,
     /// dseq ranges queued for reinjection on another subflow.
     reinject: Vec<(u64, u32)>,
+    /// Scratch for the scheduler's per-segment subflow snapshot, reused so
+    /// the steady-state pump stays off the heap (the allocation gate).
+    sched_views: Vec<SubflowView>,
     is_client: bool,
     app_closed: bool,
     /// Local interface addresses (client) or host addresses (server).
@@ -500,9 +556,10 @@ impl MptcpConnection {
             coupling,
             sched: SchedulerState::default(),
             conn_buf: SendBuffer::new(),
-            assignments: BTreeMap::new(),
+            assignments: Assignments::default(),
             next_unassigned: 0,
             reinject: Vec::new(),
+            sched_views: Vec::new(),
             is_client: true,
             app_closed: false,
             local_addrs,
@@ -568,9 +625,10 @@ impl MptcpConnection {
             coupling,
             sched: SchedulerState::default(),
             conn_buf: SendBuffer::new(),
-            assignments: BTreeMap::new(),
+            assignments: Assignments::default(),
             next_unassigned: 0,
             reinject: Vec::new(),
+            sched_views: Vec::new(),
             is_client: false,
             app_closed: false,
             local_addrs,
@@ -909,9 +967,9 @@ impl MptcpConnection {
             let upto = peer_data_ack.min(self.conn_buf.end());
             self.conn_buf.advance(upto);
             // Prune assignment and mapping entries fully below the ack.
-            while let Some((&d, &a)) = self.assignments.first_key_value() {
+            while let Some((d, a)) = self.assignments.front() {
                 if d + a.len as u64 <= upto {
-                    self.assignments.remove(&d);
+                    self.assignments.pop_front();
                 } else {
                     break;
                 }
@@ -1055,13 +1113,13 @@ impl MptcpConnection {
         }
         let base = self.conn_buf.base();
         let mut moved = Vec::new();
-        for (&dseq, a) in &self.assignments {
+        for &(dseq, ref a) in self.assignments.iter() {
             if dead.contains(&a.subflow) && dseq + a.len as u64 > base {
                 moved.push((dseq, a.len));
             }
         }
         for (dseq, len) in &moved {
-            self.assignments.remove(dseq);
+            self.assignments.remove(*dseq);
             self.reinject.push((*dseq, *len));
         }
         // Retire dead subflows from the coupling registry is handled by the
@@ -1118,6 +1176,12 @@ impl MptcpConnection {
             return;
         }
         let mss = self.cfg.cc.mss;
+        // The subflow snapshot handed to the scheduler lives in a scratch
+        // vector owned by the connection: taken out for the duration of the
+        // loop (the borrow checker cannot see that `sched_views` is disjoint
+        // from `subflows`), refilled in place each iteration, and put back
+        // on every exit path below. Steady state performs no heap work here.
+        let mut views = std::mem::take(&mut self.sched_views);
         loop {
             // Drop or clip reinjection chunks the peer has meanwhile
             // data-acked (their bytes left the connection buffer).
@@ -1141,24 +1205,16 @@ impl MptcpConnection {
                 break;
             };
 
-            let views: Vec<SubflowView> = self
-                .subflows
-                .iter()
-                .map(|s| SubflowView {
-                    index: 0, // set below
-                    established: s.sock.is_established(),
-                    srtt: s.sock.rtt().srtt(),
-                    cwnd_space: s.sock.tx_window_space(),
-                    buffer_space: s.sock.send_space(),
-                    backup: s.backup,
-                    stalled: s.sock.is_stalled() || s.sock.is_finished(),
-                })
-                .enumerate()
-                .map(|(i, mut v)| {
-                    v.index = i;
-                    v
-                })
-                .collect();
+            views.clear();
+            views.extend(self.subflows.iter().enumerate().map(|(i, s)| SubflowView {
+                index: i,
+                established: s.sock.is_established(),
+                srtt: s.sock.rtt().srtt(),
+                cwnd_space: s.sock.tx_window_space(),
+                buffer_space: s.sock.send_space(),
+                backup: s.backup,
+                stalled: s.sock.is_stalled() || s.sock.is_finished(),
+            }));
             let Some(pick) = self.sched.pick(self.cfg.scheduler, &views, len) else {
                 break;
             };
@@ -1200,6 +1256,7 @@ impl MptcpConnection {
                 self.next_unassigned += pushed as u64;
             }
         }
+        self.sched_views = views;
     }
 
     /// Drive DATA_FIN and subflow teardown once the application closed.
@@ -1325,7 +1382,7 @@ impl MptcpConnection {
         // --- DSS coverage: assignments ∪ reinject partition the assigned,
         // --- un-data-acked dseq space [conn_buf.base(), next_unassigned)
         let mut ranges: Vec<(u64, u64, &str)> = Vec::new();
-        for (&d, a) in &self.assignments {
+        for &(d, ref a) in self.assignments.iter() {
             if a.len == 0 {
                 return Err(format!("assignment at {d} has zero length"));
             }
@@ -1479,7 +1536,7 @@ impl MptcpConnection {
         h.write_u64(self.conn_buf.end());
         h.write_u64(self.next_unassigned);
         h.write_u8(u8::from(self.app_closed) | (u8::from(self.joins_launched) << 1));
-        for (&d, a) in &self.assignments {
+        for &(d, ref a) in self.assignments.iter() {
             h.write_u64(d);
             h.write_u32(a.len);
             h.write_usize(a.subflow);

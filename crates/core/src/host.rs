@@ -16,7 +16,7 @@ use mpw_sim::trace::{Dir, DropReason, SegmentRecord, TraceEvent, TraceLevel};
 use mpw_sim::{Agent, AgentId, Ctx, Event, Frame, SimDuration, SimRng, SimTime, TimerHandle};
 use mpw_tcp::wire::{tcp_flags, PingPacket};
 use mpw_tcp::{
-    encode_packet, encode_ping, parse_any, Addr, CcConfig, Endpoint, IpHeader, MptcpOption,
+    encode_packet, encode_ping, parse_any_shared, Addr, CcConfig, Endpoint, IpHeader, MptcpOption,
     NewReno, NoHooks, Packet, SeqNum, TcpConfig, TcpOption, TcpSegment, TcpSocket,
 };
 
@@ -865,7 +865,7 @@ impl Agent for Host {
                 self.rearm_timer(ctx);
             }
             Event::Frame { frame, .. } => {
-                match parse_any(&frame.bytes) {
+                match parse_any_shared(&frame.bytes) {
                     Ok(Packet::Tcp(ip, seg)) => self.handle_tcp(ctx, ip, seg),
                     Ok(Packet::Ping(ip, ping)) => self.handle_ping(ctx, ip, ping),
                     Err(_) => {

@@ -66,16 +66,14 @@ impl SchedulerState {
         let regular_alive = flows
             .iter()
             .any(|f| !f.backup && f.established && !f.stalled);
-        let filtered: Vec<SubflowView> = flows
-            .iter()
-            .copied()
-            .filter(|f| !(regular_alive && f.backup))
-            .collect();
-        let flows = &filtered[..];
+        // `pick` runs once per scheduled segment, so it must stay off the
+        // heap: the backup-visibility filter is applied inline rather than
+        // collected into a scratch vector.
+        let visible = |f: &SubflowView| !(regular_alive && f.backup);
         match policy {
             Scheduler::MinRtt => flows
                 .iter()
-                .filter(|f| f.usable(chunk))
+                .filter(|f| visible(f) && f.usable(chunk))
                 .min_by_key(|f| {
                     (
                         // Unmeasured subflows (no srtt yet) are tried last:
@@ -87,15 +85,19 @@ impl SchedulerState {
                 })
                 .map(|f| f.index),
             Scheduler::RoundRobin => {
-                if flows.is_empty() {
+                // The cursor rotates over the *visible* subflows; re-walking
+                // the (tiny) slice per step is cheaper than materializing
+                // the filtered list.
+                let n = flows.iter().filter(|f| visible(f)).count();
+                if n == 0 {
                     return None;
                 }
-                let n = flows.len();
                 for step in 0..n {
                     let i = (self.rr_cursor + step) % n;
-                    if flows[i].usable(chunk) {
+                    let f = flows.iter().filter(|f| visible(f)).nth(i)?;
+                    if f.usable(chunk) {
                         self.rr_cursor = (i + 1) % n;
-                        return Some(flows[i].index);
+                        return Some(f.index);
                     }
                 }
                 None

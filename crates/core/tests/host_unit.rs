@@ -127,11 +127,12 @@ fn listener_accepts_capable_syn_and_answers_synack() {
         );
     }
     let mut syn = TcpSegment::bare(40_000, 8080, SeqNum(1), SeqNum(0), tcp_flags::SYN);
-    syn.options = vec![
+    syn.options = [
         TcpOption::Mss(1400),
         TcpOption::SackPermitted,
         TcpOption::Mptcp(MptcpOption::Capable { key_local: 77, key_remote: None }),
-    ];
+    ]
+    .into();
     w.schedule(
         SimTime::ZERO,
         host,
@@ -168,7 +169,7 @@ fn plain_syn_is_accepted_as_plain_tcp() {
         );
     }
     let mut syn = TcpSegment::bare(40_001, 8080, SeqNum(1), SeqNum(0), tcp_flags::SYN);
-    syn.options = vec![TcpOption::Mss(1400), TcpOption::SackPermitted];
+    syn.options = [TcpOption::Mss(1400), TcpOption::SackPermitted].into();
     w.schedule(
         SimTime::ZERO,
         host,
@@ -193,10 +194,11 @@ fn middlebox_strips_and_counts() {
     let sink = w.add_agent(Box::new(NullSink::recording()));
     let mbox = w.add_agent(Box::new(OptionStrippingMiddlebox::new((sink, 0))));
     let mut syn = TcpSegment::bare(1, 2, SeqNum(0), SeqNum(0), tcp_flags::SYN);
-    syn.options = vec![
+    syn.options = [
         TcpOption::Mss(1400),
         TcpOption::Mptcp(MptcpOption::Capable { key_local: 1, key_remote: None }),
-    ];
+    ]
+    .into();
     w.schedule(
         SimTime::ZERO,
         mbox,

@@ -29,7 +29,7 @@ pub use campaign::{group_by, run_campaign, Scale};
 pub use config::{sizes, FlowConfig, Scenario, WifiKind};
 pub use crosscheck::{crosscheck, CrosscheckReport, Tolerances};
 pub use measure::{
-    run_measurement, run_measurement_captured, run_measurement_traced, Measurement,
-    SubflowMeasurement,
+    run_lossfree_download_windowed, run_measurement, run_measurement_captured,
+    run_measurement_traced, LossfreeProbe, Measurement, SubflowMeasurement,
 };
 pub use testbed::{Testbed, TestbedSpec, CLIENT_ADDRS, SERVER_ADDRS, SERVER_PORT};

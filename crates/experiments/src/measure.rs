@@ -6,7 +6,7 @@
 //! exact vectors on for trace cross-check tests.
 
 use mpw_http::Wget;
-use mpw_link::{PathSpec, Technology};
+use mpw_link::{LinkConfig, PathSpec, Technology};
 use mpw_metrics::DistSummary;
 use mpw_mptcp::{Host, Transport, TransportSpec};
 use mpw_sim::trace::TraceLevel;
@@ -137,6 +137,146 @@ pub fn run_measurement_captured(scenario: &Scenario, seed: u64) -> (Measurement,
         run_measurement_inner(scenario, seed, TraceLevel::Drops, false, Some(hub.clone()));
     let pcap = hub.borrow().to_pcapng();
     (m, pcap)
+}
+
+/// Result of a [`run_lossfree_download_windowed`] probe.
+#[derive(Clone, Copy, Debug)]
+pub struct LossfreeProbe {
+    /// Bytes the application received (must equal the requested size).
+    pub bytes: u64,
+    /// Download completion time in seconds (None if the horizon expired).
+    pub download_time_s: Option<f64>,
+    /// Data segments the server sent inside the observation window.
+    pub window_segments: u64,
+    /// Retransmitted segments over the whole run — must be 0, or the run
+    /// was not actually loss-free and the probe is invalid.
+    pub rexmit_segs: u64,
+    /// Size of the serialized pcapng capture (0 when capture was off).
+    pub pcap_bytes: usize,
+}
+
+/// A loss-free wired access path: fixed 20 Mbit/s, 10 ms propagation, a
+/// queue deeper than the 512 KiB default send buffer so drop-tail can never
+/// fire, no jitter, no channel loss, no background sources. Two of these
+/// form the steady-state testbed of the allocation-regression gate.
+fn lossfree_path() -> PathSpec {
+    PathSpec {
+        name: "Loss-free wired".into(),
+        technology: Technology::Wired,
+        down: LinkConfig::wired(20_000_000, SimDuration::from_millis(10), 1 << 20),
+        up: LinkConfig::wired(20_000_000, SimDuration::from_millis(10), 1 << 20),
+        bg_down: vec![],
+        bg_up: vec![],
+    }
+}
+
+/// Run a two-path MPTCP download over loss-free wired paths, invoking
+/// `mark(0)` when simulated time first reaches `window.0` and `mark(1)` at
+/// `window.1`. By `window.0` the handshake, MP_JOIN and slow-start ramp are
+/// over, so everything between the two marks is pure steady-state data
+/// transfer: the allocation gate snapshots a counting allocator in the
+/// marks and requires the delta to be zero. Both marks fire at exact
+/// simulated times (the run loop slices `run_until` at the boundaries,
+/// which preserves event order), so the window contents are deterministic.
+///
+/// Campaign-mode metrics recording (streaming summaries only) keeps the
+/// measurement itself off the heap; segment counters are sampled *outside*
+/// the marks so the harvesting does not pollute the window.
+pub fn run_lossfree_download_windowed(
+    size: u64,
+    seed: u64,
+    window: (SimTime, SimTime),
+    capture: bool,
+    mark: &mut dyn FnMut(u8),
+) -> LossfreeProbe {
+    let hub = if capture {
+        Some(mpw_capture::CaptureHub::shared())
+    } else {
+        None
+    };
+    let mut spec = TestbedSpec::two_path(seed, lossfree_path(), lossfree_path());
+    spec.trace = TraceLevel::Off;
+    spec.capture = hub.clone();
+    spec.server_mptcp.tcp.record_rtt_samples = false;
+    spec.server_mptcp.record_ofo_samples = false;
+    spec.server_tcp.record_rtt_samples = false;
+    // Pin per-subflow in-flight at 64 KiB (> the 50 KB path BDP, so the
+    // links stay saturated). An uncapped congestion-avoidance window grows
+    // for the whole transfer, and growing in-flight means freshly allocated
+    // frame buffers; capping it lets every queue and pool reach its
+    // steady-state footprint before the measurement window opens.
+    spec.server_mptcp.tcp.send_buffer = 64 * 1024;
+    spec.server_mptcp.conn_send_buffer = 512 * 1024;
+    spec.server_tcp.send_buffer = 64 * 1024;
+    let mut transport = FlowConfig::mp2(mpw_mptcp::Coupling::Coupled).transport();
+    if let TransportSpec::Mptcp(cfg) = &mut transport {
+        cfg.tcp.record_rtt_samples = false;
+        cfg.record_ofo_samples = false;
+        cfg.tcp.send_buffer = 64 * 1024;
+        cfg.conn_send_buffer = 512 * 1024;
+    }
+    let mut tb = Testbed::build(spec);
+    let slot = tb.download(transport, size, SimTime::from_millis(100), false);
+
+    let server_segs = |tb: &mut Testbed| -> (u64, u64) {
+        let host = tb.world.agent_mut::<Host>(tb.server).expect("server");
+        match host.transport_mut(0) {
+            Some(Transport::Mp(c)) => c
+                .subflows
+                .iter_mut()
+                .map(|sf| {
+                    let st = sf.sock.stats();
+                    (st.data_segs_sent, st.rexmit_segs)
+                })
+                .fold((0, 0), |(a, b), (c, d)| (a + c, b + d)),
+            Some(Transport::Sp(s)) => {
+                let st = s.stats();
+                (st.data_segs_sent, st.rexmit_segs)
+            }
+            None => (0, 0),
+        }
+    };
+
+    // Up to the window start: counters sampled *before* the mark so the
+    // sampling itself stays outside the measured window.
+    tb.world.run_until(window.0);
+    let (segs_at_start, _) = server_segs(&mut tb);
+    mark(0);
+    tb.world.run_until(window.1);
+    mark(1);
+    let (segs_at_end, _) = server_segs(&mut tb);
+
+    // On to completion (bounded, in slices, as in measurement runs).
+    let horizon = tb.world.now() + SimDuration::from_secs(600);
+    let slice = SimDuration::from_secs(5);
+    loop {
+        let next = (tb.world.now() + slice).min(horizon);
+        let outcome = tb.world.run_until(next);
+        let done = tb
+            .world
+            .agent::<Host>(tb.client)
+            .and_then(|h| h.app::<Wget>(slot))
+            .is_some_and(|w| w.result.download_time().is_some());
+        if done || outcome == RunOutcome::Idle || next >= horizon {
+            break;
+        }
+    }
+
+    let (_, rexmit_segs) = server_segs(&mut tb);
+    let result = tb
+        .world
+        .agent::<Host>(tb.client)
+        .and_then(|h| h.app::<Wget>(slot))
+        .map(|w| w.result)
+        .unwrap_or_default();
+    let pcap_bytes = hub.map(|h| h.borrow().to_pcapng().len()).unwrap_or(0);
+    LossfreeProbe {
+        bytes: result.bytes,
+        download_time_s: result.download_time().map(|d| d.as_secs_f64()),
+        window_segments: segs_at_end.saturating_sub(segs_at_start),
+        rexmit_segs,
+        pcap_bytes,
+    }
 }
 
 /// As [`run_measurement`], but with control over trace capture; returns the

@@ -137,7 +137,7 @@ fn emit_regressions(dir: &std::path::Path) -> std::io::Result<()> {
         mpw_tcp::wire::tcp_flags::ACK,
     );
     data_seg.payload = Bytes::from(vec![0x55u8; 40]);
-    data_seg.options = vec![TcpOption::Mptcp(MptcpOption::Dss {
+    data_seg.options = [TcpOption::Mptcp(MptcpOption::Dss {
         data_ack: None,
         mapping: Some(DssMapping {
             dseq: u64::MAX - 8,
@@ -145,7 +145,8 @@ fn emit_regressions(dir: &std::path::Path) -> std::io::Result<()> {
             len: 40,
         }),
         data_fin: true,
-    })];
+    })]
+    .into();
     w.packet(
         down,
         SimTime::from_millis(1),
@@ -180,11 +181,12 @@ fn emit_regressions(dir: &std::path::Path) -> std::io::Result<()> {
     // is the minimal witness of the misparsed nonce; on the fixed parser it
     // replays clean.
     let mut join = TcpSegment::bare(40_001, mpw_experiments::SERVER_PORT, SeqNum(9), SeqNum(0), 0x02);
-    join.options = vec![TcpOption::Mptcp(MptcpOption::Join {
+    join.options = [TcpOption::Mptcp(MptcpOption::Join {
         token: 0xaabb_ccdd,
         nonce: 0x1122_3344,
         backup: false,
-    })];
+    })]
+    .into();
     let join_packet = encode_packet(&ip(client, server), &join).to_vec();
     corpus::save(&dir.join("wire"), &[join_packet])?;
     Ok(())

@@ -12,8 +12,8 @@ use bytes::Bytes;
 use mpw_sim::SimTime;
 use mpw_tcp::seq::SeqNum;
 use mpw_tcp::wire::{
-    encode_packet, encode_ping, Addr, DssMapping, IpHeader, MptcpOption, PingPacket, TcpOption,
-    TcpSegment, PROTO_PING, PROTO_TCP,
+    encode_packet, encode_ping, Addr, DssMapping, IpHeader, MptcpOption, PingPacket, SackBlocks,
+    TcpOption, TcpSegment, PROTO_PING, PROTO_TCP,
 };
 
 use crate::rng::Rng;
@@ -90,7 +90,7 @@ fn random_plain_option(rng: &mut Rng) -> (TcpOption, usize) {
         2 => (TcpOption::SackPermitted, 2),
         _ => {
             let n = 1 + rng.below(3);
-            let blocks: Vec<(SeqNum, SeqNum)> = (0..n)
+            let blocks: SackBlocks = (0..n)
                 .map(|_| {
                     let lo = rng.next_u64() as u32;
                     (SeqNum(lo), SeqNum(lo.wrapping_add(rng.below(60000) as u32)))

@@ -181,9 +181,41 @@ pub fn body_byte(i: u64) -> u8 {
     ((i * 131 + 7) % 251) as u8
 }
 
-/// A chunk of the canonical body starting at `offset`.
+/// Longest chunk the zero-copy template path serves; the HTTP server caps
+/// its per-poll sends at this size.
+pub const MAX_BODY_CHUNK: usize = 64 * 1024;
+
+/// The canonical body pattern is periodic in 251 (`body_byte(i + 251) ==
+/// body_byte(i)`), so one template of `251 + MAX_BODY_CHUNK` bytes contains
+/// every possible chunk as a contiguous window. Built once, leaked, and
+/// handed out as `'static` sub-slices.
+fn body_template() -> &'static [u8] {
+    use std::sync::OnceLock;
+    static TEMPLATE: OnceLock<&'static [u8]> = OnceLock::new();
+    TEMPLATE.get_or_init(|| {
+        let mut v = Vec::with_capacity(251 + MAX_BODY_CHUNK);
+        for i in 0..(251 + MAX_BODY_CHUNK) as u64 {
+            v.push(body_byte(i));
+        }
+        Box::leak(v.into_boxed_slice())
+    })
+}
+
+/// A chunk of the canonical body starting at `offset` — a zero-copy,
+/// zero-allocation sub-slice of the static periodic template. Chunks
+/// longer than [`MAX_BODY_CHUNK`] (no in-tree caller) fall back to a
+/// pooled build.
 pub fn body_chunk(offset: u64, len: usize) -> bytes::Bytes {
-    bytes::Bytes::from((0..len as u64).map(|i| body_byte(offset + i)).collect::<Vec<u8>>())
+    if len <= MAX_BODY_CHUNK {
+        let phase = (offset % 251) as usize;
+        return bytes::Bytes::from_static(&body_template()[phase..phase + len]);
+    }
+    use bytes::BufMut;
+    let mut buf = bytes::BytesMut::with_capacity(len);
+    for i in 0..len as u64 {
+        buf.put_u8(body_byte(offset + i));
+    }
+    buf.freeze()
 }
 
 #[cfg(test)]

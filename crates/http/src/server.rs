@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 use mpw_mptcp::{App, Transport};
 use mpw_sim::SimTime;
 
-use crate::message::{body_chunk, parse_request, Request, ResponseHead};
+use crate::message::{body_chunk, parse_request, Request, ResponseHead, MAX_BODY_CHUNK};
 
 const MAX_HEADER: usize = 8 * 1024;
 
@@ -94,7 +94,7 @@ impl App for HttpServer {
                     if space == 0 {
                         break;
                     }
-                    let take = space.min((end - next) as usize).min(64 * 1024);
+                    let take = space.min((end - next) as usize).min(MAX_BODY_CHUNK);
                     let pushed = conn.send(body_chunk(next, take));
                     self.body_bytes_sent += pushed as u64;
                     if pushed == 0 {

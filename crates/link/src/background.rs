@@ -52,6 +52,10 @@ pub struct OnOffSource {
     on: bool,
     toggle_timer: Option<TimerHandle>,
     frame_timer: Option<TimerHandle>,
+    /// One zero-filled frame payload, allocated once and refcount-shared by
+    /// every injected frame (background sources fire per-frame on busy
+    /// links; cloning `Bytes` is O(1)).
+    prototype: Bytes,
     /// Frames injected so far.
     pub frames_sent: u64,
 }
@@ -59,6 +63,7 @@ pub struct OnOffSource {
 impl OnOffSource {
     /// Create a source injecting into `target` (agent, port).
     pub fn new(cfg: OnOffConfig, rng: SimRng, target: (AgentId, u16)) -> Self {
+        let prototype = Bytes::from(vec![0u8; cfg.frame_bytes]);
         OnOffSource {
             cfg,
             rng,
@@ -66,6 +71,7 @@ impl OnOffSource {
             on: false,
             toggle_timer: None,
             frame_timer: None,
+            prototype,
             frames_sent: 0,
         }
     }
@@ -123,7 +129,7 @@ impl Agent for OnOffSource {
                 } else if token == TOKEN_FRAME {
                     self.frame_timer = None;
                     if self.on {
-                        let bytes = Bytes::from(vec![0u8; self.cfg.frame_bytes]);
+                        let bytes = self.prototype.clone();
                         ctx.send_frame(
                             self.target.0,
                             self.target.1,

@@ -204,6 +204,11 @@ pub struct Assembler {
     accepted: u64,
     /// Duplicate bytes discarded.
     duplicate_bytes: u64,
+    /// Scratch for the overlap-clipping slow path, reused across calls so
+    /// the MPTCP connection-level assembler — whose "slow" path runs for
+    /// every interleaved-subflow segment — stays off the heap.
+    scratch_holes: Vec<(u64, u64)>,
+    scratch_pieces: Vec<(u64, Bytes)>,
 }
 
 impl Assembler {
@@ -214,13 +219,18 @@ impl Assembler {
             segs: BTreeMap::new(),
             next: start,
             origin: start,
-            ready: VecDeque::new(),
+            // Pre-sized so steady-state bursts (bounded by the congestion
+            // window) never grow the queue mid-transfer; the allocation
+            // gate holds the post-handshake data path to zero heap ops.
+            ready: VecDeque::with_capacity(256),
             ready_bytes: 0,
             ooo_bytes: 0,
             ofo: record_ofo.then(Vec::new),
             ofo_summary: DistSummary::new(),
             accepted: 0,
             duplicate_bytes: 0,
+            scratch_holes: Vec::new(),
+            scratch_pieces: Vec::new(),
         }
     }
 
@@ -292,36 +302,59 @@ impl Assembler {
             data = data.slice((self.next - start) as usize..);
             start = self.next;
         }
-        // Clip against stored segments, inserting the novel gaps.
+        // In-order fast path (the steady state): the segment lands exactly
+        // at the in-order point and no stored range starts inside it, so it
+        // goes straight to the ready queue — no scratch vectors, no
+        // `BTreeMap` node, no allocator traffic.
+        if start == self.next && self.segs.first_key_value().is_none_or(|(&s, _)| s > end) {
+            let len = data.len();
+            self.next = end;
+            self.ready_bytes += len;
+            self.accepted += len as u64;
+            self.duplicate_bytes += orig - len as u64;
+            self.ofo_summary.push(0.0);
+            if let Some(samples) = &mut self.ofo {
+                samples.push(OfoSample {
+                    at: now,
+                    delay: SimDuration::ZERO,
+                    bytes: len as u32,
+                });
+            }
+            self.ready.push_back((start, data));
+            return len;
+        }
+        // Clip against stored segments, inserting the novel gaps. The
+        // scratch vectors are owned by the assembler and only ratchet:
+        // at the connection level this path runs once per segment.
         let mut accepted = 0usize;
         // Find segments that might overlap [start, end).
-        let overlapping: Vec<(u64, u64)> = self
-            .segs
-            .range(..end)
-            .rev()
-            .take_while(|(&s, (d, _))| s + d.len() as u64 > start || s >= start)
-            .map(|(&s, (d, _))| (s, s + d.len() as u64))
-            .filter(|&(s, e)| e > start && s < end)
-            .collect();
+        self.scratch_holes.clear();
+        self.scratch_holes.extend(
+            self.segs
+                .range(..end)
+                .rev()
+                .take_while(|(&s, (d, _))| s + d.len() as u64 > start || s >= start)
+                .map(|(&s, (d, _))| (s, s + d.len() as u64))
+                .filter(|&(s, e)| e > start && s < end),
+        );
+        self.scratch_holes.sort_unstable();
         let mut cursor = start;
-        let mut pieces: Vec<(u64, Bytes)> = Vec::new();
-        let mut holes: Vec<(u64, u64)> = overlapping;
-        holes.sort_unstable();
-        for (s, e) in holes {
+        self.scratch_pieces.clear();
+        for &(s, e) in &self.scratch_holes {
             if s > cursor {
                 let lo = (cursor - start) as usize;
                 let hi = (s.min(end) - start) as usize;
                 if hi > lo {
-                    pieces.push((cursor, data.slice(lo..hi)));
+                    self.scratch_pieces.push((cursor, data.slice(lo..hi)));
                 }
             }
             cursor = cursor.max(e);
         }
         if cursor < end {
             let lo = (cursor - start) as usize;
-            pieces.push((cursor, data.slice(lo..)));
+            self.scratch_pieces.push((cursor, data.slice(lo..)));
         }
-        for (off, piece) in pieces {
+        for (off, piece) in self.scratch_pieces.drain(..) {
             accepted += piece.len();
             self.ooo_bytes += piece.len();
             self.segs.insert(off, (piece, now));

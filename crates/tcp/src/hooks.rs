@@ -10,7 +10,7 @@
 
 use mpw_sim::SimTime;
 
-use crate::wire::{TcpOption, TcpSegment};
+use crate::wire::{OptionList, TcpSegment};
 
 /// Which kind of segment the socket is about to emit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,8 +39,9 @@ pub enum TxKind {
 
 /// Observer/extender for one TCP socket.
 pub trait TcpHooks: std::fmt::Debug {
-    /// Options to attach to an outgoing segment.
-    fn tx_options(&mut self, kind: TxKind, now: SimTime) -> Vec<TcpOption>;
+    /// Append options for an outgoing segment directly into the segment's
+    /// inline [`OptionList`] — no per-segment `Vec` exists on this path.
+    fn tx_options(&mut self, kind: TxKind, now: SimTime, out: &mut OptionList);
 
     /// Called for every valid incoming segment, after the socket has updated
     /// its own state. `payload_abs_start` is the absolute stream offset of
@@ -71,8 +72,6 @@ pub trait TcpHooks: std::fmt::Debug {
 pub struct NoHooks;
 
 impl TcpHooks for NoHooks {
-    fn tx_options(&mut self, _kind: TxKind, _now: SimTime) -> Vec<TcpOption> {
-        Vec::new()
-    }
+    fn tx_options(&mut self, _kind: TxKind, _now: SimTime, _out: &mut OptionList) {}
     fn on_rx(&mut self, _seg: &TcpSegment, _payload_abs_start: u64, _now: SimTime) {}
 }

@@ -13,7 +13,7 @@
 //! exponential backoff, window scaling, delayed ACKs, zero-window probing,
 //! and no caching of connection metadata between connections.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use bytes::Bytes;
 use mpw_sim::{SimDuration, SimTime};
@@ -23,7 +23,7 @@ use crate::cc::CongestionControl;
 use crate::hooks::{TcpHooks, TxKind};
 use crate::rtt::RttEstimator;
 use crate::seq::SeqNum;
-use crate::wire::{tcp_flags, Endpoint, MptcpOption, TcpOption, TcpSegment};
+use crate::wire::{tcp_flags, Endpoint, MptcpOption, OptionList, TcpOption, TcpSegment};
 
 /// TCP connection states (RFC 793).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -138,6 +138,74 @@ struct TxInfo {
     queued: bool,
 }
 
+/// The in-flight segment ledger: a contiguous partition of
+/// `[snd_una, snd_nxt)`, sorted ascending by start offset.
+///
+/// Steady-state transmission only pushes at the back (new data at `snd_nxt`)
+/// and pops at the front (cumulative ACKs), so a ring buffer serves every
+/// lookup by binary search and — unlike the `BTreeMap` it replaced — touches
+/// the allocator only on rare capacity growth, never per segment.
+#[derive(Debug, Default)]
+struct Flight {
+    entries: VecDeque<(u64, TxInfo)>,
+}
+
+impl Flight {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn front(&self) -> Option<(u64, TxInfo)> {
+        self.entries.front().copied()
+    }
+
+    fn pop_front(&mut self) -> Option<(u64, TxInfo)> {
+        self.entries.pop_front()
+    }
+
+    fn front_mut(&mut self) -> Option<&mut (u64, TxInfo)> {
+        self.entries.front_mut()
+    }
+
+    /// Append an entry; `start` must exceed every stored offset (new data
+    /// always starts at `snd_nxt`).
+    fn push_back(&mut self, start: u64, info: TxInfo) {
+        debug_assert!(self.entries.back().is_none_or(|&(s, _)| s < start));
+        self.entries.push_back((start, info));
+    }
+
+    fn index_of(&self, start: u64) -> Option<usize> {
+        self.entries.binary_search_by_key(&start, |&(s, _)| s).ok()
+    }
+
+    fn get(&self, start: u64) -> Option<&TxInfo> {
+        self.index_of(start).and_then(|i| self.entries.get(i)).map(|(_, info)| info)
+    }
+
+    fn get_mut(&mut self, start: u64) -> Option<&mut TxInfo> {
+        let i = self.index_of(start)?;
+        self.entries.get_mut(i).map(|(_, info)| info)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &(u64, TxInfo)> {
+        self.entries.iter()
+    }
+
+    fn iter_mut(&mut self) -> impl Iterator<Item = &mut (u64, TxInfo)> {
+        self.entries.iter_mut()
+    }
+
+    /// Entries whose start offset is `>= from`, ascending.
+    fn iter_mut_from(&mut self, from: u64) -> impl Iterator<Item = &mut (u64, TxInfo)> {
+        let i = self.entries.partition_point(|&(s, _)| s < from);
+        self.entries.range_mut(i..)
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum AckUrgency {
     None,
@@ -162,7 +230,7 @@ pub struct TcpSocket {
     send_buf: SendBuffer,
     snd_nxt: u64,
     snd_una: u64,
-    flight: BTreeMap<u64, TxInfo>,
+    flight: Flight,
     flight_bytes: usize,
     sacked_bytes: usize,
     queued_bytes: usize,
@@ -183,7 +251,7 @@ pub struct TcpSocket {
     need_synack: bool,
     need_hs_ack: bool,
     pending_reset: bool,
-    hs_options_from_peer: Vec<TcpOption>,
+    hs_options_from_peer: OptionList,
 
     // --- receive side ---
     irs: SeqNum,
@@ -287,7 +355,7 @@ impl TcpSocket {
             send_buf: SendBuffer::new(),
             snd_nxt: 0,
             snd_una: 0,
-            flight: BTreeMap::new(),
+            flight: Flight::default(),
             flight_bytes: 0,
             sacked_bytes: 0,
             queued_bytes: 0,
@@ -308,7 +376,7 @@ impl TcpSocket {
             need_synack: false,
             need_hs_ack: false,
             pending_reset: false,
-            hs_options_from_peer: Vec::new(),
+            hs_options_from_peer: OptionList::new(),
             irs: SeqNum(0),
             ack_urgency: AckUrgency::None,
             delack_deadline: None,
@@ -386,7 +454,7 @@ impl TcpSocket {
     /// Options seen on the peer's SYN / SYN-ACK (the MPTCP layer reads
     /// MP_CAPABLE / MP_JOIN from here after establishment).
     pub fn peer_handshake_options(&self) -> &[TcpOption] {
-        &self.hs_options_from_peer
+        self.hs_options_from_peer.as_slice()
     }
 
     /// Bytes of send-buffer space available to the application.
@@ -572,7 +640,7 @@ impl TcpSocket {
         let mut flight = 0usize;
         let mut sacked = 0usize;
         let mut queued = 0usize;
-        for (&start, info) in &self.flight {
+        for &(start, ref info) in self.flight.iter() {
             if start != cursor {
                 return Err(format!(
                     "flight gap/overlap: entry at {start}, expected {cursor}"
@@ -688,7 +756,7 @@ impl TcpSocket {
         h.write_u64(self.snd_una);
         h.write_u64(self.snd_nxt);
         h.write_u64(self.send_buf.end());
-        for (&start, info) in &self.flight {
+        for &(start, ref info) in self.flight.iter() {
             h.write_u64(start);
             h.write_u32(info.len);
             h.write_u8(u8::from(info.sacked) | (u8::from(info.queued) << 1));
@@ -815,8 +883,8 @@ impl TcpSocket {
         self.hooks.on_rx(seg, payload_abs, now);
     }
 
-    fn process_handshake_options(&mut self, opts: &[TcpOption]) {
-        self.hs_options_from_peer = opts.to_vec();
+    fn process_handshake_options(&mut self, opts: &OptionList) {
+        self.hs_options_from_peer = *opts;
         for opt in opts {
             match opt {
                 TcpOption::Mss(m) => self.peer_mss = (*m as usize).min(self.cfg.mss),
@@ -847,7 +915,7 @@ impl TcpSocket {
         let mut sack_advanced = false;
         for opt in &seg.options {
             if let TcpOption::Sack(blocks) = opt {
-                sack_advanced |= self.apply_sack(blocks);
+                sack_advanced |= self.apply_sack(blocks.as_slice());
             }
         }
 
@@ -954,24 +1022,26 @@ impl TcpSocket {
                 continue;
             }
             let (lo_abs, hi_abs) = (lo_abs as u64, hi_abs as u64);
-            let keys: Vec<u64> = self
-                .flight
-                .range(..hi_abs)
-                .filter(|(&s, info)| s >= lo_abs && s + info.len as u64 <= hi_abs)
-                .map(|(&s, _)| s)
-                .collect();
-            for k in keys {
-                let info = self.flight.get_mut(&k).expect("key from range");
+            // The flight is contiguous, so the first entry ending past
+            // `hi_abs` also ends the covered run — no key collection needed.
+            let mut newly_sacked = 0usize;
+            let mut dequeued = 0usize;
+            for &mut (s, ref mut info) in self.flight.iter_mut_from(lo_abs) {
+                if s + info.len as u64 > hi_abs {
+                    break;
+                }
                 if !info.sacked {
                     info.sacked = true;
-                    self.sacked_bytes += info.len as usize;
+                    newly_sacked += info.len as usize;
                     if info.queued {
                         info.queued = false;
-                        self.queued_bytes -= info.len as usize;
+                        dequeued += info.len as usize;
                     }
                     advanced = true;
                 }
             }
+            self.sacked_bytes += newly_sacked;
+            self.queued_bytes -= dequeued;
             self.highest_sacked_end = self.highest_sacked_end.max(hi_abs);
         }
         advanced
@@ -997,7 +1067,7 @@ impl TcpSocket {
     /// already retransmitted once (its retransmission was evidently lost).
     fn queue_rexmit_at_una(&mut self) {
         let una = self.snd_una;
-        if let Some(info) = self.flight.get_mut(&una) {
+        if let Some(info) = self.flight.get_mut(una) {
             if !info.sacked && !info.queued {
                 info.queued = true;
                 self.queued_bytes += info.len as usize;
@@ -1014,27 +1084,30 @@ impl TcpSocket {
     /// and retransmitting it would flood the path with spurious duplicates.
     fn queue_first_unsacked(&mut self) {
         let lost_below = self.highest_sacked_end.saturating_sub(3 * self.cfg.mss as u64);
-        let key = self
-            .flight
-            .range(self.recovery_cursor..)
-            .take_while(|(&k, _)| k < lost_below)
-            .find(|(_, info)| !info.sacked && !info.queued && info.rexmits == 0)
-            .map(|(&k, _)| k);
-        if let Some(k) = key {
-            let info = self.flight.get_mut(&k).expect("just found");
-            info.queued = true;
-            self.queued_bytes += info.len as usize;
+        let mut queued = None;
+        for &mut (k, ref mut info) in self.flight.iter_mut_from(self.recovery_cursor) {
+            if k >= lost_below {
+                break;
+            }
+            if !info.sacked && !info.queued && info.rexmits == 0 {
+                info.queued = true;
+                queued = Some((k, info.len));
+                break;
+            }
+        }
+        if let Some((k, len)) = queued {
+            self.queued_bytes += len as usize;
             self.rexmit_queue.push_back(k);
-            self.recovery_cursor = k + info.len as u64;
+            self.recovery_cursor = k + len as u64;
         }
     }
 
     fn remove_flight_below(&mut self, upto: u64, now: SimTime) {
         let mut sample: Option<(SimTime, SimTime)> = None; // (time_sent, now)
-        while let Some((&start, &info)) = self.flight.first_key_value() {
+        while let Some((start, info)) = self.flight.front() {
             let end = start + info.len as u64;
             if end <= upto {
-                self.flight.remove(&start);
+                self.flight.pop_front();
                 self.flight_bytes -= info.len as usize;
                 if info.sacked {
                     self.sacked_bytes -= info.len as usize;
@@ -1049,19 +1122,19 @@ impl TcpSocket {
                     sample = Some((info.time_sent, now));
                 }
             } else if start < upto {
-                // Partial coverage: shrink the entry.
+                // Partial coverage: shrink the front entry in place.
                 let cut = (upto - start) as usize;
-                self.flight.remove(&start);
                 self.flight_bytes -= cut;
-                let mut rest = info;
-                rest.len -= cut as u32;
                 if info.sacked {
                     self.sacked_bytes -= cut;
                 }
                 if info.queued {
                     self.queued_bytes -= cut;
                 }
-                self.flight.insert(upto, rest);
+                if let Some(front) = self.flight.front_mut() {
+                    front.0 = upto;
+                    front.1.len -= cut as u32;
+                }
                 break;
             } else {
                 break;
@@ -1254,21 +1327,15 @@ impl TcpSocket {
                 // from the front as the (collapsed) window allows.
                 self.rexmit_queue.clear();
                 self.queued_bytes = 0;
-                for info in self.flight.values_mut() {
-                    info.queued = false;
+                let mut requeued = 0usize;
+                for &mut (k, ref mut info) in self.flight.iter_mut() {
+                    info.queued = !info.sacked;
+                    if info.queued {
+                        requeued += info.len as usize;
+                        self.rexmit_queue.push_back(k);
+                    }
                 }
-                let keys: Vec<u64> = self
-                    .flight
-                    .iter()
-                    .filter(|(_, i)| !i.sacked)
-                    .map(|(&k, _)| k)
-                    .collect();
-                for k in keys {
-                    let info = self.flight.get_mut(&k).expect("key exists");
-                    info.queued = true;
-                    self.queued_bytes += info.len as usize;
-                    self.rexmit_queue.push_back(k);
-                }
+                self.queued_bytes = requeued;
                 if self.fin_outstanding() && self.flight.is_empty() {
                     self.fin_sent = false; // re-emit the FIN
                 }
@@ -1300,15 +1367,11 @@ impl TcpSocket {
         }
     }
 
-    fn base_options(&self, on_syn: bool) -> Vec<TcpOption> {
+    fn base_options(&self, on_syn: bool, out: &mut OptionList) {
         if on_syn {
-            vec![
-                TcpOption::Mss(self.cfg.mss as u16),
-                TcpOption::WindowScale(self.cfg.window_scale),
-                TcpOption::SackPermitted,
-            ]
-        } else {
-            Vec::new()
+            out.push(TcpOption::Mss(self.cfg.mss as u16));
+            out.push(TcpOption::WindowScale(self.cfg.window_scale));
+            out.push(TcpOption::SackPermitted);
         }
     }
 
@@ -1361,18 +1424,18 @@ impl TcpSocket {
     }
 
     fn finish_segment(&mut self, mut seg: TcpSegment, kind: TxKind, now: SimTime) -> TcpSegment {
-        let mut opts = self.hooks.tx_options(kind, now);
         let on_syn = seg.has(tcp_flags::SYN);
-        let mut base = self.base_options(on_syn);
-        base.append(&mut opts);
+        let mut opts = OptionList::new();
+        self.base_options(on_syn, &mut opts);
+        self.hooks.tx_options(kind, now, &mut opts);
         // Fill remaining option space with SACK blocks on non-SYN ACKs.
         if !on_syn {
-            let used = Self::opts_len(&base);
+            let used = Self::opts_len(opts.as_slice());
             if let Some(sack) = self.sack_option(40 - used.min(40)) {
-                base.push(sack);
+                opts.push(sack);
             }
         }
-        seg.options = base;
+        seg.options = opts;
         seg.window = self.window_field(on_syn);
         self.stats.segs_sent += 1;
         if !seg.payload.is_empty() {
@@ -1468,7 +1531,7 @@ impl TcpSocket {
 
         // Retransmissions first.
         while let Some(&off) = self.rexmit_queue.front() {
-            let Some(info) = self.flight.get(&off).copied() else {
+            let Some(info) = self.flight.get(off).copied() else {
                 self.rexmit_queue.pop_front();
                 continue;
             };
@@ -1482,7 +1545,7 @@ impl TcpSocket {
                 break;
             }
             self.rexmit_queue.pop_front();
-            let entry = self.flight.get_mut(&off).expect("checked above");
+            let entry = self.flight.get_mut(off).expect("checked above");
             entry.queued = false;
             entry.rexmits += 1;
             entry.time_sent = now;
@@ -1523,7 +1586,7 @@ impl TcpSocket {
                     let off = self.snd_nxt;
                     let payload = self.send_buf.read(off, len);
                     self.snd_nxt += len as u64;
-                    self.flight.insert(
+                    self.flight.push_back(
                         off,
                         TxInfo {
                             len: len as u32,

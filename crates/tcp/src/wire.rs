@@ -6,10 +6,18 @@
 //! host. This is what lets the simulation include option-stripping
 //! middleboxes — the paper found AT&T's port-80 proxy removed MPTCP options,
 //! forcing the connection to fall back to plain TCP (§3.1).
+//!
+//! The data path is allocation-free in steady state: parsed options live in
+//! an inline [`OptionList`] (a real TCP header caps options at 40 bytes, so
+//! a fixed-capacity array always suffices), SACK blocks live inline in
+//! [`SackBlocks`], [`encode_packet`] serializes into a single pooled buffer,
+//! and [`parse_packet_shared`] returns the payload as an O(1) sub-slice of
+//! the arriving frame. The mpw-check lint wall forbids reintroducing
+//! `Vec`-per-segment idioms here.
 
 use bytes::{BufMut, Bytes, BytesMut};
 use core::fmt;
-use serde::{Deserialize, Serialize};
+use serde::{de_err, expect_seq, Deserialize, DeError, Serialize, Value};
 
 use crate::seq::SeqNum;
 
@@ -72,6 +80,9 @@ pub use mpw_sim::trace::flags as tcp_flags;
 pub const IP_HEADER_LEN: usize = 16;
 /// Length of the fixed TCP header.
 pub const TCP_HEADER_LEN: usize = 20;
+/// Maximum encoded length of the TCP options area: the data-offset field is
+/// four bits of 32-bit words, so `15 * 4 - TCP_HEADER_LEN = 40` bytes.
+pub const MAX_OPTIONS_LEN: usize = 40;
 /// Protocol number for TCP in the network header.
 pub const PROTO_TCP: u8 = 6;
 /// Protocol number for ICMP-like ping probes (antenna warm-up, §3.2).
@@ -103,7 +114,7 @@ pub struct DssMapping {
 }
 
 /// MPTCP options (TCP option kind 30), RFC 6824 subtypes.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MptcpOption {
     /// MP_CAPABLE (subtype 0): exchanged on the first subflow's handshake.
     Capable {
@@ -149,8 +160,129 @@ pub enum MptcpOption {
     },
 }
 
+/// Inline storage for SACK blocks: a SACK option never carries more than
+/// four blocks within the 40-byte option budget (`2 + 8·4 = 34` bytes), so
+/// the blocks live in the option itself instead of a heap `Vec`.
+#[derive(Clone, Copy)]
+pub struct SackBlocks {
+    blocks: [(SeqNum, SeqNum); SackBlocks::CAPACITY],
+    len: u8,
+}
+
+impl SackBlocks {
+    /// Maximum number of blocks one SACK option can encode in 40 bytes.
+    pub const CAPACITY: usize = 4;
+
+    /// Empty block list.
+    pub const fn new() -> SackBlocks {
+        SackBlocks { blocks: [(SeqNum(0), SeqNum(0)); SackBlocks::CAPACITY], len: 0 }
+    }
+
+    /// Append a `[lo, hi)` block. Returns `false` (leaving the list
+    /// unchanged) when all [`CAPACITY`](Self::CAPACITY) slots are taken.
+    pub fn push(&mut self, lo: SeqNum, hi: SeqNum) -> bool {
+        match self.blocks.get_mut(usize::from(self.len)) {
+            Some(slot) => {
+                *slot = (lo, hi);
+                self.len += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Whether no blocks are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The stored blocks, in push order.
+    pub fn as_slice(&self) -> &[(SeqNum, SeqNum)] {
+        self.blocks.get(..usize::from(self.len)).unwrap_or(&[])
+    }
+
+    /// Iterate the stored blocks.
+    pub fn iter(&self) -> std::slice::Iter<'_, (SeqNum, SeqNum)> {
+        self.as_slice().iter()
+    }
+}
+
+impl Default for SackBlocks {
+    fn default() -> SackBlocks {
+        SackBlocks::new()
+    }
+}
+
+impl fmt::Debug for SackBlocks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for SackBlocks {
+    fn eq(&self, other: &SackBlocks) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SackBlocks {}
+
+impl<const N: usize> From<[(SeqNum, SeqNum); N]> for SackBlocks {
+    /// Blocks beyond [`CAPACITY`](SackBlocks::CAPACITY) are dropped — a
+    /// well-formed SACK option cannot carry them anyway.
+    fn from(blocks: [(SeqNum, SeqNum); N]) -> SackBlocks {
+        blocks.into_iter().collect()
+    }
+}
+
+impl FromIterator<(SeqNum, SeqNum)> for SackBlocks {
+    /// Blocks beyond [`CAPACITY`](SackBlocks::CAPACITY) are dropped.
+    fn from_iter<I: IntoIterator<Item = (SeqNum, SeqNum)>>(iter: I) -> SackBlocks {
+        let mut out = SackBlocks::new();
+        for (lo, hi) in iter {
+            if !out.push(lo, hi) {
+                break;
+            }
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a SackBlocks {
+    type Item = &'a (SeqNum, SeqNum);
+    type IntoIter = std::slice::Iter<'a, (SeqNum, SeqNum)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl Serialize for SackBlocks {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.as_slice().iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Deserialize for SackBlocks {
+    fn from_value(v: &Value) -> Result<SackBlocks, DeError> {
+        let seq = expect_seq(v, "SackBlocks")?;
+        let mut out = SackBlocks::new();
+        for item in seq {
+            let (lo, hi) = <(SeqNum, SeqNum)>::from_value(item)?;
+            if !out.push(lo, hi) {
+                return Err(de_err("more than 4 SACK blocks"));
+            }
+        }
+        Ok(out)
+    }
+}
+
 /// TCP options we implement.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TcpOption {
     /// Maximum segment size (kind 2, SYN only).
     Mss(u16),
@@ -159,9 +291,132 @@ pub enum TcpOption {
     /// SACK permitted (kind 4, SYN only).
     SackPermitted,
     /// SACK blocks (kind 5).
-    Sack(Vec<(SeqNum, SeqNum)>),
+    Sack(SackBlocks),
     /// Any MPTCP option (kind 30).
     Mptcp(MptcpOption),
+}
+
+/// Inline, fixed-capacity option storage for one segment.
+///
+/// The TCP header's 4-bit data offset caps the options area at
+/// [`MAX_OPTIONS_LEN`] (40) bytes, and the shortest encodable option is two
+/// bytes, so no well-formed header can carry more than 20 options. Parsing
+/// and building segments therefore never needs a heap `Vec`; the list lives
+/// inline in the [`TcpSegment`].
+#[derive(Clone, Copy)]
+pub struct OptionList {
+    opts: [TcpOption; OptionList::CAPACITY],
+    len: u8,
+}
+
+impl OptionList {
+    /// 40 bytes of option space divided by the 2-byte minimum option.
+    pub const CAPACITY: usize = MAX_OPTIONS_LEN / 2;
+
+    /// Empty list.
+    pub const fn new() -> OptionList {
+        OptionList { opts: [TcpOption::SackPermitted; OptionList::CAPACITY], len: 0 }
+    }
+
+    /// Append an option. Returns `false` (leaving the list unchanged) when
+    /// all [`CAPACITY`](Self::CAPACITY) slots are taken — the inline
+    /// equivalent of the encoder's 40-byte overflow rejection.
+    pub fn push(&mut self, opt: TcpOption) -> bool {
+        match self.opts.get_mut(usize::from(self.len)) {
+            Some(slot) => {
+                *slot = opt;
+                self.len += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of options.
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Whether no options are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove all options.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The stored options, in push order.
+    pub fn as_slice(&self) -> &[TcpOption] {
+        self.opts.get(..usize::from(self.len)).unwrap_or(&[])
+    }
+
+    /// Iterate the stored options.
+    pub fn iter(&self) -> std::slice::Iter<'_, TcpOption> {
+        self.as_slice().iter()
+    }
+
+    /// Keep only the options for which `keep` returns true.
+    pub fn retain(&mut self, mut keep: impl FnMut(&TcpOption) -> bool) {
+        let mut out = OptionList::new();
+        for opt in self.as_slice() {
+            if keep(opt) {
+                // Can't overflow: `out` holds at most as many as `self`.
+                let _ = out.push(*opt);
+            }
+        }
+        *self = out;
+    }
+}
+
+impl Default for OptionList {
+    fn default() -> OptionList {
+        OptionList::new()
+    }
+}
+
+impl fmt::Debug for OptionList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for OptionList {
+    fn eq(&self, other: &OptionList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for OptionList {}
+
+impl<const N: usize> From<[TcpOption; N]> for OptionList {
+    /// Options beyond [`CAPACITY`](OptionList::CAPACITY) are dropped — the
+    /// encoder's 40-byte budget could never fit them.
+    fn from(opts: [TcpOption; N]) -> OptionList {
+        opts.into_iter().collect()
+    }
+}
+
+impl FromIterator<TcpOption> for OptionList {
+    /// Options beyond [`CAPACITY`](OptionList::CAPACITY) are dropped.
+    fn from_iter<I: IntoIterator<Item = TcpOption>>(iter: I) -> OptionList {
+        let mut out = OptionList::new();
+        for opt in iter {
+            if !out.push(opt) {
+                break;
+            }
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a OptionList {
+    type Item = &'a TcpOption;
+    type IntoIter = std::slice::Iter<'a, TcpOption>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
 }
 
 /// A parsed TCP segment.
@@ -179,8 +434,8 @@ pub struct TcpSegment {
     pub flags: u8,
     /// Advertised receive window (unscaled wire value).
     pub window: u16,
-    /// Options.
-    pub options: Vec<TcpOption>,
+    /// Options (inline, see [`OptionList`]).
+    pub options: OptionList,
     /// Payload bytes.
     pub payload: Bytes,
 }
@@ -195,7 +450,7 @@ impl TcpSegment {
             ack,
             flags,
             window: 0,
-            options: Vec::new(),
+            options: OptionList::new(),
             payload: Bytes::new(),
         }
     }
@@ -421,8 +676,19 @@ fn encode_options(opts: &[TcpOption], out: &mut BytesMut) -> usize {
     out.len() - start
 }
 
-fn parse_options(mut buf: &[u8]) -> Result<Vec<TcpOption>, WireError> {
-    let mut opts = Vec::new();
+fn parse_options(mut buf: &[u8]) -> Result<OptionList, WireError> {
+    let mut opts = OptionList::new();
+    // Total by construction: the caller hands at most MAX_OPTIONS_LEN bytes
+    // and every stored option consumes ≥ 2 of them, so `push` cannot
+    // overflow — but treat a full list as malformed rather than trusting
+    // that arithmetic.
+    let mut push = |o: TcpOption| -> Result<(), WireError> {
+        if opts.push(o) {
+            Ok(())
+        } else {
+            Err(WireError::BadOption)
+        }
+    };
     while let Some(&kind) = buf.first() {
         match kind {
             0 => break, // EOL
@@ -442,33 +708,38 @@ fn parse_options(mut buf: &[u8]) -> Result<Vec<TcpOption>, WireError> {
                 if body.len() != 2 {
                     return Err(WireError::BadOption);
                 }
-                opts.push(TcpOption::Mss(
+                push(TcpOption::Mss(
                     get_be16(body, 0).ok_or(WireError::BadOption)?,
-                ));
+                ))?;
             }
             3 => {
                 if body.len() != 1 {
                     return Err(WireError::BadOption);
                 }
-                opts.push(TcpOption::WindowScale(
+                push(TcpOption::WindowScale(
                     get_u8(body, 0).ok_or(WireError::BadOption)?,
-                ));
+                ))?;
             }
             4 => {
                 if !body.is_empty() {
                     return Err(WireError::BadOption);
                 }
-                opts.push(TcpOption::SackPermitted);
+                push(TcpOption::SackPermitted)?;
             }
             5 => {
                 if !body.len().is_multiple_of(8) {
                     return Err(WireError::BadOption);
                 }
-                let blocks = body
-                    .chunks_exact(8)
-                    .filter_map(|c| Some((SeqNum(get_be32(c, 0)?), SeqNum(get_be32(c, 4)?))))
-                    .collect();
-                opts.push(TcpOption::Sack(blocks));
+                let mut blocks = SackBlocks::new();
+                for c in body.chunks_exact(8) {
+                    let lo = SeqNum(get_be32(c, 0).ok_or(WireError::BadOption)?);
+                    let hi = SeqNum(get_be32(c, 4).ok_or(WireError::BadOption)?);
+                    if !blocks.push(lo, hi) {
+                        // > 4 blocks cannot fit the 40-byte budget anyway.
+                        return Err(WireError::BadOption);
+                    }
+                }
+                push(TcpOption::Sack(blocks))?;
             }
             MPTCP_KIND => {
                 let b0 = get_u8(body, 0).ok_or(WireError::BadOption)?;
@@ -477,15 +748,15 @@ fn parse_options(mut buf: &[u8]) -> Result<Vec<TcpOption>, WireError> {
                     0 => {
                         let key_local = get_be64(body, 2).ok_or(WireError::BadOption)?;
                         if body.len() == 10 {
-                            opts.push(TcpOption::Mptcp(MptcpOption::Capable {
+                            push(TcpOption::Mptcp(MptcpOption::Capable {
                                 key_local,
                                 key_remote: None,
-                            }));
+                            }))?;
                         } else if body.len() == 18 {
-                            opts.push(TcpOption::Mptcp(MptcpOption::Capable {
+                            push(TcpOption::Mptcp(MptcpOption::Capable {
                                 key_local,
                                 key_remote: Some(get_be64(body, 10).ok_or(WireError::BadOption)?),
-                            }));
+                            }))?;
                         } else {
                             return Err(WireError::BadOption);
                         }
@@ -503,11 +774,11 @@ fn parse_options(mut buf: &[u8]) -> Result<Vec<TcpOption>, WireError> {
                         let nonce_at = 5;
                         #[cfg(not(feature = "planted-parser-bug"))]
                         let nonce_at = 6;
-                        opts.push(TcpOption::Mptcp(MptcpOption::Join {
+                        push(TcpOption::Mptcp(MptcpOption::Join {
                             token: get_be32(body, 2).ok_or(WireError::BadOption)?,
                             nonce: get_be32(body, nonce_at).ok_or(WireError::BadOption)?,
                             backup: b0 & 0x01 != 0,
-                        }));
+                        }))?;
                     }
                     2 => {
                         let flags = get_u8(body, 1).ok_or(WireError::BadOption)?;
@@ -531,29 +802,29 @@ fn parse_options(mut buf: &[u8]) -> Result<Vec<TcpOption>, WireError> {
                         } else {
                             None
                         };
-                        opts.push(TcpOption::Mptcp(MptcpOption::Dss {
+                        push(TcpOption::Mptcp(MptcpOption::Dss {
                             data_ack,
                             mapping,
                             data_fin: flags & 0x04 != 0,
-                        }));
+                        }))?;
                     }
                     3 => {
                         if body.len() != 8 {
                             return Err(WireError::BadOption);
                         }
-                        opts.push(TcpOption::Mptcp(MptcpOption::AddAddr {
+                        push(TcpOption::Mptcp(MptcpOption::AddAddr {
                             addr_id: get_u8(body, 1).ok_or(WireError::BadOption)?,
                             addr: Addr(get_be32(body, 2).ok_or(WireError::BadOption)?),
                             port: get_be16(body, 6).ok_or(WireError::BadOption)?,
-                        }));
+                        }))?;
                     }
                     5 => {
                         if body.len() != 2 {
                             return Err(WireError::BadOption);
                         }
-                        opts.push(TcpOption::Mptcp(MptcpOption::Prio {
+                        push(TcpOption::Mptcp(MptcpOption::Prio {
                             backup: b0 & 0x01 != 0,
-                        }));
+                        }))?;
                     }
                     _ => return Err(WireError::BadOption),
                 }
@@ -566,52 +837,85 @@ fn parse_options(mut buf: &[u8]) -> Result<Vec<TcpOption>, WireError> {
 }
 
 /// Serialize a packet (network header + TCP segment) to wire bytes.
+///
+/// Everything is written into one pooled buffer — network header, TCP
+/// header, options, payload — with the length, data-offset and checksum
+/// fields back-patched at the end. No intermediate option buffer exists;
+/// with a warm buffer pool the encode allocates nothing.
 pub fn encode_packet(ip: &IpHeader, seg: &TcpSegment) -> Bytes {
-    let mut opt_buf = BytesMut::with_capacity(60);
-    let opt_len = encode_options(&seg.options, &mut opt_buf);
-    // lint: allow-panic(encode-side caller contract, not wire-derived input)
-    assert!(opt_len <= 40, "TCP options exceed 40 bytes ({opt_len})");
-    let tcp_len = TCP_HEADER_LEN + opt_len + seg.payload.len();
-    let total = IP_HEADER_LEN + tcp_len;
-    let mut out = BytesMut::with_capacity(total);
+    let mut out = BytesMut::with_capacity(
+        IP_HEADER_LEN + TCP_HEADER_LEN + MAX_OPTIONS_LEN + seg.payload.len(),
+    );
 
-    // Network header.
+    // Network header (total length and checksum patched below).
     out.put_u8(4 << 4 | (ip.protocol & 0x0f));
     out.put_u8(ip.ttl);
-    out.put_u16(total as u16);
+    out.put_u16(0); // total length placeholder
     out.put_u32(ip.src.0);
     out.put_u32(ip.dst.0);
     out.put_u16(0); // header checksum placeholder
     out.put_u16(0); // ident
-    // lint: allow-panic(encoder patches checksum into a buffer it just built)
-    let ip_sum = checksum(&out[..IP_HEADER_LEN]);
-    // lint: allow-panic(encoder patches checksum into a buffer it just built)
-    out[12..14].copy_from_slice(&ip_sum.to_be_bytes());
 
-    // TCP header.
+    // TCP header (data offset and checksum patched below).
     let tcp_start = out.len();
     out.put_u16(seg.src_port);
     out.put_u16(seg.dst_port);
     out.put_u32(seg.seq.0);
     out.put_u32(seg.ack.0);
-    let data_off_words = ((TCP_HEADER_LEN + opt_len) / 4) as u8;
-    out.put_u8(data_off_words << 4);
+    out.put_u8(0); // data offset placeholder
     out.put_u8(seg.flags);
     out.put_u16(seg.window);
     out.put_u16(0); // checksum placeholder
     out.put_u16(0); // urgent
-    out.extend_from_slice(&opt_buf);
+
+    let opt_len = encode_options(seg.options.as_slice(), &mut out);
+    // lint: allow-panic(encode-side caller contract, not wire-derived input)
+    assert!(opt_len <= MAX_OPTIONS_LEN, "TCP options exceed 40 bytes ({opt_len})");
     out.extend_from_slice(&seg.payload);
-    // lint: allow-panic(encoder patches checksum into a buffer it just built)
+
+    // Back-patch the length-dependent fields, then the checksums.
+    let total = out.len();
+    let data_off_words = ((TCP_HEADER_LEN + opt_len) / 4) as u8;
+    // lint: allow-panic(encoder patches fields of a buffer it just built)
+    out[2..4].copy_from_slice(&(total as u16).to_be_bytes());
+    // lint: allow-panic(encoder patches fields of a buffer it just built)
+    out[tcp_start + 12] = data_off_words << 4;
+    // lint: allow-panic(encoder patches fields of a buffer it just built)
+    let ip_sum = checksum(&out[..IP_HEADER_LEN]);
+    // lint: allow-panic(encoder patches fields of a buffer it just built)
+    out[12..14].copy_from_slice(&ip_sum.to_be_bytes());
+    // lint: allow-panic(encoder patches fields of a buffer it just built)
     let tcp_sum = checksum(&out[tcp_start..]);
-    // lint: allow-panic(encoder patches checksum into a buffer it just built)
+    // lint: allow-panic(encoder patches fields of a buffer it just built)
     out[tcp_start + 16..tcp_start + 18].copy_from_slice(&tcp_sum.to_be_bytes());
 
     out.freeze()
 }
 
 /// Parse wire bytes into (network header, TCP segment), verifying checksums.
+/// The payload is copied; hot paths that hold the whole frame as [`Bytes`]
+/// should use [`parse_packet_shared`] instead.
 pub fn parse_packet(data: &[u8]) -> Result<(IpHeader, TcpSegment), WireError> {
+    let (ip, mut seg, (lo, hi)) = parse_packet_inner(data)?;
+    seg.payload = Bytes::copy_from_slice(data.get(lo..hi).unwrap_or(&[]));
+    Ok((ip, seg))
+}
+
+/// As [`parse_packet`], but the payload comes back as an O(1) sub-slice
+/// sharing `data`'s buffer — the zero-copy receive path.
+pub fn parse_packet_shared(data: &Bytes) -> Result<(IpHeader, TcpSegment), WireError> {
+    let (ip, mut seg, (lo, hi)) = parse_packet_inner(data)?;
+    // The range was bounds-checked against `data` during parsing.
+    seg.payload = data.slice(lo..hi);
+    Ok((ip, seg))
+}
+
+/// Shared parser core: returns the segment with an empty payload plus the
+/// byte range of the payload within `data`.
+#[allow(clippy::type_complexity)]
+fn parse_packet_inner(
+    data: &[u8],
+) -> Result<(IpHeader, TcpSegment, (usize, usize)), WireError> {
     let header = data.get(..IP_HEADER_LEN).ok_or(WireError::Truncated)?;
     let b0 = get_u8(header, 0).ok_or(WireError::Truncated)?;
     if b0 >> 4 != 4 {
@@ -647,7 +951,8 @@ pub fn parse_packet(data: &[u8]) -> Result<(IpHeader, TcpSegment), WireError> {
         return Err(WireError::Truncated);
     }
     let options = tcp.get(TCP_HEADER_LEN..data_off).ok_or(WireError::Truncated)?;
-    let payload = tcp.get(data_off..).ok_or(WireError::Truncated)?;
+    // Validates the payload range; the range itself is returned.
+    let _ = tcp.get(data_off..).ok_or(WireError::Truncated)?;
     let seg = TcpSegment {
         src_port: get_be16(tcp, 0).ok_or(WireError::Truncated)?,
         dst_port: get_be16(tcp, 2).ok_or(WireError::Truncated)?,
@@ -656,9 +961,9 @@ pub fn parse_packet(data: &[u8]) -> Result<(IpHeader, TcpSegment), WireError> {
         flags: get_u8(tcp, 13).ok_or(WireError::Truncated)?,
         window: get_be16(tcp, 14).ok_or(WireError::Truncated)?,
         options: parse_options(options)?,
-        payload: Bytes::copy_from_slice(payload),
+        payload: Bytes::new(),
     };
-    Ok((ip, seg))
+    Ok((ip, seg, (IP_HEADER_LEN + data_off, total)))
 }
 
 /// An ICMP-echo-like probe, used by the harness to warm cellular antennas
@@ -693,6 +998,13 @@ pub fn encode_ping(ip: &IpHeader, ping: &PingPacket) -> Bytes {
 }
 
 /// Either kind of packet our network carries.
+///
+/// The variants are deliberately *not* boxed despite the size gap: the TCP
+/// variant is the overwhelmingly common one (pings are rare control
+/// traffic), and a `Box<TcpSegment>` would put one heap allocation back on
+/// every packet parse — exactly what the inline [`OptionList`] removed
+/// (DESIGN.md §5.10, the allocation gate).
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Packet {
     /// A TCP segment.
@@ -701,38 +1013,57 @@ pub enum Packet {
     Ping(IpHeader, PingPacket),
 }
 
-/// Parse a packet of any supported protocol.
+/// Parse a packet of any supported protocol (payload copied; see
+/// [`parse_any_shared`] for the zero-copy variant).
 pub fn parse_any(data: &[u8]) -> Result<Packet, WireError> {
+    if let Some(ping) = parse_ping(data)? {
+        return Ok(ping);
+    }
+    parse_packet(data).map(|(ip, seg)| Packet::Tcp(ip, seg))
+}
+
+/// As [`parse_any`], but TCP payloads come back as O(1) sub-slices of
+/// `data` — what the hosts use on the frame receive path.
+pub fn parse_any_shared(data: &Bytes) -> Result<Packet, WireError> {
+    if let Some(ping) = parse_ping(data)? {
+        return Ok(ping);
+    }
+    parse_packet_shared(data).map(|(ip, seg)| Packet::Tcp(ip, seg))
+}
+
+/// The ping fast-path of [`parse_any`]: `Ok(None)` means "not a ping —
+/// try TCP".
+fn parse_ping(data: &[u8]) -> Result<Option<Packet>, WireError> {
     let header = data.get(..IP_HEADER_LEN).ok_or(WireError::Truncated)?;
     let b0 = get_u8(header, 0).ok_or(WireError::Truncated)?;
     let protocol = b0 & 0x0f;
-    if protocol == PROTO_PING {
-        if b0 >> 4 != 4 {
-            return Err(WireError::BadVersion);
-        }
-        if checksum(header) != 0 {
-            return Err(WireError::BadChecksum);
-        }
-        let total = get_be16(header, 2).ok_or(WireError::Truncated)? as usize;
-        if total > data.len() || total < IP_HEADER_LEN + 9 {
-            return Err(WireError::Truncated);
-        }
-        let ip = IpHeader {
-            src: Addr(get_be32(header, 4).ok_or(WireError::Truncated)?),
-            dst: Addr(get_be32(header, 8).ok_or(WireError::Truncated)?),
-            protocol,
-            ttl: get_u8(header, 1).ok_or(WireError::Truncated)?,
-        };
-        let body = data.get(IP_HEADER_LEN..).ok_or(WireError::Truncated)?;
-        return Ok(Packet::Ping(
-            ip,
-            PingPacket {
-                reply: get_u8(body, 0).ok_or(WireError::Truncated)? != 0,
-                token: get_be64(body, 1).ok_or(WireError::Truncated)?,
-            },
-        ));
+    if protocol != PROTO_PING {
+        return Ok(None);
     }
-    parse_packet(data).map(|(ip, seg)| Packet::Tcp(ip, seg))
+    if b0 >> 4 != 4 {
+        return Err(WireError::BadVersion);
+    }
+    if checksum(header) != 0 {
+        return Err(WireError::BadChecksum);
+    }
+    let total = get_be16(header, 2).ok_or(WireError::Truncated)? as usize;
+    if total > data.len() || total < IP_HEADER_LEN + 9 {
+        return Err(WireError::Truncated);
+    }
+    let ip = IpHeader {
+        src: Addr(get_be32(header, 4).ok_or(WireError::Truncated)?),
+        dst: Addr(get_be32(header, 8).ok_or(WireError::Truncated)?),
+        protocol,
+        ttl: get_u8(header, 1).ok_or(WireError::Truncated)?,
+    };
+    let body = data.get(IP_HEADER_LEN..).ok_or(WireError::Truncated)?;
+    Ok(Some(Packet::Ping(
+        ip,
+        PingPacket {
+            reply: get_u8(body, 0).ok_or(WireError::Truncated)? != 0,
+            token: get_be64(body, 1).ok_or(WireError::Truncated)?,
+        },
+    )))
 }
 
 /// Rewrite a packet with every MPTCP option removed (what the paper's AT&T
@@ -808,7 +1139,7 @@ mod tests {
     fn syn_with_all_handshake_options_roundtrips() {
         let mut seg = TcpSegment::bare(40000, 8080, SeqNum(1), SeqNum(0), tcp_flags::SYN);
         seg.window = 65535;
-        seg.options = vec![
+        seg.options = [
             TcpOption::Mss(1400),
             TcpOption::WindowScale(7),
             TcpOption::SackPermitted,
@@ -816,24 +1147,26 @@ mod tests {
                 key_local: 0xdead_beef_0bad_cafe,
                 key_remote: None,
             }),
-        ];
+        ]
+        .into();
         assert_eq!(roundtrip(&seg), seg);
     }
 
     #[test]
     fn capable_with_both_keys_roundtrips() {
         let mut seg = TcpSegment::bare(1, 2, SeqNum(0), SeqNum(0), tcp_flags::ACK);
-        seg.options = vec![TcpOption::Mptcp(MptcpOption::Capable {
+        seg.options = [TcpOption::Mptcp(MptcpOption::Capable {
             key_local: 7,
             key_remote: Some(9),
-        })];
+        })]
+        .into();
         assert_eq!(roundtrip(&seg), seg);
     }
 
     #[test]
     fn join_and_add_addr_roundtrip() {
         let mut seg = TcpSegment::bare(1, 2, SeqNum(0), SeqNum(0), tcp_flags::SYN);
-        seg.options = vec![
+        seg.options = [
             TcpOption::Mptcp(MptcpOption::Join {
                 token: 0xaabbccdd,
                 nonce: 0x11223344,
@@ -844,7 +1177,8 @@ mod tests {
                 addr: Addr::new(10, 0, 2, 2),
                 port: 40001,
             }),
-        ];
+        ]
+        .into();
         assert_eq!(roundtrip(&seg), seg);
     }
 
@@ -852,7 +1186,7 @@ mod tests {
     fn prio_roundtrips() {
         for backup in [true, false] {
             let mut seg = TcpSegment::bare(1, 2, SeqNum(0), SeqNum(0), tcp_flags::ACK);
-            seg.options = vec![TcpOption::Mptcp(MptcpOption::Prio { backup })];
+            seg.options = [TcpOption::Mptcp(MptcpOption::Prio { backup })].into();
             assert_eq!(roundtrip(&seg), seg);
         }
     }
@@ -881,11 +1215,12 @@ mod tests {
             ),
         ] {
             let mut seg = TcpSegment::bare(1, 2, SeqNum(5), SeqNum(6), tcp_flags::ACK);
-            seg.options = vec![TcpOption::Mptcp(MptcpOption::Dss {
+            seg.options = [TcpOption::Mptcp(MptcpOption::Dss {
                 data_ack: ack,
                 mapping: map,
                 data_fin: fin,
-            })];
+            })]
+            .into();
             assert_eq!(roundtrip(&seg), seg);
         }
     }
@@ -893,11 +1228,15 @@ mod tests {
     #[test]
     fn sack_blocks_roundtrip() {
         let mut seg = TcpSegment::bare(1, 2, SeqNum(5), SeqNum(6), tcp_flags::ACK);
-        seg.options = vec![TcpOption::Sack(vec![
-            (SeqNum(100), SeqNum(200)),
-            (SeqNum(300), SeqNum(400)),
-            (SeqNum(u32::MAX - 5), SeqNum(10)),
-        ])];
+        seg.options = [TcpOption::Sack(
+            [
+                (SeqNum(100), SeqNum(200)),
+                (SeqNum(300), SeqNum(400)),
+                (SeqNum(u32::MAX - 5), SeqNum(10)),
+            ]
+            .into(),
+        )]
+        .into();
         assert_eq!(roundtrip(&seg), seg);
     }
 
@@ -906,6 +1245,45 @@ mod tests {
         let mut seg = TcpSegment::bare(1, 2, SeqNum(5), SeqNum(6), tcp_flags::ACK | tcp_flags::PSH);
         seg.payload = Bytes::from(vec![0xabu8; 1400]);
         assert_eq!(roundtrip(&seg), seg);
+    }
+
+    #[test]
+    fn shared_parse_is_zero_copy_and_equal() {
+        let mut seg = TcpSegment::bare(1, 2, SeqNum(5), SeqNum(6), tcp_flags::ACK);
+        seg.payload = Bytes::from(vec![0x77u8; 512]);
+        seg.options = [TcpOption::Mptcp(MptcpOption::Dss {
+            data_ack: Some(42),
+            mapping: Some(DssMapping { dseq: 42, subflow_seq: SeqNum(5), len: 512 }),
+            data_fin: false,
+        })]
+        .into();
+        let bytes = encode_packet(&ip(), &seg);
+        let (h1, copied) = parse_packet(&bytes).unwrap();
+        let (h2, shared) = parse_packet_shared(&bytes).unwrap();
+        assert_eq!(h1, h2);
+        assert_eq!(copied, shared);
+        // The shared payload points into the frame buffer itself.
+        let frame_range = bytes.as_ref().as_ptr_range();
+        assert!(frame_range.contains(&shared.payload.as_ref().as_ptr()));
+        assert!(!frame_range.contains(&copied.payload.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn option_list_rejects_overflow_without_panicking() {
+        let mut opts = OptionList::new();
+        for _ in 0..OptionList::CAPACITY {
+            assert!(opts.push(TcpOption::SackPermitted));
+        }
+        assert_eq!(opts.len(), OptionList::CAPACITY);
+        assert!(!opts.push(TcpOption::Mss(1400)), "21st option must be rejected");
+        assert_eq!(opts.len(), OptionList::CAPACITY, "rejected push leaves list unchanged");
+
+        let mut blocks = SackBlocks::new();
+        for i in 0..SackBlocks::CAPACITY as u32 {
+            assert!(blocks.push(SeqNum(i), SeqNum(i + 1)));
+        }
+        assert!(!blocks.push(SeqNum(9), SeqNum(10)), "5th SACK block must be rejected");
+        assert_eq!(blocks.len(), SackBlocks::CAPACITY);
     }
 
     #[test]
@@ -935,19 +1313,20 @@ mod tests {
     #[test]
     fn strip_mptcp_removes_only_mptcp() {
         let mut seg = TcpSegment::bare(40000, 8080, SeqNum(1), SeqNum(0), tcp_flags::SYN);
-        seg.options = vec![
+        seg.options = [
             TcpOption::Mss(1400),
             TcpOption::Mptcp(MptcpOption::Capable {
                 key_local: 1,
                 key_remote: None,
             }),
             TcpOption::SackPermitted,
-        ];
+        ]
+        .into();
         let stripped = strip_mptcp_options(&encode_packet(&ip(), &seg));
         let (_, parsed) = parse_packet(&stripped).unwrap();
         assert_eq!(
             parsed.options,
-            vec![TcpOption::Mss(1400), TcpOption::SackPermitted]
+            OptionList::from([TcpOption::Mss(1400), TcpOption::SackPermitted])
         );
         assert_eq!(parsed.seq, seg.seq);
     }
@@ -956,7 +1335,7 @@ mod tests {
     fn wire_len_accounts_for_padding() {
         // WindowScale alone is 3 bytes -> padded to 4.
         let mut seg = TcpSegment::bare(1, 2, SeqNum(0), SeqNum(0), tcp_flags::SYN);
-        seg.options = vec![TcpOption::WindowScale(7)];
+        seg.options = [TcpOption::WindowScale(7)].into();
         let bytes = encode_packet(&ip(), &seg);
         assert_eq!(bytes.len(), IP_HEADER_LEN + TCP_HEADER_LEN + 4);
     }
@@ -967,6 +1346,114 @@ mod tests {
         assert_eq!(checksum(&[0, 0, 0, 0]), 0xffff);
         // Odd-length data is padded with zero.
         assert_eq!(checksum(&[0xff]), !0xff00);
+    }
+
+    /// The old `Vec<TcpOption>`-era encoder, kept verbatim as the reference
+    /// the inline [`OptionList`] encode must stay byte-identical to: options
+    /// into a scratch buffer first, then headers, then copies, with
+    /// checksums patched the old way.
+    fn encode_packet_legacy(ip: &IpHeader, opts: &[TcpOption], seg: &TcpSegment) -> Vec<u8> {
+        let mut opt_buf = BytesMut::with_capacity(60);
+        let opt_len = encode_options(opts, &mut opt_buf);
+        assert!(opt_len <= 40);
+        let tcp_len = TCP_HEADER_LEN + opt_len + seg.payload.len();
+        let total = IP_HEADER_LEN + tcp_len;
+        let mut out = BytesMut::with_capacity(total);
+        out.put_u8(4 << 4 | (ip.protocol & 0x0f));
+        out.put_u8(ip.ttl);
+        out.put_u16(total as u16);
+        out.put_u32(ip.src.0);
+        out.put_u32(ip.dst.0);
+        out.put_u16(0);
+        out.put_u16(0);
+        let ip_sum = checksum(&out[..IP_HEADER_LEN]);
+        out[12..14].copy_from_slice(&ip_sum.to_be_bytes());
+        let tcp_start = out.len();
+        out.put_u16(seg.src_port);
+        out.put_u16(seg.dst_port);
+        out.put_u32(seg.seq.0);
+        out.put_u32(seg.ack.0);
+        let data_off_words = ((TCP_HEADER_LEN + opt_len) / 4) as u8;
+        out.put_u8(data_off_words << 4);
+        out.put_u8(seg.flags);
+        out.put_u16(seg.window);
+        out.put_u16(0);
+        out.put_u16(0);
+        out.extend_from_slice(&opt_buf);
+        out.extend_from_slice(&seg.payload);
+        let tcp_sum = checksum(&out[tcp_start..]);
+        out[tcp_start + 16..tcp_start + 18].copy_from_slice(&tcp_sum.to_be_bytes());
+        out.to_vec()
+    }
+
+    /// One arbitrary option of any variant, built from a flat tuple of
+    /// entropy (the vendored mini-proptest has no `prop_oneof!`).
+    fn arb_option() -> impl Strategy<Value = TcpOption> {
+        (
+            0u8..9,
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u16>(),
+            any::<bool>(),
+            any::<bool>(),
+            proptest::collection::vec((any::<u32>(), any::<u32>()), 1..5),
+        )
+            .prop_map(|(sel, a, b, c, d, f1, f2, blocks)| match sel {
+                0 => TcpOption::Mss(d),
+                1 => TcpOption::WindowScale(a as u8),
+                2 => TcpOption::SackPermitted,
+                3 => TcpOption::Sack(
+                    blocks
+                        .into_iter()
+                        .map(|(lo, hi)| (SeqNum(lo), SeqNum(hi)))
+                        .collect(),
+                ),
+                4 => TcpOption::Mptcp(MptcpOption::Capable {
+                    key_local: a,
+                    key_remote: f1.then_some(b),
+                }),
+                5 => TcpOption::Mptcp(MptcpOption::Join {
+                    token: a as u32,
+                    nonce: c,
+                    backup: f1,
+                }),
+                6 => TcpOption::Mptcp(MptcpOption::Dss {
+                    data_ack: f1.then_some(a),
+                    mapping: f2.then_some(DssMapping {
+                        dseq: b,
+                        subflow_seq: SeqNum(c),
+                        len: d,
+                    }),
+                    data_fin: f1 != f2,
+                }),
+                7 => TcpOption::Mptcp(MptcpOption::AddAddr {
+                    addr_id: a as u8,
+                    addr: Addr(c),
+                    port: d,
+                }),
+                _ => TcpOption::Mptcp(MptcpOption::Prio { backup: f1 }),
+            })
+    }
+
+    /// Encoded size of one option, mirroring `encode_options`.
+    fn option_wire_len(o: &TcpOption) -> usize {
+        match o {
+            TcpOption::Mss(_) => 4,
+            TcpOption::WindowScale(_) => 3,
+            TcpOption::SackPermitted => 2,
+            TcpOption::Sack(b) => 2 + 8 * b.len(),
+            TcpOption::Mptcp(MptcpOption::Capable { key_remote, .. }) => {
+                if key_remote.is_some() { 20 } else { 12 }
+            }
+            TcpOption::Mptcp(MptcpOption::Join { .. }) => 12,
+            TcpOption::Mptcp(MptcpOption::Dss { data_ack, mapping, .. }) => {
+                4 + if data_ack.is_some() { 8 } else { 0 }
+                    + if mapping.is_some() { 14 } else { 0 }
+            }
+            TcpOption::Mptcp(MptcpOption::AddAddr { .. }) => 10,
+            TcpOption::Mptcp(MptcpOption::Prio { .. }) => 4,
+        }
     }
 
     proptest! {
@@ -998,6 +1485,37 @@ mod tests {
             }
             let parsed = roundtrip(&seg);
             prop_assert_eq!(parsed, seg);
+        }
+
+        /// The inline OptionList encode must be byte-identical to the old
+        /// Vec-based path on every MPTCP option variant, and re-parsing the
+        /// bytes must reproduce the list (parse → encode → parse fixpoint).
+        #[test]
+        fn option_list_encoding_matches_legacy_vec_path(
+            opts in proptest::collection::vec(arb_option(), 0..5),
+            payload_len in 0usize..256,
+        ) {
+            // Keep the generated options within the 40-byte TCP limit,
+            // exactly as the old Vec-based generator did.
+            let mut seg = TcpSegment::bare(1, 2, SeqNum(7), SeqNum(8), tcp_flags::ACK);
+            seg.payload = Bytes::from(vec![0xa5u8; payload_len]);
+            let mut kept: Vec<TcpOption> = Vec::new();
+            let mut budget = MAX_OPTIONS_LEN;
+            for o in opts {
+                let n = option_wire_len(&o);
+                if n <= budget {
+                    budget -= n;
+                    kept.push(o);
+                    prop_assert!(seg.options.push(o));
+                }
+            }
+            let new_bytes = encode_packet(&ip(), &seg);
+            let legacy = encode_packet_legacy(&ip(), &kept, &seg);
+            prop_assert_eq!(new_bytes.as_ref(), legacy.as_slice());
+            let (_, reparsed) = parse_packet(&new_bytes).expect("own encoding parses");
+            prop_assert_eq!(reparsed.options.as_slice(), kept.as_slice());
+            let rebytes = encode_packet(&ip(), &reparsed);
+            prop_assert_eq!(new_bytes.as_ref(), rebytes.as_ref());
         }
 
         #[test]

@@ -6,12 +6,104 @@
 //! Semantics match the real crate where it matters here: `clone()` and
 //! `slice()` are O(1) and share the underlying allocation, so a segment
 //! payload serialized once can fan out across links without copying.
+//!
+//! Beyond the real crate's API, this shim recycles buffers: a [`BytesMut`]
+//! owns its storage as `Arc<Vec<u8>>`, `freeze()` moves that `Arc` into the
+//! resulting [`Bytes`] without allocating, and dropping the *last* reference
+//! to a shared buffer returns it — refcount block and all — to a bounded
+//! thread-local free list that [`BytesMut::new`]/[`BytesMut::with_capacity`]
+//! draw from. A steady-state encode → send → parse → drop cycle therefore
+//! touches the heap zero times once the pool is warm, which is what the
+//! workspace's allocation-regression gate (`mpw-bench`) measures. Worlds are
+//! single-threaded and campaign workers are one-world-per-thread, so a
+//! per-thread pool cannot leak buffers across runs or perturb determinism.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
+
+mod pool {
+    use std::cell::RefCell;
+    use std::sync::Arc;
+
+    /// Buffers smaller than this are not worth recycling.
+    const MIN_CAPACITY: usize = 8;
+
+    /// Capacity size classes. A buffer is recycled into the class its
+    /// *capacity* falls in and requests draw from the class their *requested*
+    /// capacity falls in, so a 64 KiB application chunk never pops a 1.5 KiB
+    /// frame buffer and pays a realloc for it (and vice versa). Within a
+    /// class, capacities ratchet up to the largest request seen, after which
+    /// takes stop reallocating.
+    const CLASS_BOUNDS: [usize; 3] = [1 << 10, 16 << 10, 128 << 10];
+    const N_CLASSES: usize = CLASS_BOUNDS.len() + 1;
+
+    /// Upper bound on pooled buffers per thread and class; beyond this,
+    /// drops free. Classes 0–1 hold per-segment buffers (ACK frames, data
+    /// frames); a drained receive queue can idle a whole window's worth at
+    /// once — at 512 KiB send buffers and ~1.5 KiB frames that is ~700
+    /// buffers in flight *per subflow* — so the caps must absorb the burst
+    /// or the next send window allocates fresh. The large classes hold
+    /// application chunks and file buffers, of which few circulate.
+    const MAX_POOLED: [usize; N_CLASSES] = [2048, 2048, 32, 4];
+
+    fn class_of(cap: usize) -> usize {
+        CLASS_BOUNDS.iter().position(|&b| cap <= b).unwrap_or(CLASS_BOUNDS.len())
+    }
+
+    thread_local! {
+        static FREE: RefCell<[Vec<Arc<Vec<u8>>>; N_CLASSES]> =
+            RefCell::new(std::array::from_fn(|_| Vec::new()));
+    }
+
+    /// Take a recycled buffer (cleared, capacity ≥ whatever it had) or
+    /// allocate a fresh one with `cap` reserved.
+    pub(crate) fn take(cap: usize) -> Arc<Vec<u8>> {
+        let class = class_of(cap);
+        let recycled = FREE
+            .try_with(|f| f.borrow_mut()[class].pop())
+            .ok()
+            .flatten();
+        match recycled {
+            Some(mut arc) => {
+                if let Some(v) = Arc::get_mut(&mut arc) {
+                    v.clear();
+                    if v.capacity() < cap {
+                        v.reserve(cap);
+                    }
+                }
+                arc
+            }
+            None => Arc::new(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Offer a uniquely-owned buffer back to the pool. Called from
+    /// `Bytes::drop` with the last surviving reference.
+    pub(crate) fn put(mut arc: Arc<Vec<u8>>) {
+        let Some(v) = Arc::get_mut(&mut arc) else {
+            return;
+        };
+        if v.capacity() < MIN_CAPACITY {
+            return;
+        }
+        v.clear();
+        let class = class_of(v.capacity());
+        let _ = FREE.try_with(|f| {
+            let free = &mut f.borrow_mut()[class];
+            if free.len() < MAX_POOLED[class] {
+                free.push(arc);
+            }
+        });
+    }
+
+    #[cfg(test)]
+    pub(crate) fn drain() {
+        let _ = FREE.try_with(|f| f.borrow_mut().iter_mut().for_each(Vec::clear));
+    }
+}
 
 /// A cheaply cloneable immutable byte buffer.
 #[derive(Clone)]
@@ -38,9 +130,11 @@ impl Bytes {
         Bytes { repr: Repr::Static(bytes), start: 0, end: bytes.len() }
     }
 
-    /// Copy a slice into a new shared buffer.
+    /// Copy a slice into a shared buffer (recycled when one is free).
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes::from(data.to_vec())
+        let mut b = BytesMut::with_capacity(data.len());
+        b.extend_from_slice(data);
+        b.freeze()
     }
 
     /// Length in bytes.
@@ -96,6 +190,19 @@ impl Bytes {
         head.end = self.start + at;
         self.start += at;
         head
+    }
+}
+
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        // Recycle the storage when this was the last reference. `try_unwrap`
+        // would free the refcount block; keeping the whole `Arc` in the pool
+        // makes the next freeze → drop cycle allocation-free.
+        if let Repr::Shared(arc) = std::mem::replace(&mut self.repr, Repr::Static(&[])) {
+            if Arc::strong_count(&arc) == 1 {
+                pool::put(arc);
+            }
+        }
     }
 }
 
@@ -238,20 +345,32 @@ impl<'a> IntoIterator for &'a Bytes {
 }
 
 /// A growable byte buffer that freezes into [`Bytes`].
-#[derive(Default, Clone, PartialEq, Eq)]
+///
+/// Storage is held as `Arc<Vec<u8>>` so that [`freeze`](BytesMut::freeze)
+/// transfers ownership without copying or allocating, and so the buffer —
+/// including its refcount block — can be recycled through the thread-local
+/// pool when the frozen `Bytes` drops its last reference. Mutation goes
+/// through `Arc::make_mut`, giving plain copy-on-write semantics if a clone
+/// of this builder is still alive (which the workspace never does on hot
+/// paths).
+#[derive(Clone)]
 pub struct BytesMut {
-    buf: Vec<u8>,
+    buf: Arc<Vec<u8>>,
 }
 
 impl BytesMut {
-    /// New empty buffer.
+    /// New empty buffer (recycled from the pool when one is free).
     pub fn new() -> BytesMut {
-        BytesMut { buf: Vec::new() }
+        BytesMut { buf: pool::take(0) }
     }
 
-    /// New empty buffer with `cap` bytes reserved.
+    /// New empty buffer with at least `cap` bytes reserved.
     pub fn with_capacity(cap: usize) -> BytesMut {
-        BytesMut { buf: Vec::with_capacity(cap) }
+        BytesMut { buf: pool::take(cap) }
+    }
+
+    fn vec_mut(&mut self) -> &mut Vec<u8> {
+        Arc::make_mut(&mut self.buf)
     }
 
     /// Length in bytes.
@@ -271,29 +390,44 @@ impl BytesMut {
 
     /// Reserve space for at least `additional` more bytes.
     pub fn reserve(&mut self, additional: usize) {
-        self.buf.reserve(additional);
+        self.vec_mut().reserve(additional);
     }
 
     /// Append a slice.
     pub fn extend_from_slice(&mut self, src: &[u8]) {
-        self.buf.extend_from_slice(src);
+        self.vec_mut().extend_from_slice(src);
     }
 
     /// Clear contents, keeping capacity.
     pub fn clear(&mut self) {
-        self.buf.clear();
+        self.vec_mut().clear();
     }
 
     /// Truncate to `len` bytes.
     pub fn truncate(&mut self, len: usize) {
-        self.buf.truncate(len);
+        self.vec_mut().truncate(len);
     }
 
-    /// Convert into an immutable [`Bytes`] (no copy).
+    /// Convert into an immutable [`Bytes`] (no copy, no allocation).
     pub fn freeze(self) -> Bytes {
-        Bytes::from(self.buf)
+        let end = self.buf.len();
+        Bytes { repr: Repr::Shared(self.buf), start: 0, end }
     }
 }
+
+impl Default for BytesMut {
+    fn default() -> BytesMut {
+        BytesMut::new()
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &BytesMut) -> bool {
+        self.buf.as_slice() == other.buf.as_slice()
+    }
+}
+
+impl Eq for BytesMut {}
 
 impl Deref for BytesMut {
     type Target = [u8];
@@ -304,7 +438,7 @@ impl Deref for BytesMut {
 
 impl DerefMut for BytesMut {
     fn deref_mut(&mut self) -> &mut [u8] {
-        &mut self.buf
+        self.vec_mut()
     }
 }
 
@@ -316,7 +450,9 @@ impl AsRef<[u8]> for BytesMut {
 
 impl From<&[u8]> for BytesMut {
     fn from(s: &[u8]) -> BytesMut {
-        BytesMut { buf: s.to_vec() }
+        let mut b = BytesMut::with_capacity(s.len());
+        b.extend_from_slice(s);
+        b
     }
 }
 
@@ -354,7 +490,7 @@ pub trait BufMut {
 
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
-        self.buf.extend_from_slice(src);
+        self.vec_mut().extend_from_slice(src);
     }
 }
 
@@ -401,5 +537,53 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a, *b"abc");
         assert!(a < Bytes::from_static(b"abd"));
+    }
+
+    #[test]
+    fn freeze_does_not_copy() {
+        let mut b = BytesMut::with_capacity(64);
+        b.extend_from_slice(b"payload");
+        let data_ptr = b.as_ref().as_ptr();
+        let frozen = b.freeze();
+        assert_eq!(frozen.as_ref().as_ptr(), data_ptr);
+    }
+
+    #[test]
+    fn dropping_last_reference_recycles_the_buffer() {
+        pool::drain();
+        let mut b = BytesMut::with_capacity(256);
+        b.extend_from_slice(&[7u8; 100]);
+        let data_ptr = b.as_ref().as_ptr();
+        let frozen = b.freeze();
+        let view = frozen.slice(10..20);
+        drop(frozen); // view still holds a reference — nothing recycled
+        drop(view); // last reference: buffer enters the pool
+        let reused = BytesMut::with_capacity(16);
+        assert_eq!(reused.capacity(), 256, "pooled capacity survives");
+        assert!(reused.is_empty(), "recycled buffers come back cleared");
+        let mut reused = reused;
+        reused.extend_from_slice(b"x");
+        assert_eq!(reused.as_ref().as_ptr(), data_ptr, "same storage reused");
+    }
+
+    #[test]
+    fn clone_of_builder_is_copy_on_write() {
+        let mut a = BytesMut::with_capacity(16);
+        a.extend_from_slice(b"abc");
+        let b = a.clone();
+        a.extend_from_slice(b"def");
+        assert_eq!(a.as_ref(), b"abcdef");
+        assert_eq!(b.as_ref(), b"abc");
+    }
+
+    #[test]
+    fn tiny_and_static_buffers_are_not_pooled() {
+        pool::drain();
+        let tiny = Bytes::from(vec![1u8]); // capacity 1 < MIN_CAPACITY
+        drop(tiny);
+        let s = Bytes::from_static(b"static");
+        drop(s);
+        let fresh = BytesMut::new();
+        assert_eq!(fresh.capacity(), 0, "nothing was pooled");
     }
 }
