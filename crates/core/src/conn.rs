@@ -39,6 +39,128 @@ pub enum SynMode {
     Simultaneous,
 }
 
+/// How the connection reacts to an *advance* degradation signal (WiFi
+/// signal fade reported by the scenario engine) — the handover-mode axis of
+/// the paper's §7 discussion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HandoverPolicy {
+    /// Ignore advance signals: the fading path keeps carrying traffic until
+    /// it hard-fails (stall / socket death), and only then does the
+    /// scheduler move. Simple, but the application eats the full stall.
+    BreakBeforeMake,
+    /// React to the signal: demote the fading path to backup (MP_PRIO)
+    /// immediately, shifting traffic to the surviving path *while the
+    /// fading one still works*. Restoration re-promotes it.
+    MakeBeforeBreak,
+}
+
+/// Path-lifecycle (subflow death / re-establishment) configuration.
+///
+/// Off by default: steady-state campaigns have no mobility, and the
+/// pre-existing behaviour (dead subflows linger, their data is reinjected)
+/// is exactly what `reopen: false` preserves. The handover campaigns turn
+/// it on.
+#[derive(Clone, Debug)]
+pub struct LifecycleConfig {
+    /// Master switch: detect subflow death and re-establish replacements.
+    pub reopen: bool,
+    /// Consecutive RTOs before a subflow is declared *dead* (scheduling a
+    /// reopen). Kept above the scheduler's 2-RTO stall gate so traffic
+    /// failover always precedes teardown.
+    pub death_rtos: u32,
+    /// Backoff before the first reopen attempt of a path.
+    pub backoff_initial: SimDuration,
+    /// Cap on the exponential reopen backoff.
+    pub backoff_max: SimDuration,
+    /// Deterministic jitter fraction in `[0, 1)`: each backoff is stretched
+    /// by up to this fraction, drawn from the connection's seeded RNG (so
+    /// replays reproduce it exactly).
+    pub backoff_jitter: f64,
+    /// Give up on a path after this many consecutive failed reopens.
+    pub max_reopen_attempts: u32,
+    /// Reaction to advance degradation signals ([`MptcpConnection::notify_signal`]).
+    pub policy: HandoverPolicy,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        LifecycleConfig {
+            reopen: false,
+            death_rtos: 3,
+            backoff_initial: SimDuration::from_millis(200),
+            backoff_max: SimDuration::from_secs(30),
+            backoff_jitter: 0.2,
+            max_reopen_attempts: 8,
+            policy: HandoverPolicy::MakeBeforeBreak,
+        }
+    }
+}
+
+/// One entry of the connection's handover log — consumed by the metrics
+/// layer to compute recovery latency and per-epoch attribution. Times are
+/// absolute sim times.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LifecycleEvent {
+    /// A subflow was declared dead (RTO stall, socket death, or an explicit
+    /// link-down notification).
+    PathDead {
+        /// Index of the dead subflow.
+        subflow: usize,
+        /// Its client interface.
+        if_index: u8,
+        /// When death was declared.
+        at: SimTime,
+    },
+    /// A replacement join was scheduled after backoff.
+    ReopenScheduled {
+        /// Interface the replacement will use.
+        if_index: u8,
+        /// 1-based consecutive attempt number for this path.
+        attempt: u32,
+        /// When the replacement SYN is due.
+        due: SimTime,
+    },
+    /// The replacement SYN actually left.
+    ReopenLaunched {
+        /// Index of the replacement subflow.
+        subflow: usize,
+        /// Its client interface.
+        if_index: u8,
+        /// Attempt number being executed.
+        attempt: u32,
+        /// Launch time.
+        at: SimTime,
+    },
+    /// A previously dead path carries again: its replacement established.
+    PathRecovered {
+        /// Index of the (new) established subflow.
+        subflow: usize,
+        /// The recovered interface.
+        if_index: u8,
+        /// When the replacement established.
+        at: SimTime,
+    },
+    /// An advance degradation signal was delivered by the harness.
+    Signal {
+        /// Interface the signal concerns.
+        if_index: u8,
+        /// `true` = fading/weak; `false` = restored.
+        weak: bool,
+        /// Signal time.
+        at: SimTime,
+    },
+}
+
+/// A scheduled subflow re-establishment.
+#[derive(Clone, Copy, Debug)]
+struct PendingReopen {
+    if_index: u8,
+    remote: Endpoint,
+    /// 1-based consecutive attempt number for this (if, remote) pair.
+    attempt: u32,
+    due: SimTime,
+}
+
 /// MPTCP connection configuration.
 #[derive(Clone, Debug)]
 pub struct MptcpConfig {
@@ -70,6 +192,8 @@ pub struct MptcpConfig {
     /// level (trace cross-checks). The constant-memory streaming summary is
     /// always maintained; campaigns run with this off.
     pub record_ofo_samples: bool,
+    /// Path lifecycle: subflow-death detection and re-establishment.
+    pub lifecycle: LifecycleConfig,
 }
 
 impl Default for MptcpConfig {
@@ -86,6 +210,7 @@ impl Default for MptcpConfig {
             max_subflows: 2,
             backup_ifs: Vec::new(),
             record_ofo_samples: true,
+            lifecycle: LifecycleConfig::default(),
         }
     }
 }
@@ -415,6 +540,11 @@ pub struct Subflow {
     pub remote: Endpoint,
     /// Backup path ('B' bit): scheduled only when regular paths are gone.
     pub backup: bool,
+    /// Declared dead by the lifecycle manager (RTO stall past the death
+    /// threshold, socket death, or a link-down notification). Dead subflows
+    /// are invisible to the scheduler and their data is reinjected; a
+    /// replacement may be re-established on the same (interface, remote).
+    pub dead: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -501,6 +631,18 @@ pub struct MptcpConnection {
     /// Scratch for the scheduler's per-segment subflow snapshot, reused so
     /// the steady-state pump stays off the heap (the allocation gate).
     sched_views: Vec<SubflowView>,
+    /// Scratch for `reinject_from_dead_subflows` (dead subflow indices),
+    /// reused across calls per the same allocation discipline.
+    dead_scratch: Vec<usize>,
+    /// Scratch for `reinject_from_dead_subflows` (moved dseq ranges).
+    moved_scratch: Vec<(u64, u32)>,
+    /// Replacement subflows awaiting their backoff deadline.
+    pending_reopens: Vec<PendingReopen>,
+    /// Consecutive failed-reopen counters per (interface, remote) pair;
+    /// reset to zero when a replacement establishes.
+    reopen_attempts: Vec<(u8, Endpoint, u32)>,
+    /// Handover event log (drained by the metrics layer).
+    lifecycle_log: Vec<LifecycleEvent>,
     is_client: bool,
     app_closed: bool,
     /// Local interface addresses (client) or host addresses (server).
@@ -560,6 +702,11 @@ impl MptcpConnection {
             next_unassigned: 0,
             reinject: Vec::new(),
             sched_views: Vec::new(),
+            dead_scratch: Vec::new(),
+            moved_scratch: Vec::new(),
+            pending_reopens: Vec::new(),
+            reopen_attempts: Vec::new(),
+            lifecycle_log: Vec::new(),
             is_client: true,
             app_closed: false,
             local_addrs,
@@ -629,6 +776,11 @@ impl MptcpConnection {
             next_unassigned: 0,
             reinject: Vec::new(),
             sched_views: Vec::new(),
+            dead_scratch: Vec::new(),
+            moved_scratch: Vec::new(),
+            pending_reopens: Vec::new(),
+            reopen_attempts: Vec::new(),
+            lifecycle_log: Vec::new(),
             is_client: false,
             app_closed: false,
             local_addrs,
@@ -689,6 +841,7 @@ impl MptcpConnection {
             local,
             remote,
             backup,
+            dead: false,
         });
     }
 
@@ -740,6 +893,7 @@ impl MptcpConnection {
             local,
             remote,
             backup,
+            dead: false,
         });
     }
 
@@ -751,7 +905,16 @@ impl MptcpConnection {
         syn: &TcpSegment,
         now: SimTime,
     ) {
-        if self.subflows.len() >= self.cfg.max_subflows {
+        // The cap counts *live* subflows, not slots ever created: a client
+        // re-establishing a path after its old subflow died (stalled on a
+        // downed link or RTO-exhausted) must not be rejected because the
+        // corpse still occupies an index.
+        let live = self
+            .subflows
+            .iter()
+            .filter(|s| !s.dead && !s.sock.is_finished() && !s.sock.is_stalled())
+            .count();
+        if live >= self.cfg.max_subflows {
             return;
         }
         self.accept_subflow(local, remote, HsRole::JoinServer, syn, now);
@@ -918,12 +1081,20 @@ impl MptcpConnection {
         self.post_event(now);
     }
 
-    /// Earliest timer deadline over all subflows.
+    /// Earliest timer deadline over all subflows and pending reopens. The
+    /// host folds this into its single wakeup timer, so scheduled path
+    /// re-establishments fire even on an otherwise idle connection.
     pub fn next_timeout(&self) -> Option<SimTime> {
-        self.subflows
+        let socks = self
+            .subflows
             .iter()
             .filter_map(|s| s.sock.next_timeout())
-            .min()
+            .min();
+        let reopen = self.pending_reopens.iter().map(|p| p.due).min();
+        match (socks, reopen) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Emit the next owed segment from any subflow. Runs the full
@@ -1055,6 +1226,7 @@ impl MptcpConnection {
             }
             self.subflows[0].sock.push_ack();
         }
+        self.lifecycle_poll(now);
         self.reinject_from_dead_subflows();
         self.maybe_penalize(now);
         self.pump(now);
@@ -1094,34 +1266,43 @@ impl MptcpConnection {
     /// use the stall signal (≥2 consecutive RTOs) or socket death — waiting
     /// for full RTO exhaustion would stall handover for minutes.
     fn reinject_from_dead_subflows(&mut self) {
-        let dead: Vec<usize> = self
-            .subflows
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.sock.is_finished() || s.sock.is_stalled())
-            .map(|(i, _)| i)
-            .collect();
+        // Both passes run on every post-event; their index/range lists live
+        // in scratch vectors owned by the connection (taken out for the scan,
+        // put back after) so the steady-state path never touches the heap.
+        let mut dead = std::mem::take(&mut self.dead_scratch);
+        dead.clear();
+        dead.extend(
+            self.subflows
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.dead || s.sock.is_finished() || s.sock.is_stalled())
+                .map(|(i, _)| i),
+        );
         if dead.is_empty() {
+            self.dead_scratch = dead;
             return;
         }
-        let live_exists = self
-            .subflows
-            .iter()
-            .any(|s| !s.sock.is_finished() && !s.sock.is_stalled() && s.sock.is_established());
+        let live_exists = self.subflows.iter().any(|s| {
+            !s.dead && !s.sock.is_finished() && !s.sock.is_stalled() && s.sock.is_established()
+        });
         if !live_exists {
+            self.dead_scratch = dead;
             return;
         }
         let base = self.conn_buf.base();
-        let mut moved = Vec::new();
+        let mut moved = std::mem::take(&mut self.moved_scratch);
+        moved.clear();
         for &(dseq, ref a) in self.assignments.iter() {
             if dead.contains(&a.subflow) && dseq + a.len as u64 > base {
                 moved.push((dseq, a.len));
             }
         }
-        for (dseq, len) in &moved {
-            self.assignments.remove(*dseq);
-            self.reinject.push((*dseq, *len));
+        for &(dseq, len) in &moved {
+            self.assignments.remove(dseq);
+            self.reinject.push((dseq, len));
         }
+        self.moved_scratch = moved;
+        self.dead_scratch = dead;
         // Retire dead subflows from the coupling registry is handled by the
         // coupling itself (windows stop being acked); nothing more here.
     }
@@ -1213,7 +1394,7 @@ impl MptcpConnection {
                 cwnd_space: s.sock.tx_window_space(),
                 buffer_space: s.sock.send_space(),
                 backup: s.backup,
-                stalled: s.sock.is_stalled() || s.sock.is_finished(),
+                stalled: s.dead || s.sock.is_stalled() || s.sock.is_finished(),
             }));
             let Some(pick) = self.sched.pick(self.cfg.scheduler, &views, len) else {
                 break;
@@ -1329,6 +1510,197 @@ impl MptcpConnection {
     }
 
     // ------------------------------------------------------------------
+    // Path lifecycle: death detection and re-establishment (DESIGN.md §5.11)
+    // ------------------------------------------------------------------
+
+    /// The handover event log so far.
+    pub fn lifecycle_events(&self) -> &[LifecycleEvent] {
+        &self.lifecycle_log
+    }
+
+    /// Drain the handover event log (metrics collection).
+    pub fn take_lifecycle_events(&mut self) -> Vec<LifecycleEvent> {
+        std::mem::take(&mut self.lifecycle_log)
+    }
+
+    /// Explicit link-down notification from the harness (the scenario
+    /// engine's `Down` event): declare every subflow on `if_index` dead
+    /// immediately instead of waiting for the RTO stall signal — the
+    /// client's connection manager *knows* the interface went away.
+    pub fn notify_path_down(&mut self, if_index: u8, now: SimTime) {
+        if !self.is_client || self.fell_back() {
+            return;
+        }
+        for idx in 0..self.subflows.len() {
+            if self.subflows[idx].if_index == if_index && !self.subflows[idx].dead {
+                self.mark_path_dead(idx, now);
+            }
+        }
+        self.post_event(now);
+    }
+
+    /// Advance degradation signal from the harness (scenario `WifiFade`
+    /// onset or restoration). Under [`HandoverPolicy::MakeBeforeBreak`] the
+    /// affected subflows are demoted to / restored from backup via MP_PRIO;
+    /// under `BreakBeforeMake` the signal is only logged and the connection
+    /// waits for hard failure.
+    pub fn notify_signal(&mut self, if_index: u8, weak: bool, now: SimTime) {
+        if self.fell_back() {
+            return;
+        }
+        self.lifecycle_log.push(LifecycleEvent::Signal { if_index, weak, at: now });
+        if self.cfg.lifecycle.policy == HandoverPolicy::MakeBeforeBreak {
+            for idx in 0..self.subflows.len() {
+                if self.subflows[idx].if_index == if_index && !self.subflows[idx].dead {
+                    self.set_subflow_backup(idx, weak);
+                }
+            }
+        }
+        self.post_event(now);
+    }
+
+    /// Subflows that still count against `max_subflows`.
+    fn live_subflow_count(&self) -> usize {
+        self.subflows
+            .iter()
+            .filter(|s| !s.dead && !s.sock.is_finished())
+            .count()
+    }
+
+    /// Declare subflow `idx` dead and, when re-establishment is enabled and
+    /// no live subflow or queued reopen covers its (interface, remote) pair,
+    /// schedule a replacement join after capped exponential backoff.
+    fn mark_path_dead(&mut self, idx: usize, now: SimTime) {
+        let (if_index, remote) = (self.subflows[idx].if_index, self.subflows[idx].remote);
+        self.subflows[idx].dead = true;
+        self.lifecycle_log.push(LifecycleEvent::PathDead { subflow: idx, if_index, at: now });
+        if !self.cfg.lifecycle.reopen {
+            return;
+        }
+        let covered = self.subflows.iter().any(|s| {
+            !s.dead && s.if_index == if_index && s.remote == remote && !s.sock.is_finished()
+        });
+        let queued = self
+            .pending_reopens
+            .iter()
+            .any(|p| p.if_index == if_index && p.remote == remote);
+        if covered || queued {
+            return;
+        }
+        let attempt = match self
+            .reopen_attempts
+            .iter_mut()
+            .find(|(i, r, _)| *i == if_index && *r == remote)
+        {
+            Some(e) => {
+                e.2 += 1;
+                e.2
+            }
+            None => {
+                self.reopen_attempts.push((if_index, remote, 1));
+                1
+            }
+        };
+        if attempt > self.cfg.lifecycle.max_reopen_attempts {
+            return;
+        }
+        let due = now + self.reopen_backoff(attempt);
+        self.pending_reopens.push(PendingReopen { if_index, remote, attempt, due });
+        self.lifecycle_log.push(LifecycleEvent::ReopenScheduled { if_index, attempt, due });
+    }
+
+    /// Exponential backoff with deterministic jitter: `initial * 2^(n-1)`,
+    /// capped at `backoff_max`, stretched by up to `backoff_jitter` drawn
+    /// from the connection RNG (seeded, so replays match exactly).
+    fn reopen_backoff(&mut self, attempt: u32) -> SimDuration {
+        let lc = &self.cfg.lifecycle;
+        let base = lc.backoff_initial.as_nanos() as u128;
+        let shift = attempt.saturating_sub(1).min(20);
+        let cap = lc.backoff_max.as_nanos() as u128;
+        let mut ns = base.saturating_mul(1u128 << shift).min(cap);
+        if lc.backoff_jitter > 0.0 {
+            let u = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            ns += (ns as f64 * lc.backoff_jitter * u) as u128;
+        }
+        SimDuration::from_nanos(ns.min(u64::MAX as u128) as u64)
+    }
+
+    /// The lifecycle tick, run from every post-event pass: detect newly dead
+    /// subflows, notice recoveries, and launch due replacement joins.
+    fn lifecycle_poll(&mut self, now: SimTime) {
+        if !self.cfg.lifecycle.reopen || !self.is_client || self.fell_back() {
+            return;
+        }
+        // A finished download tears subflows down normally; that is not
+        // path death, and scheduling reopens for it would hold the
+        // connection open forever.
+        if self.peer_closed() {
+            self.pending_reopens.clear();
+            return;
+        }
+        // 1. Death detection: socket gone, or stalled past the threshold.
+        for idx in 0..self.subflows.len() {
+            let sf = &self.subflows[idx];
+            if sf.dead {
+                continue;
+            }
+            if sf.sock.is_finished()
+                || sf.sock.consecutive_rtos() >= self.cfg.lifecycle.death_rtos
+            {
+                self.mark_path_dead(idx, now);
+            }
+        }
+        // 2. Recovery: a pair with a failure history has an established,
+        // healthy subflow again — reset its attempt counter so the next
+        // failure starts the backoff ladder from the bottom.
+        for j in 0..self.reopen_attempts.len() {
+            let (ifx, rem, att) = self.reopen_attempts[j];
+            if att == 0 {
+                continue;
+            }
+            let recovered = self.subflows.iter().position(|s| {
+                s.if_index == ifx
+                    && s.remote == rem
+                    && !s.dead
+                    && s.sock.is_established()
+                    && !s.sock.is_stalled()
+            });
+            if let Some(idx) = recovered {
+                self.reopen_attempts[j].2 = 0;
+                self.lifecycle_log.push(LifecycleEvent::PathRecovered {
+                    subflow: idx,
+                    if_index: ifx,
+                    at: now,
+                });
+            }
+        }
+        // 3. Launch due reopens (respecting the live-subflow cap).
+        let mut i = 0;
+        while i < self.pending_reopens.len() {
+            if self.pending_reopens[i].due > now {
+                i += 1;
+                continue;
+            }
+            let p = self.pending_reopens.remove(i);
+            let covered = self.subflows.iter().any(|s| {
+                !s.dead && s.if_index == p.if_index && s.remote == p.remote
+                    && !s.sock.is_finished()
+            });
+            if covered || self.live_subflow_count() >= self.cfg.max_subflows {
+                continue;
+            }
+            let idx = self.subflows.len();
+            self.spawn_subflow(p.if_index, p.remote, HsRole::JoinClient, now);
+            self.lifecycle_log.push(LifecycleEvent::ReopenLaunched {
+                subflow: idx,
+                if_index: p.if_index,
+                attempt: p.attempt,
+                at: now,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Invariant oracles (ISSUE 3 / DESIGN.md §5.8)
     // ------------------------------------------------------------------
 
@@ -1371,6 +1743,21 @@ impl MptcpConnection {
                 self.conn_buf.base(),
                 self.conn_buf.end()
             ));
+        }
+        for p in &self.pending_reopens {
+            if (p.if_index as usize) >= self.local_addrs.len() {
+                return Err(format!(
+                    "pending reopen names unknown interface {} (host has {})",
+                    p.if_index,
+                    self.local_addrs.len()
+                ));
+            }
+            if p.attempt == 0 || p.attempt > self.cfg.lifecycle.max_reopen_attempts {
+                return Err(format!(
+                    "pending reopen attempt {} outside [1, {}]",
+                    p.attempt, self.cfg.lifecycle.max_reopen_attempts
+                ));
+            }
         }
         if self.fell_back() {
             // Plain-TCP fallback bypasses DSS machinery entirely; the
@@ -1568,8 +1955,17 @@ impl MptcpConnection {
         drop(shared);
         for sf in &self.subflows {
             h.write_u8(sf.if_index);
-            h.write_u8(u8::from(sf.backup));
+            h.write_u8(u8::from(sf.backup) | (u8::from(sf.dead) << 1));
             sf.sock.fingerprint(h);
+        }
+        // Lifecycle state (due times excluded: untimed exploration).
+        for p in &self.pending_reopens {
+            h.write_u8(p.if_index);
+            h.write_u32(p.attempt);
+        }
+        for &(i, _, a) in &self.reopen_attempts {
+            h.write_u8(i);
+            h.write_u32(a);
         }
     }
 }

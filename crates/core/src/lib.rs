@@ -16,7 +16,12 @@
 //!   it; §3.1), reinjection of data from dead subflows, and fallback to
 //!   plain TCP when a middlebox strips MPTCP options,
 //! - backup-mode subflows (MP_JOIN 'B' bit) and mid-connection MP_PRIO
-//!   priority switching — the handover modes of Paasch et al. (paper §7).
+//!   priority switching — the handover modes of Paasch et al. (paper §7),
+//! - a path lifecycle manager: subflow-death detection (RTO stall or
+//!   link-down notification), re-establishment with capped exponential
+//!   backoff and deterministic jitter, and break-before-make vs
+//!   make-before-break handover policies driven by the scenario engine's
+//!   signal events (DESIGN.md §5.11).
 //!
 //! [`host::Host`] is the simulation agent that carries any number of MPTCP
 //! or plain-TCP transports plus their applications.
@@ -30,7 +35,10 @@ pub mod host;
 pub mod key;
 pub mod scheduler;
 
-pub use conn::{ConnStats, MptcpConfig, MptcpConnection, Subflow, SynMode};
+pub use conn::{
+    ConnStats, HandoverPolicy, LifecycleConfig, LifecycleEvent, MptcpConfig, MptcpConnection,
+    Subflow, SynMode,
+};
 pub use coupling::{CoupledCc, Coupling, CouplingState};
 pub use host::{App, AppFactory, Host, NullApp, OpenRequest, Transport, TransportSpec};
 pub use key::{key_from_seed, token_from_key};

@@ -13,10 +13,12 @@
 //! | `latency`    | fig12, fig13, tab6   | MP-2 coupled × 3 carriers         |
 //! | `backlog`    | fig11                | 512 MB infinite-backlog flows     |
 //! | `streaming`  | tab7                 | Netflix/YouTube session model     |
+//! | `handover`   | handover             | scripted WiFi-fade → LTE mobility |
 //! | `inventory`  | tab1                 | (static: preset registry)         |
 
 pub mod backlog;
 pub mod baseline;
+pub mod handover;
 pub mod hotspot;
 pub mod inventory;
 pub mod large;
@@ -147,6 +149,11 @@ pub fn groups() -> Vec<Group> {
             name: "streaming",
             artifacts: &["tab7"],
             run: streaming::run,
+        },
+        Group {
+            name: "handover",
+            artifacts: &["handover"],
+            run: handover::run,
         },
     ]
 }

@@ -1,0 +1,480 @@
+//! Handover measurement runner: a scripted mobility scenario driven against
+//! the testbed, with the path-lifecycle manager enabled and full handover
+//! metric harvesting (DESIGN.md §5.11).
+//!
+//! The canonical run is the paper's §7 walk-out-of-range experiment: a bulk
+//! download rides WiFi + cellular; mid-transfer the WiFi signal fades and
+//! the link blacks out, traffic shifts to cellular, and when the WiFi link
+//! returns the lifecycle manager re-establishes a replacement subflow with
+//! capped exponential backoff. The scenario engine mutates links at exact
+//! sim times and the runner mirrors the cross-layer signals into the
+//! client connection:
+//!
+//! * `Op::SetBackup` (the fade's signal-strength trigger) becomes
+//!   [`MptcpConnection::notify_signal`] — under make-before-break the
+//!   connection demotes the fading path via MP_PRIO *before* it dies,
+//! * `LinkOp::Down(true)` becomes [`MptcpConnection::notify_path_down`] —
+//!   the OS "interface down" event that declares the path dead instantly
+//!   (RTO-stall detection covers radios that die without notice).
+//!
+//! Everything is deterministic: the scenario timeline is pure data, link
+//! mutators touch agent-local state only, and `run_until` slicing preserves
+//! event order — the same (spec, seed) pair reproduces every metric byte
+//! for byte.
+//!
+//! [`MptcpConnection::notify_signal`]: mpw_mptcp::MptcpConnection::notify_signal
+//! [`MptcpConnection::notify_path_down`]: mpw_mptcp::MptcpConnection::notify_path_down
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mpw_http::Wget;
+use mpw_link::Carrier;
+use mpw_metrics::{
+    bytes_in_transition, epoch_shares, stall_report, EpochShare, EpochSpan, HandoverReport,
+    PathEvent, PathEventKind, StallReport,
+};
+use mpw_mptcp::{HandoverPolicy, Host, LifecycleEvent, Transport, TransportSpec};
+use mpw_scenario::{
+    compile, Action, LinkOp, Op, PathBinding, Scenario as Mobility, ScenarioDriver,
+};
+use mpw_sim::{Event, SimDuration, SimTime};
+
+use crate::config::{FlowConfig, WifiKind};
+use crate::testbed::{Testbed, TestbedSpec};
+
+/// Delivery must pause at least this long to count as an application stall.
+/// One minimum RTO: shorter pauses are ordinary retransmission noise.
+const STALL_THRESHOLD: SimDuration = SimDuration::from_millis(500);
+
+/// Progress-sampling cadence. Samples are taken at exact sim times via
+/// `run_until` slicing, so the trace is deterministic.
+const SAMPLE_TICK: SimDuration = SimDuration::from_millis(100);
+
+/// Cellular must deliver this many new bytes after fade onset before the
+/// traffic is considered shifted (a handful of segments, not one stray ACK).
+const SHIFT_BYTES: u64 = 64 * 1024;
+
+/// One handover experiment configuration.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct HandoverSpec {
+    /// WiFi network (path 0).
+    pub wifi: WifiKind,
+    /// Cellular carrier (path 1).
+    pub carrier: Carrier,
+    /// Download size in bytes.
+    pub size: u64,
+    /// Day period (drives WiFi background load).
+    pub period: mpw_link::DayPeriod,
+    /// Handover policy of the client's lifecycle manager.
+    pub policy: HandoverPolicy,
+    /// Fade onset, ms after run start.
+    pub fade_at_ms: u64,
+    /// Fade duration (signal trigger → blackout), ms.
+    pub fade_over_ms: u64,
+    /// Blackout duration (link fully down), ms.
+    pub outage_ms: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HandoverSpec {
+    /// The default walk-out-of-range handover at a given size and seed.
+    pub fn wifi_fade(size: u64, seed: u64) -> HandoverSpec {
+        HandoverSpec {
+            wifi: WifiKind::Home,
+            carrier: Carrier::Att,
+            size,
+            period: mpw_link::DayPeriod::Night,
+            policy: HandoverPolicy::MakeBeforeBreak,
+            fade_at_ms: 3_000,
+            fade_over_ms: 1_500,
+            outage_ms: 8_000,
+            seed,
+        }
+    }
+
+    /// Human label for tables ("mbb att fade@3s").
+    pub fn label(&self) -> String {
+        let policy = match self.policy {
+            HandoverPolicy::MakeBeforeBreak => "mbb",
+            HandoverPolicy::BreakBeforeMake => "bbm",
+        };
+        format!(
+            "{policy} {} fade@{}s",
+            self.carrier.name().to_lowercase(),
+            self.fade_at_ms / 1000
+        )
+    }
+
+    /// The mobility timeline this spec describes: signal fade → blackout →
+    /// link restored, with labelled epochs at each phase boundary.
+    pub fn scenario(&self) -> Mobility {
+        let down_at = self.fade_at_ms + self.fade_over_ms;
+        let up_at = down_at + self.outage_ms;
+        Mobility::builder("wifi-fade-handover")
+            .describe("walk out of WiFi range mid-download, return later")
+            .labelled(
+                self.fade_at_ms,
+                0,
+                "fade",
+                Action::WifiFade {
+                    from_bps: 22_000_000,
+                    floor_bps: 256_000,
+                    over_ms: self.fade_over_ms,
+                    steps: 5,
+                    stay_up: false,
+                },
+            )
+            .labelled(up_at, 0, "restored", Action::LinkUp)
+            .at(up_at, 0, Action::SetRate { bits_per_sec: 22_000_000 })
+            .at(up_at, 0, Action::SetLoss { mean_loss: 0.016, bursty: true })
+            .at(up_at, 0, Action::SetBackup { backup: false })
+            .build()
+            .expect("handover scenario is statically valid")
+    }
+}
+
+/// Everything one handover run yields.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct HandoverMeasurement {
+    /// The configuration measured.
+    pub spec: HandoverSpec,
+    /// Whether the download completed within the horizon.
+    pub completed: bool,
+    /// Download time in seconds (None if it never completed).
+    pub download_time_s: Option<f64>,
+    /// Bytes delivered to the application.
+    pub bytes: u64,
+    /// Whether MPTCP fell back to plain TCP (counts as a failed handover).
+    pub fell_back: bool,
+    /// Subflows the connection ever had (2 + replacements).
+    pub subflows_total: usize,
+    /// Lifecycle timeline, converted for the metrics layer.
+    pub events: Vec<PathEvent>,
+    /// Outage pairing + recovery-latency distribution.
+    pub report: HandoverReport,
+    /// Application stalls (no delivery for ≥ 500 ms).
+    pub stalls: StallReport,
+    /// Bytes delivered while an outage was open.
+    pub bytes_in_transition: u64,
+    /// Traffic mix per scenario epoch (start / fade / restored).
+    pub epoch_shares: Vec<EpochShare>,
+    /// Fade onset → cellular has delivered 64 KB of new bytes, ms.
+    pub shift_ms: Option<f64>,
+}
+
+impl HandoverMeasurement {
+    /// A run aborts when the download never finishes (the horizon covers
+    /// the outage plus the full transfer at cellular-only throughput, so a
+    /// non-finish means the connection was lost, not slow).
+    pub fn aborted(&self) -> bool {
+        !self.completed
+    }
+
+    /// The epoch share entry with the given label.
+    pub fn epoch(&self, label: &str) -> Option<&EpochShare> {
+        self.epoch_shares.iter().find(|e| e.label == label)
+    }
+}
+
+/// Convert the stack's lifecycle log into the metrics layer's neutral
+/// timeline. `ReopenScheduled` is stamped with its *due* time — when the
+/// replacement SYN will leave — which is what backoff analysis wants.
+fn convert_events(events: &[LifecycleEvent]) -> Vec<PathEvent> {
+    events
+        .iter()
+        .map(|e| match *e {
+            LifecycleEvent::PathDead { if_index, at, .. } => PathEvent {
+                kind: PathEventKind::Down,
+                if_index,
+                at,
+            },
+            LifecycleEvent::ReopenScheduled { if_index, due, .. } => PathEvent {
+                kind: PathEventKind::ReopenScheduled,
+                if_index,
+                at: due,
+            },
+            LifecycleEvent::ReopenLaunched { if_index, at, .. } => PathEvent {
+                kind: PathEventKind::ReopenLaunched,
+                if_index,
+                at,
+            },
+            LifecycleEvent::PathRecovered { if_index, at, .. } => PathEvent {
+                kind: PathEventKind::Recovered,
+                if_index,
+                at,
+            },
+            LifecycleEvent::Signal { if_index, weak, at } => PathEvent {
+                kind: if weak {
+                    PathEventKind::SignalWeak
+                } else {
+                    PathEventKind::SignalStrong
+                },
+                if_index,
+                at,
+            },
+        })
+        .collect()
+}
+
+/// Mutate the client connection and schedule an immediate host flush so any
+/// frames the mutation produced (MP_PRIO, replacement SYNs) leave now
+/// rather than at the next unrelated wakeup.
+fn with_client_conn(
+    tb: &mut Testbed,
+    slot: usize,
+    now: SimTime,
+    f: impl FnOnce(&mut mpw_mptcp::MptcpConnection),
+) {
+    let client = tb.client;
+    if let Some(host) = tb.world.agent_mut::<Host>(client) {
+        if let Some(Transport::Mp(conn)) = host.transport_mut(slot) {
+            f(conn);
+        }
+    }
+    tb.world
+        .schedule(now, client, Event::Timer { token: Host::open_token() });
+}
+
+/// Run one handover measurement to completion (or horizon).
+pub fn run_handover(spec: &HandoverSpec) -> HandoverMeasurement {
+    let scenario = spec.scenario();
+    let timeline = compile(&scenario).expect("spec scenarios compile");
+    // Cross-layer link-down notifications: every Down(true) in the
+    // timeline is mirrored to the client connection at its exact time.
+    let mut downs: Vec<(SimTime, u8)> = timeline
+        .ops
+        .iter()
+        .filter_map(|op| match op.op {
+            Op::Link { path, op: LinkOp::Down(true), .. } => Some((op.at, path as u8)),
+            _ => None,
+        })
+        .collect();
+    downs.reverse(); // pop() yields earliest-first
+
+    let wifi = spec.wifi.spec(spec.period);
+    let cellular = spec.carrier.preset();
+    let mut tb_spec = TestbedSpec::two_path(spec.seed, wifi, cellular);
+    let mut transport = FlowConfig::mp2(mpw_mptcp::Coupling::Coupled).transport();
+    if let TransportSpec::Mptcp(cfg) = &mut transport {
+        cfg.lifecycle.reopen = true;
+        cfg.lifecycle.policy = spec.policy;
+        cfg.tcp.record_rtt_samples = false;
+        cfg.record_ofo_samples = false;
+        tb_spec.server_mptcp = mpw_mptcp::MptcpConfig {
+            max_subflows: 8,
+            ..cfg.clone()
+        };
+    }
+    tb_spec.server_mptcp.tcp.record_rtt_samples = false;
+    tb_spec.server_mptcp.record_ofo_samples = false;
+    tb_spec.server_tcp.record_rtt_samples = false;
+    let mut tb = Testbed::build(tb_spec);
+    let slot = tb.download(transport, spec.size, SimTime::from_millis(100), true);
+    let bindings: Vec<PathBinding> = tb
+        .paths
+        .iter()
+        .map(|p| PathBinding { uplink: p.uplink, downlink: p.downlink })
+        .collect();
+    let mut driver = ScenarioDriver::from_timeline(timeline);
+
+    // Horizon: the outage plus the whole transfer at a conservative
+    // cellular-only budget (Sprint EVDO class). Completion stops the run
+    // early, so the slack only costs wall-clock when a run truly wedges.
+    let horizon = SimTime::from_millis(spec.fade_at_ms + spec.fade_over_ms + spec.outage_ms)
+        + SimDuration::from_secs(30 + (spec.size * 8 / 300_000).min(3_570));
+
+    // Progress trace (time, delivered bytes) and per-path delivery deltas,
+    // sampled at exact tick boundaries.
+    let mut progress: Vec<(SimTime, u64)> = Vec::new();
+    let mut deltas: Vec<(SimTime, u8, u64)> = Vec::new();
+    let mut per_if_cum: Vec<u64> = vec![0; 2];
+    let sample = |tb: &mut Testbed, now: SimTime,
+                      progress: &mut Vec<(SimTime, u64)>,
+                      deltas: &mut Vec<(SimTime, u8, u64)>,
+                      per_if_cum: &mut Vec<u64>| {
+        let host = tb.world.agent_mut::<Host>(tb.client).expect("client host");
+        let bytes = host.app::<Wget>(slot).map(|w| w.result.bytes).unwrap_or(0);
+        progress.push((now, bytes));
+        if let Some(Transport::Mp(conn)) = host.transport_mut(slot) {
+            let delivered = conn.stats().per_subflow_delivered;
+            let mut now_per_if = vec![0u64; per_if_cum.len()];
+            for (i, sf) in conn.subflows.iter().enumerate() {
+                if let Some(slot) = now_per_if.get_mut(sf.if_index as usize) {
+                    *slot += delivered.get(i).copied().unwrap_or(0);
+                }
+            }
+            for (if_index, (&now_v, cum)) in
+                now_per_if.iter().zip(per_if_cum.iter_mut()).enumerate()
+            {
+                if now_v > *cum {
+                    deltas.push((now, if_index as u8, now_v - *cum));
+                    *cum = now_v;
+                }
+            }
+        }
+    };
+
+    loop {
+        let now = tb.world.now();
+        let mut stop = (now + SAMPLE_TICK).min(horizon);
+        if let Some(at) = driver.next_at() {
+            stop = stop.min(at);
+        }
+        tb.world.run_until(stop);
+        let now = tb.world.now();
+        // Scenario ops due at this instant: link mutations apply inside the
+        // driver; MP_PRIO triggers and link-down mirrors go to the client
+        // connection, followed by an immediate flush.
+        let pending = driver
+            .apply_due(&mut tb.world, &bindings, now)
+            .expect("bindings cover every scenario path");
+        for op in &pending {
+            if let Op::SetBackup { path, backup } = op.op {
+                with_client_conn(&mut tb, slot, now, |c| {
+                    c.notify_signal(path as u8, backup, now);
+                });
+            }
+        }
+        while let Some(&(at, path)) = downs.last() {
+            if at > now {
+                break;
+            }
+            downs.pop();
+            with_client_conn(&mut tb, slot, now, |c| c.notify_path_down(path, now));
+        }
+        sample(&mut tb, now, &mut progress, &mut deltas, &mut per_if_cum);
+        let done = tb
+            .world
+            .agent::<Host>(tb.client)
+            .and_then(|h| h.app::<Wget>(slot))
+            .is_some_and(Wget::is_done);
+        if done || now >= horizon {
+            break;
+        }
+    }
+
+    harvest_handover(&mut tb, slot, spec, &scenario, progress, deltas)
+}
+
+fn harvest_handover(
+    tb: &mut Testbed,
+    slot: usize,
+    spec: &HandoverSpec,
+    scenario: &Mobility,
+    progress: Vec<(SimTime, u64)>,
+    deltas: Vec<(SimTime, u8, u64)>,
+) -> HandoverMeasurement {
+    let end = tb.world.now();
+    let host = tb.world.agent_mut::<Host>(tb.client).expect("client host");
+    let result = host.app::<Wget>(slot).map(|w| w.result).unwrap_or_default();
+    let (events, fell_back, subflows_total) = match host.transport_mut(slot) {
+        Some(Transport::Mp(conn)) => (
+            convert_events(conn.lifecycle_events()),
+            conn.stats().fell_back,
+            conn.subflows.len(),
+        ),
+        _ => (Vec::new(), false, 0),
+    };
+    let report = HandoverReport::from_events(&events);
+    let stalls = stall_report(&progress, STALL_THRESHOLD);
+    let in_transition = bytes_in_transition(&progress, &report.outages);
+
+    // Epoch shares over the run's actual extent (labels at/after the end
+    // fold into the preceding epoch).
+    let horizon_ms = (end.as_millis_f64().ceil() as u64).max(1);
+    let spans: Vec<EpochSpan> = scenario
+        .epochs(horizon_ms)
+        .into_iter()
+        .map(|e| EpochSpan {
+            label: e.label,
+            start: SimTime::from_millis(e.start_ms),
+            end: SimTime::from_millis(e.end_ms),
+        })
+        .collect();
+    let shares = epoch_shares(&deltas, &spans);
+
+    // Fade onset → cellular delivers SHIFT_BYTES of new bytes.
+    let fade_at = SimTime::from_millis(spec.fade_at_ms);
+    let cell_at_fade: u64 = deltas
+        .iter()
+        .filter(|(at, path, _)| *at <= fade_at && *path == 1)
+        .map(|(_, _, b)| b)
+        .sum();
+    let mut cell_cum = 0u64;
+    let mut shift_ms = None;
+    for &(at, path, bytes) in &deltas {
+        if path != 1 {
+            continue;
+        }
+        cell_cum += bytes;
+        if at > fade_at && cell_cum >= cell_at_fade + SHIFT_BYTES {
+            shift_ms = Some(at.saturating_since(fade_at).as_millis_f64());
+            break;
+        }
+    }
+
+    HandoverMeasurement {
+        spec: spec.clone(),
+        completed: result.finished_at.is_some() && result.bytes >= spec.size,
+        download_time_s: result.download_time().map(|d| d.as_secs_f64()),
+        bytes: result.bytes,
+        fell_back,
+        subflows_total,
+        events,
+        report,
+        stalls,
+        bytes_in_transition: in_transition,
+        epoch_shares: shares,
+        shift_ms,
+    }
+}
+
+/// Run a batch of handover specs on `workers` threads (0 = one per core).
+/// Results come back in spec order regardless of execution order — each
+/// world is independently seeded and single-threaded, so parallelism cannot
+/// change any result.
+pub fn run_handover_campaign(
+    specs: &[HandoverSpec],
+    workers: usize,
+) -> Vec<HandoverMeasurement> {
+    let n = specs.len();
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        workers
+    }
+    .clamp(1, n.max(1));
+    if workers == 1 {
+        return specs.iter().map(run_handover).collect();
+    }
+    let mut slots: Vec<Option<HandoverMeasurement>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let next = AtomicUsize::new(0);
+    let done = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(spec) = specs.get(i) else { break };
+                        local.push((i, run_handover(spec)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("handover worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for (i, m) in done {
+        slots[i] = Some(m);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every spec produces a measurement"))
+        .collect()
+}

@@ -21,6 +21,7 @@ pub mod artifacts;
 pub mod campaign;
 pub mod config;
 pub mod crosscheck;
+pub mod handover;
 pub mod measure;
 pub mod testbed;
 
@@ -28,6 +29,9 @@ pub use artifacts::{group_for, groups, Artifact, Check};
 pub use campaign::{group_by, run_campaign, Scale};
 pub use config::{sizes, FlowConfig, Scenario, WifiKind};
 pub use crosscheck::{crosscheck, CrosscheckReport, Tolerances};
+pub use handover::{
+    run_handover, run_handover_campaign, HandoverMeasurement, HandoverSpec,
+};
 pub use measure::{
     run_lossfree_download_windowed, run_measurement, run_measurement_captured,
     run_measurement_traced, LossfreeProbe, Measurement, SubflowMeasurement,

@@ -1,7 +1,7 @@
 //! CLI for the deterministic fuzzing engine.
 //!
 //! ```text
-//! fuzz --target wire|pcapng|analyze|assembler [--seed N] [--iters N]
+//! fuzz --target wire|pcapng|analyze|assembler|scenario [--seed N] [--iters N]
 //!      [--shards N] [--minimize] [--expect-violation] [--with-base]
 //!      [--corpus DIR] [--save-corpus DIR] [--emit-regressions DIR] [--json]
 //! ```
@@ -33,7 +33,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fuzz --target wire|pcapng|analyze|assembler [--seed N] [--iters N] \
+        "usage: fuzz --target wire|pcapng|analyze|assembler|scenario [--seed N] [--iters N] \
          [--shards N] [--minimize] [--expect-violation] [--with-base] \
          [--corpus DIR] [--save-corpus DIR] [--emit-regressions DIR] [--json]"
     );
@@ -189,6 +189,55 @@ fn emit_regressions(dir: &std::path::Path) -> std::io::Result<()> {
     .into();
     let join_packet = encode_packet(&ip(client, server), &join).to_vec();
     corpus::save(&dir.join("wire"), &[join_packet])?;
+
+    // scenario: the overflowed-exponent witness — `1e999` parses to
+    // infinity, which canonical JSON rendered as `null`, breaking the
+    // serialize→reparse fixpoint (found by this fuzzer; non-finite floats
+    // are now shape errors, see crates/scenario/src/parse.rs) — plus the
+    // recursion-bound witness (100 nested arrays must come back as a clean
+    // syntax error, never a stack overflow) and the canonical WiFi-fade
+    // scenario in both formats to anchor the corpus on well-formed inputs.
+    let inf_loss = "{\"name\":\"inf\",\"events\":[\
+                    {\"at_ms\":0,\"action\":{\"SetLoss\":{\"mean_loss\":1e999}}}]}";
+    let mut deep = String::from("a = ");
+    deep.extend(std::iter::repeat_n('[', 100));
+    let fade_toml = "\
+name = \"wifi-fade\"\n\
+description = \"walk out of AP range at t=3s\"\n\
+\n\
+[[events]]\n\
+at_ms = 3000\n\
+path = 0\n\
+label = \"fade\"\n\
+\n\
+[events.action.WifiFade]\n\
+from_bps = 20000000\n\
+floor_bps = 500000\n\
+over_ms = 1500\n\
+steps = 5\n\
+\n\
+[[events]]\n\
+at_ms = 12500\n\
+path = 0\n\
+label = \"restored\"\n\
+action = \"LinkUp\"\n";
+    let fade_json = mpw_scenario::from_toml(fade_toml)
+        .map(|s| mpw_scenario::to_json(&s))
+        .map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("fade witness must parse: {e}"),
+            )
+        })?;
+    corpus::save(
+        &dir.join("scenario"),
+        &[
+            inf_loss.as_bytes().to_vec(),
+            deep.into_bytes(),
+            fade_toml.as_bytes().to_vec(),
+            fade_json.into_bytes(),
+        ],
+    )?;
     Ok(())
 }
 

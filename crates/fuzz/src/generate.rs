@@ -187,6 +187,154 @@ pub fn assembler_seed(rng: &mut Rng) -> Vec<u8> {
     (0..8 + rng.below(48)).map(|_| rng.byte()).collect()
 }
 
+fn random_scenario_action(rng: &mut Rng) -> mpw_scenario::Action {
+    use mpw_scenario::Action;
+    let bps = |rng: &mut Rng| 1 + rng.below(50_000_000) as u64;
+    // Loss means stay below the 0.25 bursty/burst bound so most seeds also
+    // validate (the oracles still accept invalid-but-parsed scenarios).
+    let loss = |rng: &mut Rng| rng.below(249) as f64 / 1000.0;
+    match rng.below(12) {
+        0 => Action::SetRate { bits_per_sec: bps(rng) },
+        1 => Action::RampRate {
+            from_bps: bps(rng),
+            to_bps: bps(rng),
+            over_ms: rng.below(20_000) as u64,
+            steps: 1 + rng.below(8) as u32,
+        },
+        2 => Action::SetDelay { delay_us: rng.below(400_000) as u64 },
+        3 => Action::RampDelay {
+            from_us: rng.below(400_000) as u64,
+            to_us: rng.below(400_000) as u64,
+            over_ms: rng.below(20_000) as u64,
+            steps: 1 + rng.below(8) as u32,
+        },
+        4 => Action::SetLoss { mean_loss: loss(rng), bursty: rng.chance(1, 2) },
+        5 => Action::LossBurst {
+            mean_loss: loss(rng),
+            for_ms: 1 + rng.below(10_000) as u64,
+            settle_loss: loss(rng),
+        },
+        6 => Action::LinkDown,
+        7 => Action::LinkUp,
+        8 => {
+            let (a, b) = (bps(rng), bps(rng));
+            Action::WifiFade {
+                from_bps: a.max(b),
+                floor_bps: a.min(b),
+                over_ms: rng.below(5_000) as u64,
+                steps: 1 + rng.below(8) as u32,
+                stay_up: rng.chance(1, 4),
+            }
+        }
+        9 => Action::RrcIdle,
+        10 => Action::BgSurge {
+            bytes_per_sec: 1 + rng.below(3_000_000) as u64,
+            for_ms: 1 + rng.below(10_000) as u64,
+        },
+        _ => Action::SetBackup { backup: rng.chance(1, 2) },
+    }
+}
+
+fn random_scenario_event(rng: &mut Rng) -> mpw_scenario::TimedEvent {
+    const LABELS: [&str; 4] = ["fade", "restored", "surge", "idle"];
+    mpw_scenario::TimedEvent {
+        at_ms: rng.below(600_000) as u64,
+        path: rng.below(4),
+        dir: match rng.below(3) {
+            0 => mpw_scenario::Direction::Uplink,
+            1 => mpw_scenario::Direction::Downlink,
+            _ => mpw_scenario::Direction::Both,
+        },
+        label: rng
+            .chance(1, 3)
+            .then(|| LABELS[rng.below(LABELS.len())].to_string()),
+        action: random_scenario_action(rng),
+    }
+}
+
+/// Render a scenario in the hand-rolled TOML subset — unit actions as
+/// strings, struct actions as inline tables — so TOML seeds exercise the
+/// grammar the JSON path never touches. Floats use `{:?}` (shortest
+/// round-trip form) so `0.0` keeps its dot and stays a float.
+fn render_scenario_toml(s: &mpw_scenario::Scenario) -> String {
+    use mpw_scenario::{Action, Direction};
+    let action_toml = |a: &Action| -> String {
+        match a {
+            Action::SetRate { bits_per_sec } => {
+                format!("{{ SetRate = {{ bits_per_sec = {bits_per_sec} }} }}")
+            }
+            Action::RampRate { from_bps, to_bps, over_ms, steps } => format!(
+                "{{ RampRate = {{ from_bps = {from_bps}, to_bps = {to_bps}, \
+                 over_ms = {over_ms}, steps = {steps} }} }}"
+            ),
+            Action::SetDelay { delay_us } => {
+                format!("{{ SetDelay = {{ delay_us = {delay_us} }} }}")
+            }
+            Action::RampDelay { from_us, to_us, over_ms, steps } => format!(
+                "{{ RampDelay = {{ from_us = {from_us}, to_us = {to_us}, \
+                 over_ms = {over_ms}, steps = {steps} }} }}"
+            ),
+            Action::SetLoss { mean_loss, bursty } => format!(
+                "{{ SetLoss = {{ mean_loss = {mean_loss:?}, bursty = {bursty} }} }}"
+            ),
+            Action::LossBurst { mean_loss, for_ms, settle_loss } => format!(
+                "{{ LossBurst = {{ mean_loss = {mean_loss:?}, for_ms = {for_ms}, \
+                 settle_loss = {settle_loss:?} }} }}"
+            ),
+            Action::LinkDown => "\"LinkDown\"".into(),
+            Action::LinkUp => "\"LinkUp\"".into(),
+            Action::WifiFade { from_bps, floor_bps, over_ms, steps, stay_up } => format!(
+                "{{ WifiFade = {{ from_bps = {from_bps}, floor_bps = {floor_bps}, \
+                 over_ms = {over_ms}, steps = {steps}, stay_up = {stay_up} }} }}"
+            ),
+            Action::RrcIdle => "\"RrcIdle\"".into(),
+            Action::BgSurge { bytes_per_sec, for_ms } => format!(
+                "{{ BgSurge = {{ bytes_per_sec = {bytes_per_sec}, for_ms = {for_ms} }} }}"
+            ),
+            Action::SetBackup { backup } => {
+                format!("{{ SetBackup = {{ backup = {backup} }} }}")
+            }
+        }
+    };
+    let mut out = format!("name = \"{}\"\n", s.name);
+    if !s.description.is_empty() {
+        out.push_str(&format!("description = \"{}\"\n", s.description));
+    }
+    for ev in &s.events {
+        out.push_str("\n[[events]]\n");
+        out.push_str(&format!("at_ms = {}\n", ev.at_ms));
+        out.push_str(&format!("path = {}\n", ev.path));
+        if ev.dir != Direction::Both {
+            out.push_str(&format!("dir = \"{:?}\"\n", ev.dir));
+        }
+        if let Some(label) = &ev.label {
+            out.push_str(&format!("label = \"{label}\"\n"));
+        }
+        out.push_str(&format!("action = {}\n", action_toml(&ev.action)));
+    }
+    out
+}
+
+/// A valid scenario file: a random event list rendered as canonical JSON
+/// (through `mpw_scenario::to_json`, the encoder under test) or, one time
+/// in three, as the TOML subset.
+pub fn scenario_seed(rng: &mut Rng) -> Vec<u8> {
+    let scenario = mpw_scenario::Scenario {
+        name: format!("seed-{}", rng.below(1_000_000)),
+        description: if rng.chance(1, 3) {
+            "generated mobility timeline".into()
+        } else {
+            String::new()
+        },
+        events: (0..rng.below(6)).map(|_| random_scenario_event(rng)).collect(),
+    };
+    if rng.chance(1, 3) {
+        render_scenario_toml(&scenario).into_bytes()
+    } else {
+        mpw_scenario::to_json(&scenario).into_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +354,39 @@ mod tests {
         for _ in 0..50 {
             let bytes = pcapng_seed(&mut rng);
             mpw_capture::read_pcapng(&bytes).expect("generated capture must parse");
+        }
+    }
+
+    #[test]
+    fn scenario_seeds_parse_cleanly_in_both_formats() {
+        let mut rng = Rng::new(4);
+        let (mut toml, mut json) = (0, 0);
+        for _ in 0..100 {
+            let bytes = scenario_seed(&mut rng);
+            let text = String::from_utf8(bytes).expect("seeds are text");
+            if text.trim_start().starts_with('{') {
+                json += 1;
+            } else {
+                toml += 1;
+            }
+            mpw_scenario::from_str(&text).expect("generated scenario must parse");
+        }
+        assert!(toml > 0 && json > 0, "both formats must appear ({toml} toml, {json} json)");
+    }
+
+    #[test]
+    fn toml_rendering_matches_the_json_model() {
+        // The TOML renderer and `to_json` must describe the same scenario.
+        let mut rng = Rng::new(5);
+        for _ in 0..100 {
+            let scenario = mpw_scenario::Scenario {
+                name: "cross".into(),
+                description: "check".into(),
+                events: (0..1 + rng.below(5)).map(|_| random_scenario_event(&mut rng)).collect(),
+            };
+            let from_toml = mpw_scenario::from_str(&render_scenario_toml(&scenario))
+                .expect("rendered TOML must parse");
+            assert_eq!(from_toml, scenario);
         }
     }
 }

@@ -1,6 +1,6 @@
 //! Fuzz targets: what gets executed, and the oracles that judge it.
 //!
-//! Four targets cover the stack's byte-facing surfaces (DESIGN.md §5.9):
+//! Five targets cover the stack's byte-facing surfaces (DESIGN.md §5.9):
 //!
 //! * **wire** — `mpw_tcp::wire::parse_any` must be total (no panic), and
 //!   any successfully parsed packet must survive decode→encode→decode as a
@@ -19,6 +19,12 @@
 //!   adversarial offsets (including the top of the u64 sequence space);
 //!   after every op the PR 3 `validate()` invariants must hold, and at the
 //!   end inserted bytes must be conserved as accepted + duplicate.
+//! * **scenario** — the mobility scenario parsers (`mpw_scenario::from_str`
+//!   over JSON and the hand-rolled TOML subset, plus the raw TOML grammar
+//!   `toml_to_value`) must be total over arbitrary text; any parsed
+//!   scenario must survive serialize→reparse through canonical JSON as a
+//!   value fixpoint; and a valid scenario must compile into a time-sorted
+//!   primitive timeline.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -49,15 +55,18 @@ pub enum TargetKind {
     Analyze,
     /// Reassembly invariants + byte conservation.
     Assembler,
+    /// Scenario parser totality + serialize fixpoint + compile sortedness.
+    Scenario,
 }
 
 impl TargetKind {
     /// All targets, in CLI order.
-    pub const ALL: [TargetKind; 4] = [
+    pub const ALL: [TargetKind; 5] = [
         TargetKind::Wire,
         TargetKind::Pcapng,
         TargetKind::Analyze,
         TargetKind::Assembler,
+        TargetKind::Scenario,
     ];
 
     /// CLI name.
@@ -67,6 +76,7 @@ impl TargetKind {
             TargetKind::Pcapng => "pcapng",
             TargetKind::Analyze => "analyze",
             TargetKind::Assembler => "assembler",
+            TargetKind::Scenario => "scenario",
         }
     }
 
@@ -134,6 +144,7 @@ pub fn seeds(kind: TargetKind, rng: &mut Rng, base: Option<&AnalyzeBase>) -> Vec
             out
         }
         TargetKind::Assembler => (0..16).map(|_| generate::assembler_seed(rng)).collect(),
+        TargetKind::Scenario => (0..16).map(|_| generate::scenario_seed(rng)).collect(),
     }
 }
 
@@ -179,6 +190,12 @@ pub fn mutate_input(
             m
         }
         TargetKind::Assembler => mutate(rng, pick, corpus, dict::GENERIC_TOKENS),
+        TargetKind::Scenario => {
+            if rng.chance(1, 8) {
+                return generate::scenario_seed(rng);
+            }
+            mutate(rng, pick, corpus, dict::SCENARIO_TOKENS)
+        }
     }
 }
 
@@ -223,6 +240,7 @@ pub fn execute(kind: TargetKind, input: &[u8], base: Option<&AnalyzeBase>) -> Ou
         TargetKind::Pcapng => run_pcapng(input),
         TargetKind::Analyze => run_analyze(input, base),
         TargetKind::Assembler => run_assembler(input),
+        TargetKind::Scenario => run_scenario(input),
     }));
     match result {
         Ok(outcome) => outcome,
@@ -547,6 +565,118 @@ fn run_assembler(input: &[u8]) -> Outcome {
     }
 }
 
+/// Compile-expansion budget for the scenario target: validation caps each
+/// ramp at `mpw_scenario::MAX_STEPS` ops, but a file with many maximal
+/// ramps could still ask for a huge timeline, so the compile oracle is
+/// skipped (not failed) past this total.
+const SCENARIO_COMPILE_BUDGET: u64 = 100_000;
+
+fn scenario_action_code(action: &mpw_scenario::Action) -> u8 {
+    use mpw_scenario::Action;
+    match action {
+        Action::SetRate { .. } => 0,
+        Action::RampRate { .. } => 1,
+        Action::SetDelay { .. } => 2,
+        Action::RampDelay { .. } => 3,
+        Action::SetLoss { .. } => 4,
+        Action::LossBurst { .. } => 5,
+        Action::LinkDown => 6,
+        Action::LinkUp => 7,
+        Action::WifiFade { .. } => 8,
+        Action::RrcIdle => 9,
+        Action::BgSurge { .. } => 10,
+        Action::SetBackup { .. } => 11,
+    }
+}
+
+fn run_scenario(input: &[u8]) -> Outcome {
+    let mut fp = Fnv64::new();
+    fp.push(b'n');
+    let text = String::from_utf8_lossy(input);
+    // The raw TOML grammar must be total over every input, including ones
+    // the format sniffer routes to JSON (panics land in `execute`'s trap).
+    fp.push(mpw_scenario::parse::toml_to_value(&text).is_ok() as u8);
+    let parsed = match mpw_scenario::from_str(&text) {
+        Err(e) => {
+            fp.push(b'e');
+            // Fingerprint the error *site*, not its exact text: line
+            // numbers and backtick-quoted input fragments would otherwise
+            // mint a fresh decode-path fingerprint for nearly every mutant
+            // and drown the corpus in junk parents.
+            let (tag, msg) = match &e {
+                mpw_scenario::ScenarioError::Syntax { msg, .. } => (b's', msg.as_str()),
+                mpw_scenario::ScenarioError::Shape(msg) => (b'h', msg.as_str()),
+                _ => (b'o', ""),
+            };
+            fp.push(tag);
+            let head = msg.split('`').next().unwrap_or("");
+            fp.write(&head.as_bytes()[..head.len().min(32)]);
+            return Outcome {
+                fingerprint: fp.finish(),
+                violation: None,
+            };
+        }
+        Ok(s) => s,
+    };
+    fp.push(b'k');
+    fp.push(len_bucket(parsed.name.len()));
+    fp.push(len_bucket(parsed.events.len()));
+    for ev in &parsed.events {
+        fp.push(scenario_action_code(&ev.action));
+        fp.push(match ev.dir {
+            mpw_scenario::Direction::Uplink => 0,
+            mpw_scenario::Direction::Downlink => 1,
+            mpw_scenario::Direction::Both => 2,
+        });
+        fp.push(ev.label.is_some() as u8);
+    }
+    // Serialize→reparse fixpoint: canonical JSON of any parsed scenario
+    // must parse back to an equal value. This is what makes JSON and the
+    // TOML subset interchangeable spellings of the same model — a TOML
+    // scenario that survives parsing but breaks here would silently change
+    // meaning when re-saved as JSON.
+    let json = mpw_scenario::to_json(&parsed);
+    let mut violation = match mpw_scenario::from_json(&json) {
+        Err(e) => Some(format!(
+            "serialize→reparse broke: canonical JSON failed with {e:?}"
+        )),
+        Ok(again) if again != parsed => Some(format!(
+            "serialize→reparse fixpoint violated: {parsed:?} re-parsed as {again:?}"
+        )),
+        Ok(_) => None,
+    };
+    // Compile oracle: a scenario the validator accepts must compile, and
+    // the timeline must be sorted by time (the driver pops it in order).
+    let expansion: u64 = parsed
+        .events
+        .iter()
+        .map(|ev| match ev.action {
+            mpw_scenario::Action::RampRate { steps, .. }
+            | mpw_scenario::Action::RampDelay { steps, .. }
+            | mpw_scenario::Action::WifiFade { steps, .. } => u64::from(steps),
+            _ => 1,
+        })
+        .sum();
+    if violation.is_none() && expansion <= SCENARIO_COMPILE_BUDGET {
+        match mpw_scenario::compile(&parsed) {
+            Err(_) => fp.push(b'i'), // semantically invalid: its own path
+            Ok(timeline) => {
+                fp.push(len_bucket(timeline.ops.len()));
+                if parsed.validate().is_err() {
+                    violation =
+                        Some("compile accepted a scenario that validate() rejects".to_string());
+                } else if timeline.ops.windows(2).any(|w| w[0].at > w[1].at) {
+                    violation = Some("compiled timeline is not sorted by time".to_string());
+                }
+            }
+        }
+    }
+    Outcome {
+        fingerprint: fp.finish(),
+        violation,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +716,45 @@ mod tests {
         // Op 2 with max back-offset: insert at u64::MAX - 255.
         let prog = [2u8, 0xff, 0xff, 2, 0x00, 0x05];
         let o = execute(TargetKind::Assembler, &prog, None);
+        assert_eq!(o.violation, None);
+    }
+
+    #[test]
+    fn scenario_seeds_pass_the_oracles() {
+        let mut rng = Rng::new(12);
+        for _ in 0..100 {
+            let s = generate::scenario_seed(&mut rng);
+            let o = execute(TargetKind::Scenario, &s, None);
+            assert_eq!(o.violation, None, "seed violated scenario oracles");
+        }
+    }
+
+    #[test]
+    fn hostile_text_never_violates_scenario() {
+        let mut rng = Rng::new(13);
+        for _ in 0..300 {
+            let n = rng.below(80);
+            let junk: Vec<u8> = (0..n).map(|_| rng.byte()).collect();
+            let o = execute(TargetKind::Scenario, &junk, None);
+            assert_eq!(o.violation, None);
+        }
+    }
+
+    #[test]
+    fn oversized_ramps_skip_the_compile_oracle_without_blowing_up() {
+        // 20 maximal ramps ask for 200k compiled ops — over the budget, so
+        // the target must return (quickly, allocation-free) with no
+        // violation rather than materialize the timeline.
+        let mut events = String::new();
+        for _ in 0..20 {
+            events.push_str(
+                "{\"at_ms\":0,\"action\":{\"RampRate\":{\"from_bps\":1,\
+                 \"to_bps\":2,\"over_ms\":10,\"steps\":10000}}},",
+            );
+        }
+        events.pop();
+        let text = format!("{{\"name\":\"big\",\"events\":[{events}]}}");
+        let o = execute(TargetKind::Scenario, text.as_bytes(), None);
         assert_eq!(o.violation, None);
     }
 

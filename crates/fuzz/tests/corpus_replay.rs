@@ -57,3 +57,8 @@ fn analyze_corpus_replays_clean() {
 fn assembler_corpus_replays_clean() {
     replay(TargetKind::Assembler);
 }
+
+#[test]
+fn scenario_corpus_replays_clean() {
+    replay(TargetKind::Scenario);
+}

@@ -133,6 +133,8 @@ pub struct LinkStats {
     pub dropped_overflow: u64,
     /// Frames dropped by the channel (no ARQ, or ARQ exhausted).
     pub dropped_channel: u64,
+    /// Frames dropped because the link was administratively down.
+    pub dropped_down: u64,
     /// Local ARQ retransmissions performed.
     pub arq_retries: u64,
     /// RRC promotions performed.
@@ -192,6 +194,9 @@ pub struct LinkAgent {
     /// reject superseded timers.
     service_timer: Option<TimerHandle>,
     rrc: RrcState,
+    /// Administratively down (scenario `Down` event): every frame touching
+    /// the link is lost until `set_down(false)`.
+    down: bool,
     last_delivery: SimTime,
     stats: LinkStats,
     /// Optional capture tap. `None` (the default) costs one branch per
@@ -220,6 +225,7 @@ impl LinkAgent {
             in_service: None,
             service_timer: None,
             rrc,
+            down: false,
             last_delivery: SimTime::ZERO,
             stats: LinkStats::default(),
             tap: None,
@@ -276,6 +282,44 @@ impl LinkAgent {
     /// Replace the ARQ configuration mid-run.
     pub fn set_arq(&mut self, arq: Option<ArqConfig>) {
         self.cfg.arq = arq;
+    }
+
+    /// Replace the service-rate process mid-run (bandwidth ramps, capacity
+    /// collapse under fading). The frame currently in service keeps its old
+    /// serialization time; the next one samples the new process.
+    pub fn set_rate(&mut self, rate: RateProcess) {
+        self.cfg.rate = rate;
+    }
+
+    /// Replace the one-way propagation delay mid-run (RTT ramps, route
+    /// changes). Order preservation still holds: a frame finishing service
+    /// after the change is clamped to `last_delivery`, so shrinking the
+    /// delay never reorders in-flight frames.
+    pub fn set_delay(&mut self, prop_delay: SimDuration) {
+        self.cfg.prop_delay = prop_delay;
+    }
+
+    /// Administratively take the link down or bring it back up. While down,
+    /// newly arriving frames are dropped at ingress and frames finishing
+    /// service are lost, so the transport sees a total blackout rather than
+    /// queue growth — the link-failure signal the path lifecycle manager
+    /// keys on.
+    pub fn set_down(&mut self, down: bool) {
+        self.down = down;
+    }
+
+    /// Whether the link is administratively down.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Force the radio back to RRC idle (scenario event): the next frame
+    /// pays the full idle→active promotion delay again. No-op on links
+    /// without an RRC model.
+    pub fn force_rrc_idle(&mut self) {
+        if self.cfg.rrc.is_some() {
+            self.rrc = RrcState::Promoting { ready_at: SimTime::MAX };
+        }
     }
 
     /// Snapshot of counters.
@@ -356,6 +400,21 @@ impl LinkAgent {
         // in parallel, so retries cost *delay* on this frame (and, through
         // in-order RLC delivery, on frames behind it) plus a small capacity
         // tax — they do not stall the link for a whole retry turnaround.
+        // A frame completing service on a downed link is lost outright —
+        // ARQ cannot save it because the radio is gone, not the channel.
+        if self.down {
+            self.q_bytes -= frame.wire_len();
+            self.tap_drop(now, DropReason::LinkDown, &frame);
+            self.stats.dropped_down += 1;
+            ctx.trace(TraceEvent::Drop {
+                component: ctx.self_id(),
+                reason: DropReason::LinkDown,
+                bytes: frame.wire_len() as u32,
+            });
+            self.try_start_service(ctx);
+            return;
+        }
+
         let mut tries = 0u32;
         let mut dropped = false;
         match self.cfg.arq {
@@ -444,6 +503,16 @@ impl Agent for LinkAgent {
                 // frame on the wire, so a sender-side sniffer sees it even
                 // if the queue then overflows.
                 self.tap_frame(ctx.now(), TapDir::Ingress, &frame);
+                if self.down {
+                    self.tap_drop(ctx.now(), DropReason::LinkDown, &frame);
+                    self.stats.dropped_down += 1;
+                    ctx.trace(TraceEvent::Drop {
+                        component: ctx.self_id(),
+                        reason: DropReason::LinkDown,
+                        bytes: len as u32,
+                    });
+                    return;
+                }
                 if self.q_bytes + len > self.cfg.buffer_bytes {
                     self.tap_drop(ctx.now(), DropReason::QueueOverflow, &frame);
                     self.stats.dropped_overflow += 1;
@@ -877,6 +946,78 @@ mod tests {
         w.run_until_idle();
         // Only the untagged foreground frame was observed.
         assert_eq!(obs.borrow().frames.len(), 1);
+    }
+
+    #[test]
+    fn set_rate_applies_to_next_service() {
+        // 12 Mbps, 1500 B => 1 ms serialization. After the first delivery,
+        // halve the rate: the second frame serializes in 2 ms.
+        let (mut w, link, sink) = rig(simple_cfg(12_000_000, 0, 1 << 20));
+        w.schedule(SimTime::ZERO, link, Event::Frame { port: 0, frame: frame(1500) });
+        w.run_until(SimTime::from_millis(2));
+        w.agent_mut::<LinkAgent>(link)
+            .unwrap()
+            .set_rate(RateProcess::fixed(6_000_000));
+        w.schedule(SimTime::from_millis(10), link, Event::Frame { port: 0, frame: frame(1500) });
+        w.run_until_idle();
+        let s = w.agent::<NullSink>(sink).unwrap();
+        assert_eq!(
+            s.arrivals,
+            vec![SimTime::from_millis(1), SimTime::from_millis(12)]
+        );
+    }
+
+    #[test]
+    fn set_delay_applies_without_reordering() {
+        let (mut w, link, sink) = rig(simple_cfg(12_000_000, 50, 1 << 20));
+        w.schedule(SimTime::ZERO, link, Event::Frame { port: 0, frame: frame(1500) });
+        // The first frame finishes service at 1 ms with prop 50 ms, so its
+        // delivery (at 51 ms) is already committed. Shrink the delay to
+        // 1 ms: a second frame sent at 2 ms would nominally arrive at
+        // 3+1=4 ms but is clamped behind the committed delivery.
+        w.run_until(SimTime::from_millis(2));
+        w.agent_mut::<LinkAgent>(link)
+            .unwrap()
+            .set_delay(SimDuration::from_millis(1));
+        w.schedule(SimTime::from_millis(2), link, Event::Frame { port: 0, frame: frame(1500) });
+        w.run_until_idle();
+        let s = w.agent::<NullSink>(sink).unwrap();
+        assert_eq!(
+            s.arrivals,
+            vec![SimTime::from_millis(51), SimTime::from_millis(51)]
+        );
+    }
+
+    #[test]
+    fn down_link_blackholes_then_recovers() {
+        let (mut w, link, sink) = rig(simple_cfg(12_000_000, 10, 1 << 20));
+        w.agent_mut::<LinkAgent>(link).unwrap().set_down(true);
+        assert!(w.agent::<LinkAgent>(link).unwrap().is_down());
+        for _ in 0..3 {
+            w.schedule(SimTime::ZERO, link, Event::Frame { port: 0, frame: frame(1500) });
+        }
+        w.run_until(SimTime::from_millis(100));
+        assert_eq!(w.agent::<NullSink>(sink).unwrap().frames, 0);
+        assert_eq!(w.agent::<LinkAgent>(link).unwrap().stats().dropped_down, 3);
+        // Back up: traffic flows again.
+        w.agent_mut::<LinkAgent>(link).unwrap().set_down(false);
+        w.schedule(SimTime::from_millis(200), link, Event::Frame { port: 0, frame: frame(1500) });
+        w.run_until_idle();
+        let s = w.agent::<NullSink>(sink).unwrap();
+        assert_eq!(s.arrivals, vec![SimTime::from_millis(211)]);
+    }
+
+    #[test]
+    fn frame_in_service_when_link_goes_down_is_lost() {
+        let (mut w, link, sink) = rig(simple_cfg(12_000_000, 10, 1 << 20));
+        w.schedule(SimTime::ZERO, link, Event::Frame { port: 0, frame: frame(1500) });
+        // Service takes 1 ms; kill the link mid-service.
+        w.run_until(SimTime::from_micros(500));
+        w.agent_mut::<LinkAgent>(link).unwrap().set_down(true);
+        w.run_until_idle();
+        assert_eq!(w.agent::<NullSink>(sink).unwrap().frames, 0);
+        let st = w.agent::<LinkAgent>(link).unwrap().stats();
+        assert_eq!(st.dropped_down, 1);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! # mpw-scenario — deterministic mobility/handover scenarios
+//!
+//! The paper's subject is *wireless* MPTCP: WiFi that fades when the user
+//! walks away, cellular radios that idle and must re-promote, links that
+//! die and come back. Steady-state campaigns cannot exercise any of that,
+//! so this crate turns the simulator into a mobility testbed: a
+//! [`Scenario`] is a declarative, serde-round-trippable list of timed
+//! events — bandwidth/RTT ramps, Gilbert–Elliott loss bursts, link
+//! down/up, WiFi signal fades, RRC demotion, background-traffic surges,
+//! and MP_PRIO demote/restore triggers — that a [`ScenarioDriver`] applies
+//! to the running world at exact sim times through the `LinkAgent`
+//! mutators.
+//!
+//! Determinism is the load-bearing property: compilation
+//! ([`compile::compile`]) is pure arithmetic, application uses the
+//! `run_until`-slicing pattern that preserves exact event order, and no
+//! scenario machinery draws from any RNG. A (scenario file, seed) pair
+//! therefore reproduces a run — and all its metrics — byte for byte.
+//!
+//! Scenario files are accepted as JSON or a hand-rolled TOML subset
+//! ([`parse`]); both land in the same model, and the parser is total over
+//! arbitrary input (it sits under the workspace's panic-free parser lint
+//! wall and has a structure-aware fuzz target).
+
+pub mod compile;
+pub mod driver;
+pub mod error;
+pub mod model;
+pub mod parse;
+
+pub use compile::{compile, CompiledOp, LinkOp, Op, Timeline};
+pub use driver::{PathBinding, ScenarioDriver};
+pub use error::ScenarioError;
+pub use model::{Action, Direction, Epoch, Scenario, ScenarioBuilder, TimedEvent, MAX_STEPS};
+pub use parse::{from_json, from_str, from_toml, to_json};

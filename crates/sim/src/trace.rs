@@ -114,6 +114,9 @@ pub enum DropReason {
     ArqExhausted,
     /// A middlebox rejected or filtered the frame.
     Middlebox,
+    /// The link was administratively down (scenario `Down` event, e.g. the
+    /// client walked out of WiFi range entirely).
+    LinkDown,
     /// Destination had no matching socket.
     NoSocket,
 }

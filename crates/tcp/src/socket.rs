@@ -543,6 +543,14 @@ impl TcpSocket {
         self.consecutive_rtos >= 2
     }
 
+    /// Consecutive retransmission timeouts without forward progress — the
+    /// raw counter behind [`is_stalled`](Self::is_stalled), exposed so the
+    /// MPTCP path-lifecycle manager can apply its own (higher) death
+    /// threshold.
+    pub fn consecutive_rtos(&self) -> u32 {
+        self.consecutive_rtos
+    }
+
     /// Abort: emit RST and drop to Closed.
     pub fn abort(&mut self) {
         self.pending_reset = true;
