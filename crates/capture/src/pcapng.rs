@@ -219,8 +219,8 @@ pub fn read_pcapng(data: &[u8]) -> Result<PcapFile, PcapError> {
 ///
 /// The reader is total over arbitrary bytes: every read of the input goes
 /// through [`get_u32`]/[`get_u16`]/`slice::get`, so truncated or mangled
-/// files produce a typed [`PcapError`], never a panic. The panic-free-parser
-/// lint (`crates/check/src/parser_lint.rs`) enforces this.
+/// files produce a typed [`PcapError`], never a panic. The `panic` lint
+/// wall (`crates/check/src/lint_engine/`) enforces this.
 pub fn read_pcapng_shared(src: &Bytes) -> Result<PcapFile, PcapError> {
     let data: &[u8] = src.as_ref();
     let mut out = PcapFile::default();

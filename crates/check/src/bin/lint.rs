@@ -1,28 +1,52 @@
-//! CLI for the lint walls: the determinism wall (wall-clock reads, ambient
-//! randomness, hash-ordered collections in the protocol crates), the
-//! panic-free-parser wall (panicking byte access in the designated parser
-//! modules), and the allocation wall (per-segment heap constructs in the
-//! data-path modules). Exit codes: 0 = clean, 1 = findings, 2 = I/O error.
+//! CLI for the token-level lint engine (DESIGN.md §5.12).
+//!
+//! Runs all six walls — determinism, panic (surface + reachability),
+//! seq-arith, alloc, unsafe — over the workspace, prints the human
+//! report, optionally emits the JSON artifact, and gates against
+//! `LINT_budgets.json`: any unallowed finding fails, and per-rule
+//! allow-marker counts may not exceed their budgeted ceiling.
+//!
+//! ```text
+//! lint [--root DIR] [--json] [--out PATH] [--budgets PATH] [--no-gate]
+//! ```
+//!
+//! Exit codes: 0 = clean and within budgets, 1 = findings or budget
+//! violations, 2 = I/O or usage error.
 
 use std::path::PathBuf;
 
+use mpw_check::lint_engine::{self, Config, Workspace};
+
 fn main() {
     let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut out_path: Option<PathBuf> = None;
+    let mut budgets_path: Option<PathBuf> = None;
+    let mut gate = true;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
+    let usage = || -> ! {
+        eprintln!("usage: lint [--root DIR] [--json] [--out PATH] [--budgets PATH] [--no-gate]");
+        std::process::exit(2);
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--root" => {
                 i += 1;
-                root = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("usage: lint [--root DIR]");
-                    std::process::exit(2);
-                }));
+                root = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
-            _ => {
-                eprintln!("usage: lint [--root DIR]");
-                std::process::exit(2);
+            "--json" => json = true,
+            "--out" => {
+                i += 1;
+                out_path = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage())));
             }
+            "--budgets" => {
+                i += 1;
+                budgets_path =
+                    Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage())));
+            }
+            "--no-gate" => gate = false,
+            _ => usage(),
         }
         i += 1;
     }
@@ -36,56 +60,61 @@ fn main() {
             }
         }
     }
-    let mut dirty = false;
-    match mpw_check::lint::scan_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("determinism lint: clean");
-        }
-        Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
-            }
-            eprintln!("determinism lint: {} finding(s)", findings.len());
-            dirty = true;
-        }
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
         Err(e) => {
-            eprintln!("determinism lint: scan failed: {e}");
+            eprintln!("lint: failed to load workspace at {}: {e}", root.display());
             std::process::exit(2);
         }
+    };
+    let cfg = Config::default_workspace();
+    let mut report = match lint_engine::run(&ws, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = report.inventory_vendor(&root) {
+        eprintln!("lint: vendor inventory failed: {e}");
+        std::process::exit(2);
     }
-    match mpw_check::parser_lint::scan_parser_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("panic-free-parser lint: clean");
-        }
-        Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
-            }
-            eprintln!("panic-free-parser lint: {} finding(s)", findings.len());
-            dirty = true;
-        }
-        Err(e) => {
-            eprintln!("panic-free-parser lint: scan failed: {e}");
-            std::process::exit(2);
-        }
+
+    print!("{}", report.human());
+    if json {
+        print!("{}", report.json());
     }
-    match mpw_check::alloc_lint::scan_alloc_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("allocation lint: clean");
-        }
-        Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
-            }
-            eprintln!("allocation lint: {} finding(s)", findings.len());
-            dirty = true;
-        }
-        Err(e) => {
-            eprintln!("allocation lint: scan failed: {e}");
+    if let Some(p) = out_path {
+        if let Err(e) = std::fs::write(&p, report.json()) {
+            eprintln!("lint: writing {} failed: {e}", p.display());
             std::process::exit(2);
+        }
+        println!("lint: JSON report written to {}", p.display());
+    }
+
+    let mut dirty = !report.findings.is_empty();
+    if gate {
+        let bp = budgets_path.unwrap_or_else(|| root.join("LINT_budgets.json"));
+        match std::fs::read_to_string(&bp) {
+            Ok(src) => {
+                let (violations, hints) = report.gate(&src);
+                for h in hints {
+                    println!("lint (ratchet): {h}");
+                }
+                for v in &violations {
+                    eprintln!("lint (gate): {v}");
+                }
+                dirty |= !violations.is_empty();
+            }
+            Err(e) => {
+                eprintln!("lint: reading budgets {} failed: {e}", bp.display());
+                std::process::exit(2);
+            }
         }
     }
     if dirty {
         std::process::exit(1);
     }
+    println!("lint: clean");
 }

@@ -1,6 +1,6 @@
 //! mpw-check: correctness tooling for the mpwild MPTCP stack.
 //!
-//! Three facilities, described in DESIGN.md §5.8:
+//! Three facilities, described in DESIGN.md §5.8 and §5.12:
 //!
 //! * **Invariant oracles** live in the protocol crates themselves
 //!   (`TcpSocket::validate`, `MptcpConnection::validate`,
@@ -15,23 +15,28 @@
 //!   [`mpw_mptcp::MptcpConnection`] machines, checking every invariant plus
 //!   end-to-end data integrity and eventual delivery, and printing a
 //!   shrunk, replayable counterexample trace on failure.
-//! * **[`lint`]** — the determinism lint wall: a textual scan of the
-//!   protocol crates for wall-clock reads, ambient randomness, and
-//!   hash-ordered collections, backing up the per-crate `clippy.toml`
-//!   `disallowed-methods` / `disallowed-types` walls.
-//! * **[`parser_lint`]** — the panic-free-parser wall (DESIGN.md §5.9): in
-//!   the designated parser modules (`tcp/wire.rs`, `capture/pcapng.rs`,
-//!   `capture/analyze.rs`), panicking macros and expression indexing on
-//!   wire-derived bytes are forbidden outside `#[cfg(test)]`, allowlisted
-//!   only by explicit `lint: allow-panic(reason)` markers. It is the static
-//!   half of the adversarial-input story whose dynamic half is `mpw-fuzz`.
-//! * **[`alloc_lint`]** — the allocation-discipline wall (DESIGN.md §5.10):
-//!   the data-path modules (`tcp/wire.rs`, `capture/pcapng.rs`) must not
-//!   reintroduce `Vec<TcpOption>` or `.to_vec()` outside `#[cfg(test)]`. It
-//!   is the static half of the zero-allocation story whose dynamic half is
-//!   the `mpw-bench` allocation gate.
+//! * **[`lint_engine`]** — the token-level analysis engine behind every
+//!   lint wall (DESIGN.md §5.12): a hand-rolled Rust lexer plus an
+//!   item/call-graph pass, grounding six rules — `determinism` (wall
+//!   clocks, ambient randomness, hash-ordered collections in the protocol
+//!   crates), `panic` (a strict no-panic surface over the designated
+//!   parser modules *and* call-graph panic-reachability from the protocol
+//!   entry points), `seq-arith` (wraparound arithmetic on sequence-number
+//!   values must funnel through the audited `tcp/seq.rs`), `alloc` (no
+//!   per-segment heap constructs on the data path), and `unsafe`
+//!   (forbid-or-justify across first-party crates, `vendor/` inventoried).
+//!   Opt-outs are per-token `// lint: allow-<rule>(reason)` markers,
+//!   counted and ratcheted by `LINT_budgets.json`. The `lint` binary
+//!   emits the human and JSON reports CI gates on.
+//!
+//! The engine replaced three earlier line-based textual scanners
+//! (`lint`, `parser_lint`, `alloc_lint`), whose `contains()` scans
+//! false-positived on strings/comments, skipped whole lines on one
+//! opt-out marker, and missed multi-line constructs; the fixture suite in
+//! `tests/lint_fixtures.rs` keeps regression tests for each of those
+//! soundness bugs.
 
-pub mod alloc_lint;
+#![forbid(unsafe_code)]
+
 pub mod explore;
-pub mod lint;
-pub mod parser_lint;
+pub mod lint_engine;

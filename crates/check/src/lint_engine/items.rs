@@ -1,0 +1,609 @@
+//! The item/call-graph pass: function boundaries, call edges, test ranges.
+//!
+//! Layered on the [`lexer`](crate::lint_engine::lexer) token stream, this
+//! pass recovers just enough structure for the walls to reason about
+//! *reachability* instead of raw text:
+//!
+//! * **function items** — every `fn name … { body }`, including methods in
+//!   `impl`/`trait` blocks and nested fns, with the token range of its body
+//!   and the line range of the whole item;
+//! * **call edges** — within each body, the *names* of free calls
+//!   (`helper(..)`, `path::to::helper(..)`, `helper::<T>(..)`), method
+//!   calls (`.helper(..)`), and macro invocations (`helper!(..)`). Edges
+//!   are by bare name: the reachability rule resolves a name against every
+//!   workspace fn that bears it, a deliberate over-approximation that can
+//!   only err toward flagging too much, never toward missing a panic;
+//! * **test ranges** — the token span of every `#[cfg(test)]`-gated item
+//!   and `#[test]`/`#[bench]` fn, so rules can exempt test code exactly
+//!   (the old scanners stopped at the first `#[cfg(test)]` *line*, which
+//!   both over- and under-shot).
+//!
+//! This is not a parser: it tracks brace depth and a handful of token
+//! shapes. That is enough because the rules only need names, spans, and a
+//! conservative call relation.
+
+use super::lexer::{Tok, TokKind};
+
+/// One `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's bare name (`on_segment`, not `TcpSocket::on_segment`).
+    pub name: String,
+    /// Token-index range of the body, `{` and `}` inclusive. Empty for
+    /// bodyless trait-method declarations.
+    pub body: std::ops::Range<usize>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Names of free/method/macro calls made inside the body.
+    pub calls: Vec<String>,
+    /// Whether the fn is test code (inside `#[cfg(test)]` or `#[test]`).
+    pub is_test: bool,
+}
+
+/// Structure recovered from one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileItems {
+    /// All fn items, in source order.
+    pub fns: Vec<FnItem>,
+    /// Token-index ranges covered by `#[cfg(test)]` items.
+    pub test_ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl FileItems {
+    /// Whether token index `ti` lies inside test-gated code.
+    pub fn in_test(&self, ti: usize) -> bool {
+        self.test_ranges.iter().any(|r| r.contains(&ti))
+    }
+}
+
+/// Keywords that look like calls when followed by `(` but are not.
+fn is_expr_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "while"
+            | "for"
+            | "loop"
+            | "match"
+            | "return"
+            | "break"
+            | "continue"
+            | "fn"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "in"
+            | "as"
+            | "where"
+            | "impl"
+            | "dyn"
+            | "pub"
+            | "unsafe"
+            | "const"
+            | "static"
+            | "use"
+            | "mod"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+            | "crate"
+            | "super"
+            | "self"
+            | "Self"
+    )
+}
+
+/// Index of the next non-comment token at or after `i`.
+fn next_code(toks: &[Tok], mut i: usize) -> Option<usize> {
+    while i < toks.len() {
+        if !toks[i].is_comment() {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the previous non-comment token strictly before `i`.
+fn prev_code(toks: &[Tok], i: usize) -> Option<usize> {
+    (0..i).rev().find(|&j| !toks[j].is_comment())
+}
+
+/// Run the item pass over one file's token stream.
+pub fn scan_items(src: &str, toks: &[Tok]) -> FileItems {
+    let mut out = FileItems::default();
+    collect_test_ranges(src, toks, &mut out);
+
+    // Find every `fn` keyword and carve out its item.
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && t.text(src) == "fn" {
+            // `fn` must not be part of a path like `Fn` trait sugar; the
+            // lexer already separates `Fn(` (ident `Fn`) from keyword `fn`.
+            if let Some((item, after)) = carve_fn(src, toks, i, &out) {
+                out.fns.push(item);
+                // Do not skip the body: nested fns inside it must be found
+                // too, so continue right after the name.
+                i = after;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Starting at the `fn` keyword token, recover the item. Returns the item
+/// and the token index to resume scanning from (just past the fn name, so
+/// nested fns are still discovered).
+fn carve_fn(src: &str, toks: &[Tok], fn_idx: usize, ctx: &FileItems) -> Option<(FnItem, usize)> {
+    let name_idx = next_code(toks, fn_idx + 1)?;
+    let name_tok = &toks[name_idx];
+    if name_tok.kind != TokKind::Ident {
+        return None; // `fn(` pointer type — not an item
+    }
+    let name = name_tok.text(src).trim_start_matches("r#").to_string();
+
+    // Scan the signature for the body `{` or a terminating `;`, skipping
+    // over bracketed groups (generics can contain braces via const
+    // generics `{ N }`; track delimiters so we take the *body* brace).
+    let mut j = name_idx + 1;
+    let mut angle = 0i32; // generic <> depth (best-effort)
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let body_open;
+    loop {
+        let k = next_code(toks, j)?;
+        let txt = toks[k].text(src);
+        match txt {
+            "<" if paren == 0 => angle += 1,
+            ">" if paren == 0 && angle > 0 => angle -= 1,
+            ">>" if paren == 0 && angle > 0 => angle -= 2,
+            "->" => {}
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            ";" if paren == 0 && bracket == 0 => return bodyless(toks, fn_idx, name, ctx, k),
+            "{" if paren == 0 && bracket == 0 && angle <= 0 => {
+                body_open = k;
+                break;
+            }
+            // `{` inside a const-generic position: skip its group.
+            "{" => {
+                let close = matching_brace(src, toks, k)?;
+                j = close + 1;
+                continue;
+            }
+            _ => {}
+        }
+        j = k + 1;
+    }
+
+    let body_close = matching_brace(src, toks, body_open)?;
+    let body = body_open..body_close + 1;
+    let calls = collect_calls(src, toks, body.clone());
+    let is_test = ctx.in_test(fn_idx) || has_test_attr(src, toks, fn_idx);
+    Some((
+        FnItem {
+            name,
+            body,
+            line: toks[fn_idx].line,
+            calls,
+            is_test,
+        },
+        name_idx + 1,
+    ))
+}
+
+fn bodyless(
+    toks: &[Tok],
+    fn_idx: usize,
+    name: String,
+    ctx: &FileItems,
+    semi: usize,
+) -> Option<(FnItem, usize)> {
+    Some((
+        FnItem {
+            name,
+            body: semi..semi,
+            line: toks[fn_idx].line,
+            calls: Vec::new(),
+            is_test: ctx.in_test(fn_idx),
+        },
+        fn_idx + 1,
+    ))
+}
+
+/// Token index of the `}` matching the `{` at `open`.
+fn matching_brace(src: &str, toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_comment() {
+            continue;
+        }
+        match t.text(src) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether the attributes directly above `fn_idx` include `#[test]`,
+/// `#[bench]`, or `#[cfg(test)]`. Walks attribute groups upward.
+fn has_test_attr(src: &str, toks: &[Tok], fn_idx: usize) -> bool {
+    // Walk backwards over any run of `#[ ... ]` groups and modifiers
+    // (`pub`, `async`, `const`, `unsafe`, `extern`, visibility parens).
+    let mut end = match prev_code(toks, fn_idx) {
+        Some(e) => e,
+        None => return false,
+    };
+    loop {
+        let txt = toks[end].text(src);
+        if toks[end].kind == TokKind::Ident {
+            if matches!(txt, "pub" | "async" | "const" | "unsafe" | "extern") {
+                end = match prev_code(toks, end) {
+                    Some(e) => e,
+                    None => return false,
+                };
+                continue;
+            }
+            return false;
+        }
+        if txt == ")" || txt == "]" {
+            // Close of `pub(crate)` or of an attribute `#[...]`; find its
+            // opener.
+            let close_txt = txt;
+            let open_txt = if close_txt == ")" { "(" } else { "[" };
+            let mut depth = 0i32;
+            let mut k = end;
+            loop {
+                let t = toks[k].text(src);
+                if t == close_txt {
+                    depth += 1;
+                } else if t == open_txt {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k = match prev_code(toks, k) {
+                    Some(p) => p,
+                    None => return false,
+                };
+            }
+            if close_txt == "]" {
+                // k is `[`; the token before should be `#`, and the group
+                // contents may contain `test`.
+                let hash = prev_code(toks, k);
+                let is_attr = hash.is_some_and(|h| toks[h].text(src) == "#");
+                if is_attr {
+                    let mentions_test = toks[k..=end].iter().any(|t| {
+                        t.kind == TokKind::Ident
+                            && matches!(t.text(src), "test" | "bench")
+                    });
+                    if mentions_test {
+                        return true;
+                    }
+                    end = match hash.and_then(|h| prev_code(toks, h)) {
+                        Some(e) => e,
+                        None => return false,
+                    };
+                    continue;
+                }
+            }
+            if close_txt == ")" {
+                end = match prev_code(toks, k) {
+                    Some(e) => e,
+                    None => return false,
+                };
+                continue;
+            }
+            return false;
+        }
+        return false;
+    }
+}
+
+/// Call names inside a body token range: `name(`, `name::<..>(`,
+/// `.name(`, `.name::<..>(`, `name!`; path calls record the last segment.
+fn collect_calls(src: &str, toks: &[Tok], body: std::ops::Range<usize>) -> Vec<String> {
+    let mut calls = Vec::new();
+    let mut k = body.start;
+    while k < body.end {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident || t.is_comment() {
+            k += 1;
+            continue;
+        }
+        let name = t.text(src).trim_start_matches("r#");
+        if is_expr_keyword(name) {
+            k += 1;
+            continue;
+        }
+        // Skip the fn name of a nested definition.
+        if prev_code(toks, k).is_some_and(|p| toks[p].text(src) == "fn") {
+            k += 1;
+            continue;
+        }
+        if let Some(n) = next_code(toks, k + 1) {
+            let nt = toks[n].text(src);
+            if nt == "!" {
+                calls.push(name.to_string());
+                k = n + 1;
+                continue;
+            }
+            if nt == "(" {
+                calls.push(name.to_string());
+                k = n + 1;
+                continue;
+            }
+            if nt == "::" {
+                // `path::seg` — only the final segment before `(` counts;
+                // keep walking, the final ident will be visited later.
+                k = n + 1;
+                continue;
+            }
+            if nt == "<" {
+                // Possible turbofish written without `::` cannot occur;
+                // `name < x` is a comparison. Skip.
+                k += 1;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    // `name::<T>(…)`: the segment before `::<` is the call. Handle by a
+    // second pass over `:: <` sequences.
+    let mut k = body.start;
+    while k < body.end {
+        if toks[k].text(src) == "::" {
+            if let (Some(p), Some(n)) = (prev_code(toks, k), next_code(toks, k + 1)) {
+                if toks[n].text(src) == "<" && toks[p].kind == TokKind::Ident {
+                    let name = toks[p].text(src).trim_start_matches("r#");
+                    if !is_expr_keyword(name) {
+                        // Find the `(` after the turbofish group.
+                        let mut depth = 0i32;
+                        let mut j = n;
+                        while j < body.end {
+                            match toks[j].text(src) {
+                                "<" => depth += 1,
+                                ">" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                ">>" => depth -= 2,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        if next_code(toks, j + 1)
+                            .is_some_and(|c| toks[c].text(src) == "(")
+                        {
+                            calls.push(name.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    calls.sort();
+    calls.dedup();
+    calls
+}
+
+/// Record the token ranges of `#[cfg(test)]`-gated items.
+fn collect_test_ranges(src: &str, toks: &[Tok], out: &mut FileItems) {
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text(src) == "#" && !toks[i].is_comment() {
+            let Some(open) = next_code(toks, i + 1) else { break };
+            if toks[open].text(src) != "[" {
+                i += 1;
+                continue;
+            }
+            // Find the attribute's closing `]`.
+            let mut depth = 0i32;
+            let mut close = open;
+            while close < toks.len() {
+                match toks[close].text(src) {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                close += 1;
+            }
+            let is_cfg_test = {
+                let inner: Vec<&str> = toks[open..=close.min(toks.len() - 1)]
+                    .iter()
+                    .filter(|t| !t.is_comment())
+                    .map(|t| t.text(src))
+                    .collect();
+                inner.len() >= 3
+                    && inner[1] == "cfg"
+                    && inner.contains(&"test")
+            };
+            if is_cfg_test {
+                // The gated item: skip further attributes, then find its
+                // body braces (mod/fn/impl/struct…); a `;`-terminated item
+                // (e.g. `use`) spans to the `;`.
+                let mut j = close + 1;
+                while let Some(n) = next_code(toks, j) {
+                    if toks[n].text(src) == "#" {
+                        // Another attribute: skip its group.
+                        if let Some(o) = next_code(toks, n + 1) {
+                            if toks[o].text(src) == "[" {
+                                let mut d = 0i32;
+                                let mut c = o;
+                                while c < toks.len() {
+                                    match toks[c].text(src) {
+                                        "[" => d += 1,
+                                        "]" => {
+                                            d -= 1;
+                                            if d == 0 {
+                                                break;
+                                            }
+                                        }
+                                        _ => {}
+                                    }
+                                    c += 1;
+                                }
+                                j = c + 1;
+                                continue;
+                            }
+                        }
+                    }
+                    break;
+                }
+                let mut end = None;
+                let mut k = j;
+                while let Some(n) = next_code(toks, k) {
+                    match toks[n].text(src) {
+                        ";" => {
+                            end = Some(n);
+                            break;
+                        }
+                        "{" => {
+                            end = matching_brace(src, toks, n);
+                            break;
+                        }
+                        _ => k = n + 1,
+                    }
+                }
+                if let Some(e) = end {
+                    out.test_ranges.push(i..e + 1);
+                    i = e + 1;
+                    continue;
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_engine::lexer::lex;
+
+    fn items(src: &str) -> FileItems {
+        scan_items(src, &lex(src))
+    }
+
+    #[test]
+    fn finds_free_fns_methods_and_nested() {
+        let src = r#"
+            fn top() { inner(); }
+            impl Foo {
+                pub fn method(&self) -> u32 { self.helper() + free_call(1) }
+            }
+            fn outer() {
+                fn nested() { deep(); }
+                nested();
+            }
+        "#;
+        let it = items(src);
+        let names: Vec<&str> = it.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["top", "method", "outer", "nested"]);
+        assert_eq!(it.fns[0].calls, ["inner"]);
+        assert_eq!(it.fns[1].calls, ["free_call", "helper"]);
+        // outer's body includes the nested fn's calls (conservative).
+        assert!(it.fns[2].calls.contains(&"nested".to_string()));
+        assert!(it.fns[2].calls.contains(&"deep".to_string()));
+    }
+
+    #[test]
+    fn method_path_and_macro_calls_are_edges() {
+        let src = "fn f() { a.b(); mod1::mod2::g(); h!(1); Vec::<u8>::with_capacity(4); }";
+        let f = &items(src).fns[0];
+        for c in ["b", "g", "h", "with_capacity"] {
+            assert!(f.calls.contains(&c.to_string()), "{c} missing from {:?}", f.calls);
+        }
+        assert!(!f.calls.contains(&"mod1".to_string()));
+    }
+
+    #[test]
+    fn turbofish_free_call_is_an_edge() {
+        let src = "fn f() { parse::<u32>(x); }";
+        assert!(items(src).fns[0].calls.contains(&"parse".to_string()));
+    }
+
+    #[test]
+    fn bodyless_trait_methods_are_recorded() {
+        let src = "trait T { fn decl(&self); fn with_default(&self) { decl(); } }";
+        let it = items(src);
+        assert_eq!(it.fns[0].name, "decl");
+        assert!(it.fns[0].body.is_empty());
+        assert_eq!(it.fns[1].calls, ["decl"]);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_range_and_code_after_is_not() {
+        let src = r#"
+            fn real() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { real(); }
+            }
+            fn also_real() {}
+        "#;
+        let it = items(src);
+        let real = it.fns.iter().find(|f| f.name == "real").unwrap();
+        let t = it.fns.iter().find(|f| f.name == "t").unwrap();
+        let also = it.fns.iter().find(|f| f.name == "also_real").unwrap();
+        assert!(!real.is_test);
+        assert!(t.is_test);
+        assert!(!also.is_test, "code after a cfg(test) mod is not test code");
+    }
+
+    #[test]
+    fn test_attr_alone_marks_a_fn() {
+        let src = "#[test]\nfn unit() { x(); }\npub fn not_test() {}";
+        let it = items(src);
+        assert!(it.fns[0].is_test);
+        assert!(!it.fns[1].is_test);
+    }
+
+    #[test]
+    fn cfg_any_test_is_a_test_range() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nmod helpers { fn h() {} }";
+        assert!(items(src).fns[0].is_test);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn real(cb: fn(u32) -> u32) { cb(1); }";
+        let it = items(src);
+        assert_eq!(it.fns.len(), 1);
+        assert_eq!(it.fns[0].name, "real");
+    }
+
+    #[test]
+    fn where_clause_and_return_impl_do_not_confuse_the_body() {
+        let src = "fn g<T>(x: T) -> impl Iterator<Item = T> where T: Clone { std::iter::once(x) }";
+        let it = items(src);
+        assert_eq!(it.fns[0].name, "g");
+        assert!(it.fns[0].calls.contains(&"once".to_string()));
+    }
+}

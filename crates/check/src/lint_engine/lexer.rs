@@ -1,0 +1,509 @@
+//! A hand-rolled, dependency-free Rust lexer.
+//!
+//! The lint walls need to reason about *tokens*, not lines: a doc comment
+//! mentioning `HashMap` is not a finding, a `.expect(` split across two
+//! lines is, and a raw string containing `panic!` is neither. This lexer
+//! produces exactly the token stream the rules need — identifiers,
+//! lifetimes, literals (including raw/byte strings and nested block
+//! comments), and multi-character punctuation — with byte spans and
+//! line/column positions, in the same hand-rolled spirit as the repo's
+//! TOML-subset parser (`mpw-scenario`).
+//!
+//! It is *not* a full rustc lexer: it does not classify keywords (rules
+//! check identifier text), does not parse attributes or macros (the item
+//! pass layers that on), and treats every numeric literal uniformly. It
+//! is, however, exact on the constructs that made the old line-based
+//! scanners unsound: string/char/comment boundaries, raw strings with
+//! arbitrary `#` counts, nested `/* /* */ */`, and lifetimes vs char
+//! literals.
+
+/// What kind of token a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, `r#type`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — the tick and the name, one token.
+    Lifetime,
+    /// Numeric literal (`0`, `0xFF_u32`, `1.5e3`).
+    Num,
+    /// String-ish literal: `"..."`, `r"..."`, `r#"..."#`, `b"..."`,
+    /// `br#"..."#` — possibly spanning multiple lines.
+    Str,
+    /// Char or byte literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// `// ...` comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* ... */` comment, nesting tracked, possibly multi-line.
+    BlockComment,
+    /// Punctuation, possibly multi-character (`::`, `->`, `+=`, `..=`).
+    Punct,
+}
+
+/// One lexed token. Text is recovered as `&src[start..end]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: u32,
+}
+
+impl Tok {
+    /// The token's text within its source.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is a comment (trivia for most rules).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Multi-character punctuation, longest first so greedy matching is
+/// correct (`..=` before `..` before `.`).
+const MULTI_PUNCT: [&str; 24] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into a token stream. Total over arbitrary input: unterminated
+/// literals and stray bytes produce best-effort tokens rather than errors,
+/// so the walls can still scan a file that does not compile.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    b: &'s [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.i < self.b.len() {
+            let (line, col, start) = (self.line, self.col, self.i);
+            let kind = self.next_kind();
+            match kind {
+                None => continue, // whitespace
+                Some(kind) => self.out.push(Tok {
+                    kind,
+                    start,
+                    end: self.i,
+                    line,
+                    col,
+                }),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    /// Advance one byte, tracking line/column.
+    fn bump(&mut self) {
+        if self.b[self.i] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.i += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.i < self.b.len() {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consume one token's worth of input; `None` means whitespace.
+    fn next_kind(&mut self) -> Option<TokKind> {
+        let c = self.b[self.i];
+        if c.is_ascii_whitespace() {
+            self.bump();
+            return None;
+        }
+        // Comments.
+        if c == b'/' {
+            match self.peek(1) {
+                Some(b'/') => {
+                    while self.i < self.b.len() && self.b[self.i] != b'\n' {
+                        self.bump();
+                    }
+                    return Some(TokKind::LineComment);
+                }
+                Some(b'*') => {
+                    self.bump_n(2);
+                    let mut depth = 1usize;
+                    while self.i < self.b.len() && depth > 0 {
+                        if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                            depth += 1;
+                            self.bump_n(2);
+                        } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                            depth -= 1;
+                            self.bump_n(2);
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    return Some(TokKind::BlockComment);
+                }
+                _ => {}
+            }
+        }
+        // Raw strings / byte strings / raw identifiers: r" r#" r#ident
+        // b" b' br" br#".
+        if c == b'r' || c == b'b' {
+            if let Some(kind) = self.try_prefixed_literal() {
+                return Some(kind);
+            }
+        }
+        if c == b'"' {
+            self.eat_string();
+            return Some(TokKind::Str);
+        }
+        if c == b'\'' {
+            return Some(self.eat_char_or_lifetime());
+        }
+        if is_ident_start(c) {
+            self.bump();
+            while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                self.bump();
+            }
+            return Some(TokKind::Ident);
+        }
+        if c.is_ascii_digit() {
+            self.eat_number();
+            return Some(TokKind::Num);
+        }
+        // Punctuation, greedy.
+        for m in MULTI_PUNCT {
+            if self.b[self.i..].starts_with(m.as_bytes()) {
+                self.bump_n(m.len());
+                return Some(TokKind::Punct);
+            }
+        }
+        self.bump();
+        Some(TokKind::Punct)
+    }
+
+    /// `r`/`b`-prefixed literal starting at `self.i`, or None if the
+    /// prefix is just the start of an ordinary identifier.
+    fn try_prefixed_literal(&mut self) -> Option<TokKind> {
+        let c = self.b[self.i];
+        let rest = &self.b[self.i..];
+        // br" / br#" — raw byte string.
+        if c == b'b' && rest.len() >= 2 && rest[1] == b'r' {
+            let hashes = count_hashes(&rest[2..]);
+            if rest.get(2 + hashes) == Some(&b'"') {
+                self.bump_n(2);
+                self.eat_raw_string();
+                return Some(TokKind::Str);
+            }
+        }
+        // b" — byte string; b' — byte char.
+        if c == b'b' {
+            if rest.get(1) == Some(&b'"') {
+                self.bump();
+                self.eat_string();
+                return Some(TokKind::Str);
+            }
+            if rest.get(1) == Some(&b'\'') {
+                self.bump();
+                // A byte char is always a char literal, never a lifetime.
+                self.eat_char_literal();
+                return Some(TokKind::Char);
+            }
+        }
+        // r" / r#" — raw string; r#ident — raw identifier.
+        if c == b'r' {
+            let hashes = count_hashes(&rest[1..]);
+            if rest.get(1 + hashes) == Some(&b'"') {
+                self.eat_raw_string();
+                return Some(TokKind::Str);
+            }
+            if hashes == 1 && rest.get(2).is_some_and(|&b| is_ident_start(b)) {
+                self.bump_n(2);
+                while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                    self.bump();
+                }
+                return Some(TokKind::Ident);
+            }
+        }
+        None
+    }
+
+    /// Starting at `r`, consume `r#*"..."#*` with matching hash counts.
+    fn eat_raw_string(&mut self) {
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) == Some(b'"') {
+            self.bump();
+        }
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'"' {
+                let close = &self.b[self.i + 1..];
+                if close.len() >= hashes && close[..hashes].iter().all(|&b| b == b'#') {
+                    self.bump_n(1 + hashes);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Starting at `"`, consume an escaped (possibly multi-line) string.
+    fn eat_string(&mut self) {
+        self.bump(); // opening quote
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Starting at `'`, consume a char literal body through its closing
+    /// tick (used where the prefix guarantees a literal, e.g. `b'…'`).
+    fn eat_char_literal(&mut self) {
+        self.bump(); // opening tick
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.bump_n(2),
+                b'\'' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Starting at `'`: decide char literal vs lifetime.
+    ///
+    /// `'\…'` is always a char. `'x…` is a char iff the identifier-shaped
+    /// run after the tick is followed by a closing tick (`'a'`), otherwise
+    /// a lifetime (`'a`, `'static`). `'('`-style punctuation chars are
+    /// chars.
+    fn eat_char_or_lifetime(&mut self) -> TokKind {
+        if self.peek(1) == Some(b'\\') {
+            self.eat_char_literal();
+            return TokKind::Char;
+        }
+        if self.peek(1).is_some_and(is_ident_start) {
+            let mut j = self.i + 1;
+            while j < self.b.len() && is_ident_continue(self.b[j]) {
+                j += 1;
+            }
+            if self.b.get(j) == Some(&b'\'') {
+                self.bump_n(j + 1 - self.i);
+                return TokKind::Char;
+            }
+            // Lifetime: consume tick + name.
+            self.bump_n(j - self.i);
+            return TokKind::Lifetime;
+        }
+        // Non-identifier char ('+', ' ', digit) — a char literal.
+        self.eat_char_literal();
+        TokKind::Char
+    }
+
+    /// Starting at a digit: integers, floats, exponents, suffixes. Does
+    /// not consume the dot of `0.wrapping_sub(..)`-style tuple/method
+    /// access (a dot is taken only when a digit follows).
+    fn eat_number(&mut self) {
+        self.bump();
+        while self.i < self.b.len()
+            && (self.b[self.i].is_ascii_alphanumeric() || self.b[self.i] == b'_')
+        {
+            // `1e3` / `0x1f` continue; a trailing type suffix (`u32`) is
+            // part of the literal; `e+3`/`e-3` handled below.
+            self.bump();
+        }
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump(); // dot
+            while self.i < self.b.len()
+                && (self.b[self.i].is_ascii_alphanumeric() || self.b[self.i] == b'_')
+            {
+                self.bump();
+            }
+        }
+        // Signed exponent: `1.5e-3` — the alnum loop stopped at `-`.
+        if (self.b.get(self.i.wrapping_sub(1)) == Some(&b'e')
+            || self.b.get(self.i.wrapping_sub(1)) == Some(&b'E'))
+            && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+            && self.peek(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            self.bump();
+            while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+                self.bump();
+            }
+        }
+    }
+}
+
+fn count_hashes(b: &[u8]) -> usize {
+    b.iter().take_while(|&&c| c == b'#').count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text(src).to_string()).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_punct() {
+        assert_eq!(
+            texts("fn f(x: u32) -> u32 { x += 1; x }"),
+            ["fn", "f", "(", "x", ":", "u32", ")", "->", "u32", "{", "x", "+=", "1", ";", "x", "}"]
+        );
+    }
+
+    #[test]
+    fn multichar_punct_is_greedy() {
+        assert_eq!(texts("a..=b .. :: ->"), ["a", "..=", "b", "..", "::", "->"]);
+    }
+
+    #[test]
+    fn strings_are_single_tokens_even_multiline() {
+        let src = "let s = \"panic! and\nHashMap\"; x";
+        let k = kinds(src);
+        assert_eq!(k[3].0, TokKind::Str);
+        assert_eq!(k[3].1, "\"panic! and\nHashMap\"");
+        assert_eq!(k[5].1, "x");
+        // The token *after* a multi-line string is on the right line.
+        assert_eq!(lex(src)[5].line, 2);
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_string() {
+        let k = kinds(r#"let s = "a \" b"; y"#);
+        assert_eq!(k[3].0, TokKind::Str);
+        assert_eq!(k[5].1, "y");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"unwrap() " inside"#; z"###;
+        let k = kinds(src);
+        assert_eq!(k[3].0, TokKind::Str);
+        assert_eq!(k[5].1, "z");
+        let src2 = "r\"plain raw\" q";
+        assert_eq!(kinds(src2)[0].0, TokKind::Str);
+        assert_eq!(kinds(src2)[1].1, "q");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let k = kinds(r#"let a = b"bytes"; let c = b'\0'; w"#);
+        assert_eq!(k[3].0, TokKind::Str);
+        assert_eq!(k[8].0, TokKind::Char);
+        assert_eq!(k.last().unwrap().1, "w");
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let k = kinds("let r#type = 1;");
+        assert_eq!(k[1], (TokKind::Ident, "r#type".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let k = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(k.iter().any(|(kind, t)| *kind == TokKind::Lifetime && t == "'a"));
+        assert!(k.iter().any(|(kind, t)| *kind == TokKind::Char && t == "'x'"));
+        assert!(k.iter().any(|(kind, t)| *kind == TokKind::Char && t == "'\\n'"));
+        let k = kinds("&'static str");
+        assert_eq!(k[1], (TokKind::Lifetime, "'static".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let k = kinds(src);
+        assert_eq!(k[0].1, "a");
+        assert_eq!(k[1].0, TokKind::BlockComment);
+        assert_eq!(k[2].1, "b");
+    }
+
+    #[test]
+    fn line_comments_stop_at_newline() {
+        let k = kinds("x // trailing HashMap\ny");
+        assert_eq!(k[1].0, TokKind::LineComment);
+        assert_eq!(k[2].1, "y");
+        assert_eq!(lex("x // c\ny")[2].line, 2);
+    }
+
+    #[test]
+    fn tuple_index_chain_is_not_a_float() {
+        // `x.0.wrapping_sub(y)` must keep `wrapping_sub` as an ident.
+        let t = texts("x.0.wrapping_sub(y)");
+        assert_eq!(t, ["x", ".", "0", ".", "wrapping_sub", "(", "y", ")"]);
+    }
+
+    #[test]
+    fn numbers_floats_and_suffixes() {
+        assert_eq!(texts("1.5e-3 0xFF_u32 42usize 1..4"), ["1.5e-3", "0xFF_u32", "42usize", "1", "..", "4"]);
+    }
+
+    #[test]
+    fn line_and_col_positions() {
+        let src = "ab cd\n  ef";
+        let t = lex(src);
+        assert_eq!((t[0].line, t[0].col), (1, 1));
+        assert_eq!((t[1].line, t[1].col), (1, 4));
+        assert_eq!((t[2].line, t[2].col), (2, 3));
+    }
+
+    #[test]
+    fn total_on_garbage() {
+        // Unterminated constructs must not loop or panic.
+        for src in ["\"unterminated", "r#\"open", "/* open", "'", "b'", "\u{1F980} crab"] {
+            let _ = lex(src);
+        }
+    }
+}

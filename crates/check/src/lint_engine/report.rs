@@ -1,0 +1,268 @@
+//! Lint report: human and machine-readable output, plus the
+//! `LINT_budgets.json` ratchet.
+//!
+//! The JSON report is what CI uploads as an artifact: every finding with
+//! `rule`/`file`/`line`/`col`/`message`, every *used* allow marker with
+//! its reason, per-rule allow counts, and the `vendor/` unsafe inventory.
+//! The budgets file pins the per-rule allow counts: any unallowed finding
+//! fails the gate outright, and allow-count *growth* beyond the checked-in
+//! budget fails too, so opt-outs cannot accrete silently. Shrinking below
+//! budget prints a ratchet hint instead.
+//!
+//! JSON is emitted by hand (sorted keys, `\u{…}`-free ASCII escapes) —
+//! the engine is dependency-free, and byte-stable output keeps artifact
+//! diffs meaningful.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use super::{Allow, Finding, Workspace};
+use crate::lint_engine::lexer::{lex, TokKind};
+
+/// Everything one engine run produced.
+pub struct Report {
+    /// Unallowed findings (the gate fails if non-empty).
+    pub findings: Vec<Finding>,
+    /// Used allow markers, each carrying its reason.
+    pub allows: Vec<(String, Allow)>,
+    /// Per-rule used-allow counts.
+    pub allow_counts: BTreeMap<String, usize>,
+    /// Files scanned.
+    pub files: usize,
+    /// Fn items discovered.
+    pub fns: usize,
+    /// `unsafe` token counts per vendored crate (exempt, inventoried).
+    pub vendor_unsafe: BTreeMap<String, usize>,
+}
+
+impl Report {
+    /// Assemble a report from an engine run's outputs. Each allow is
+    /// tagged with the workspace-relative file its marker lives in.
+    pub fn new(ws: &Workspace, findings: Vec<Finding>, allows: Vec<(String, Allow)>) -> Report {
+        let mut allow_counts: BTreeMap<String, usize> = BTreeMap::new();
+        for (_, a) in &allows {
+            *allow_counts.entry(a.rule.clone()).or_insert(0) += 1;
+        }
+        Report {
+            findings,
+            allows,
+            allow_counts,
+            files: ws.files.len(),
+            fns: ws.files.iter().map(|f| f.items.fns.len()).sum(),
+            vendor_unsafe: BTreeMap::new(),
+        }
+    }
+
+    /// Count `unsafe` tokens per vendored crate under `root/vendor/`.
+    /// Exempt from the wall, but the inventory keeps the report honest
+    /// about how much unsafety the build actually links.
+    pub fn inventory_vendor(&mut self, root: &Path) -> std::io::Result<()> {
+        let vendor = root.join("vendor");
+        if !vendor.is_dir() {
+            return Ok(());
+        }
+        let mut dirs: Vec<_> = std::fs::read_dir(&vendor)?
+            .collect::<std::io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for d in dirs {
+            let name = d.file_name().unwrap_or_default().to_string_lossy().to_string();
+            let mut count = 0usize;
+            let mut files = Vec::new();
+            super::walk(&d, &mut files)?;
+            for p in files {
+                let src = std::fs::read_to_string(&p)?;
+                count += lex(&src)
+                    .iter()
+                    .filter(|t| t.kind == TokKind::Ident && t.text(&src) == "unsafe")
+                    .count();
+            }
+            self.vendor_unsafe.insert(name, count);
+        }
+        Ok(())
+    }
+
+    /// Human-readable summary to a writer-ish string.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        let allows: Vec<String> = self
+            .allow_counts
+            .iter()
+            .map(|(r, n)| format!("{r}={n}"))
+            .collect();
+        let vendor: Vec<String> = self
+            .vendor_unsafe
+            .iter()
+            .map(|(c, n)| format!("{c}={n}"))
+            .collect();
+        out.push_str(&format!(
+            "lint: {} finding(s), {} allow marker(s) [{}] across {} files / {} fns; \
+             vendor unsafe inventory [{}]\n",
+            self.findings.len(),
+            self.allow_counts.values().sum::<usize>(),
+            allows.join(", "),
+            self.files,
+            self.fns,
+            vendor.join(", "),
+        ));
+        out
+    }
+
+    /// The machine-readable artifact.
+    pub fn json(&self) -> String {
+        let mut s = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+                js(&f.rule),
+                js(&f.file),
+                f.line,
+                f.col,
+                js(&f.message)
+            ));
+        }
+        s.push_str(if self.findings.is_empty() { "],\n" } else { "\n  ],\n" });
+        s.push_str("  \"allows\": [");
+        for (i, (file, a)) in self.allows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                js(&a.rule),
+                js(file),
+                a.marker_line,
+                js(&a.reason)
+            ));
+        }
+        s.push_str(if self.allows.is_empty() { "],\n" } else { "\n  ],\n" });
+        s.push_str("  \"allow_counts\": {");
+        for (i, (r, n)) in self.allow_counts.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{}: {}", js(r), n));
+        }
+        s.push_str("},\n");
+        s.push_str("  \"vendor_unsafe\": {");
+        for (i, (c, n)) in self.vendor_unsafe.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{}: {}", js(c), n));
+        }
+        s.push_str("},\n");
+        s.push_str(&format!("  \"files\": {},\n  \"fns\": {}\n}}\n", self.files, self.fns));
+        s
+    }
+
+    /// Gate against `LINT_budgets.json`: unallowed findings always fail;
+    /// per-rule allow counts may not exceed their budgeted ceiling.
+    /// Returns human-readable violations (empty = pass) and ratchet hints.
+    pub fn gate(&self, budgets_src: &str) -> (Vec<String>, Vec<String>) {
+        let mut violations = Vec::new();
+        let mut hints = Vec::new();
+        if !self.findings.is_empty() {
+            violations.push(format!("{} unallowed finding(s)", self.findings.len()));
+        }
+        for (rule, &n) in &self.allow_counts {
+            match budget_value(budgets_src, &format!("allow/{rule}")) {
+                Some(max) if n > max => violations.push(format!(
+                    "allow-{rule} count {n} exceeds budget {max} (LINT_budgets.json): \
+                     justify by raising the budget in the same change, or fix the code"
+                )),
+                Some(max) if n < max => hints.push(format!(
+                    "allow-{rule} count {n} is below budget {max}: ratchet LINT_budgets.json down"
+                )),
+                Some(_) => {}
+                None => violations.push(format!(
+                    "LINT_budgets.json lacks \"allow/{rule}\" (count {n})"
+                )),
+            }
+        }
+        (violations, hints)
+    }
+}
+
+/// Read a flat `"key": number` value out of a budgets file (same format
+/// family as `ALLOC_budgets.json`).
+fn budget_value(src: &str, key: &str) -> Option<usize> {
+    let needle = format!("\"{key}\"");
+    let at = src.find(&needle)?;
+    let rest = src[at + needle.len()..].trim_start().strip_prefix(':')?;
+    let digits: String = rest.trim_start().chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Minimal JSON string escaping.
+fn js(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_value_parses_flat_json() {
+        let src = "{\n  \"allow/panic\": 12,\n  \"allow/seq-arith\": 6\n}\n";
+        assert_eq!(budget_value(src, "allow/panic"), Some(12));
+        assert_eq!(budget_value(src, "allow/seq-arith"), Some(6));
+        assert_eq!(budget_value(src, "allow/alloc"), None);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(js("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn gate_flags_growth_and_hints_shrink() {
+        let ws = Workspace::from_sources(vec![]);
+        let mut rep = Report::new(&ws, vec![], vec![]);
+        rep.allow_counts.insert("panic".into(), 3);
+        let budgets = "{\"allow/panic\": 2}";
+        let (v, _) = rep.gate(budgets);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("exceeds budget"));
+        let budgets = "{\"allow/panic\": 5}";
+        let (v, h) = rep.gate(budgets);
+        assert!(v.is_empty());
+        assert_eq!(h.len(), 1);
+        assert!(h[0].contains("ratchet"));
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let ws = Workspace::from_sources(vec![]);
+        let rep = Report::new(&ws, vec![], vec![]);
+        let j = rep.json();
+        assert!(j.contains("\"findings\": []"));
+        assert!(j.contains("\"allow_counts\": {}"));
+        assert!(j.contains("\"vendor_unsafe\": {}"));
+    }
+}

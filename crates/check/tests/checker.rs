@@ -1,14 +1,13 @@
-//! End-to-end tests of the model checker and the determinism lint wall.
+//! End-to-end tests of the model checker.
 //!
 //! Debug builds replay ~10× slower than release, so the clean-exploration
 //! test here uses reduced bounds; the CI `check` job runs the release
 //! binary at default depth with `--min-states 10000` for the full-scale
-//! acceptance criterion.
+//! acceptance criterion. The lint walls (including the determinism wall
+//! once housed here) are exercised end to end by `tests/lint_fixtures.rs`.
 
 use mpw_check::explore::{explore, format_trace, CheckConfig, Inject};
-use mpw_check::lint;
 use mpw_mptcp::conn::SynMode;
-use std::path::Path;
 
 #[test]
 fn bounded_exploration_finds_no_violations() {
@@ -89,19 +88,4 @@ fn planted_unclamped_cc_bug_is_caught_by_the_increase_oracle() {
     );
     let trace = format_trace(&cfg, &v.path);
     assert!(trace.contains("VIOLATION"), "replay did not reproduce:\n{trace}");
-}
-
-#[test]
-fn determinism_wall_is_clean_in_this_workspace() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let findings = lint::scan_workspace(&root).expect("scan");
-    assert!(
-        findings.is_empty(),
-        "determinism lint findings:\n{}",
-        findings
-            .iter()
-            .map(|f| f.to_string())
-            .collect::<Vec<_>>()
-            .join("\n")
-    );
 }

@@ -1,0 +1,227 @@
+//! End-to-end proof that every lint wall fires and every opt-out works.
+//!
+//! `tests/lint_fixtures/` holds a miniature workspace with exactly one
+//! planted violation per rule — including the three constructs the old
+//! line-based scanners got wrong (tokens inside strings/comments, one
+//! marker suppressing a whole line, multi-line constructs) — and this
+//! suite pins the engine's behavior on it. The last test then runs the
+//! real workspace config against the real repo and asserts the walls are
+//! green and within `LINT_budgets.json`.
+
+use std::path::{Path, PathBuf};
+
+use mpw_check::lint_engine::{self, report::Report, Config, Workspace};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_fixtures")
+}
+
+fn fixture_cfg() -> Config {
+    let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect();
+    Config {
+        determinism_paths: s(&["crates/proto"]),
+        parser_modules: s(&["crates/proto/src/wire.rs"]),
+        alloc_modules: s(&["crates/proto/src/alloc_path.rs"]),
+        seq_paths: s(&["crates/proto/src"]),
+        seq_audited: s(&["crates/proto/src/seq.rs"]),
+        reach_paths: s(&["crates/proto/src"]),
+        entry_files: s(&["crates/proto/src/engine.rs"]),
+        entry_prefixes: s(&["on_"]),
+        unsafe_wall: true,
+    }
+}
+
+fn run_fixtures() -> Report {
+    let ws = Workspace::load(&fixture_root()).expect("fixture tree loads");
+    lint_engine::run(&ws, &fixture_cfg()).expect("engine runs")
+}
+
+fn count(rep: &Report, rule: &str) -> usize {
+    rep.findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn every_wall_fires_on_its_planted_violation() {
+    let rep = run_fixtures();
+    let by_rule: Vec<String> = rep.findings.iter().map(|f| f.to_string()).collect();
+    assert_eq!(count(&rep, "panic"), 4, "{by_rule:#?}");
+    assert_eq!(count(&rep, "determinism"), 2, "{by_rule:#?}");
+    assert_eq!(count(&rep, "seq-arith"), 2, "{by_rule:#?}");
+    assert_eq!(count(&rep, "alloc"), 2, "{by_rule:#?}");
+    assert_eq!(count(&rep, "unsafe"), 2, "{by_rule:#?}");
+    assert_eq!(count(&rep, "marker"), 3, "{by_rule:#?}");
+    assert_eq!(rep.findings.len(), 15, "{by_rule:#?}");
+}
+
+#[test]
+fn marker_suppresses_exactly_one_token() {
+    let rep = run_fixtures();
+    // wire.rs line 8 has two unwraps and one standalone marker above: one
+    // finding must survive.
+    let on_pair_line: Vec<_> = rep
+        .findings
+        .iter()
+        .filter(|f| f.file == "crates/proto/src/wire.rs" && f.line == 8)
+        .collect();
+    assert_eq!(on_pair_line.len(), 1, "{on_pair_line:?}");
+    // state.rs line 16 has two HashMap tokens and one trailing marker:
+    // one finding must survive.
+    let on_map_line: Vec<_> = rep
+        .findings
+        .iter()
+        .filter(|f| f.file == "crates/proto/src/state.rs" && f.line == 16)
+        .collect();
+    assert_eq!(on_map_line.len(), 1, "{on_map_line:?}");
+    // Both markers were consumed (not stale) and carry their reasons.
+    assert_eq!(rep.allow_counts.get("panic"), Some(&1));
+    assert_eq!(rep.allow_counts.get("determinism"), Some(&1));
+    assert!(rep
+        .allows
+        .iter()
+        .all(|(_, a)| a.used && a.reason.starts_with("fixture:")));
+}
+
+#[test]
+fn panic_reachability_renders_the_two_hop_path() {
+    let rep = run_fixtures();
+    let f = rep
+        .findings
+        .iter()
+        .find(|f| f.file == "crates/proto/src/engine.rs")
+        .expect("two-hop panic found");
+    assert_eq!(f.line, 12);
+    assert!(
+        f.message.contains("on_frame → relay → sink"),
+        "path not rendered: {}",
+        f.message
+    );
+}
+
+#[test]
+fn multi_line_constructs_are_caught() {
+    // Regression vs the old line-based scanners, which matched substrings
+    // within single lines and missed all three of these.
+    let rep = run_fixtures();
+    assert!(
+        rep.findings
+            .iter()
+            .any(|f| f.file == "crates/proto/src/flow.rs"
+                && f.line == 5
+                && f.message.contains("raw `+`")),
+        "multi-line seq expression missed"
+    );
+    assert!(
+        rep.findings
+            .iter()
+            .any(|f| f.file == "crates/proto/src/alloc_path.rs"
+                && f.line == 4
+                && f.message.contains("Vec<TcpOption>")),
+        "multi-line Vec<TcpOption> missed"
+    );
+    assert!(
+        rep.findings
+            .iter()
+            .any(|f| f.file == "crates/proto/src/state.rs"
+                && f.line == 10
+                && f.message.contains("Instant::now")),
+        "line-split Instant::now missed"
+    );
+}
+
+#[test]
+fn strings_and_comments_never_fire() {
+    // Regression vs the old scanners' `contains()` false positives: the
+    // fixture mentions HashMap in a doc comment (state.rs line 2) and in a
+    // string literal (line 5); neither may produce a finding.
+    let rep = run_fixtures();
+    assert!(
+        !rep.findings
+            .iter()
+            .any(|f| f.file == "crates/proto/src/state.rs" && (f.line == 2 || f.line == 5)),
+        "comment/string token flagged"
+    );
+    // And `unsafe` inside danger/src/lib.rs's doc comment (line 2) must
+    // not be flagged — only the real token on line 5 and the missing
+    // forbid attribute.
+    let danger: Vec<_> = rep
+        .findings
+        .iter()
+        .filter(|f| f.file == "crates/danger/src/lib.rs")
+        .collect();
+    assert_eq!(danger.len(), 2, "{danger:?}");
+    assert!(danger.iter().any(|f| f.line == 5));
+    assert!(danger.iter().any(|f| f.line == 1 && f.message.contains("forbid")));
+}
+
+#[test]
+fn stale_unknown_and_reasonless_markers_are_findings() {
+    let rep = run_fixtures();
+    let markers: Vec<_> = rep
+        .findings
+        .iter()
+        .filter(|f| f.rule == "marker")
+        .collect();
+    assert!(
+        markers.iter().any(|f| f.message.contains("stale")),
+        "{markers:?}"
+    );
+    assert!(
+        markers.iter().any(|f| f.message.contains("names no rule")),
+        "{markers:?}"
+    );
+    assert!(
+        markers
+            .iter()
+            .any(|f| f.message.contains("without a (reason)")),
+        "{markers:?}"
+    );
+}
+
+#[test]
+fn audited_seq_module_is_exempt() {
+    let rep = run_fixtures();
+    assert!(
+        !rep.findings
+            .iter()
+            .any(|f| f.file == "crates/proto/src/seq.rs"),
+        "audited module must be exempt from the seq-arith wall"
+    );
+}
+
+#[test]
+fn gate_fails_on_findings_and_json_carries_them() {
+    let rep = run_fixtures();
+    let (violations, _) = rep.gate("{\"allow/panic\": 1, \"allow/determinism\": 1}");
+    assert!(
+        violations.iter().any(|v| v.contains("unallowed finding")),
+        "{violations:?}"
+    );
+    let json = rep.json();
+    for rule in ["panic", "determinism", "seq-arith", "alloc", "unsafe", "marker"] {
+        assert!(json.contains(&format!("\"rule\": \"{rule}\"")), "{rule} missing from JSON");
+    }
+    assert!(json.contains("fixture: suppresses exactly the first unwrap"));
+}
+
+#[test]
+fn real_workspace_is_clean_and_within_budgets() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::load(&root).expect("workspace loads");
+    let cfg = Config::default_workspace();
+    let mut rep = lint_engine::run(&ws, &cfg).expect("engine runs");
+    rep.inventory_vendor(&root).expect("vendor inventory");
+    assert!(
+        rep.findings.is_empty(),
+        "lint findings in the real workspace:\n{}",
+        rep.findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let budgets = std::fs::read_to_string(root.join("LINT_budgets.json")).expect("budgets file");
+    let (violations, _) = rep.gate(&budgets);
+    assert!(violations.is_empty(), "{violations:?}");
+    // Every vendored crate is inventoried even though it is exempt.
+    assert!(!rep.vendor_unsafe.is_empty());
+}

@@ -1,0 +1,6 @@
+//! Fixture crate that skipped the audit: no forbid attribute, one raw
+//! `unsafe` token. (That backticked mention is a comment — never a finding.)
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,11 @@
+//! Planted allocation violations, including a generic split across lines.
+
+pub struct Opts {
+    pub values: Vec<
+        TcpOption,
+    >,
+}
+
+pub fn copy(d: &[u8]) -> Vec<u8> {
+    d.to_vec()
+}

@@ -1,0 +1,13 @@
+//! Planted panic reachable from an event handler through two call hops.
+
+pub fn on_frame(data: &[u8]) {
+    relay(data);
+}
+
+fn relay(data: &[u8]) {
+    sink(data);
+}
+
+fn sink(data: &[u8]) {
+    let _ = data.first().unwrap();
+}

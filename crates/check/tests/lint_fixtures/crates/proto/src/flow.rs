@@ -1,0 +1,12 @@
+//! Planted seq-arith violations, including a multi-line expression the
+//! old line-based scanners could not see.
+
+pub fn advance(snd_seq: u32, delta: u32) -> u32 {
+    let next = snd_seq
+        + delta;
+    next
+}
+
+pub fn truncate(dseq: u64) -> u32 {
+    dseq as u32
+}

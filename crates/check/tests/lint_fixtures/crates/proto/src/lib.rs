@@ -1,0 +1,12 @@
+//! Fixture crate with one planted violation per lint wall. Never
+//! compiled — the engine lexes it from disk in `tests/lint_fixtures.rs`.
+
+#![forbid(unsafe_code)]
+
+pub mod alloc_path;
+pub mod engine;
+pub mod flow;
+pub mod markers;
+pub mod seq;
+pub mod state;
+pub mod wire;

@@ -1,0 +1,9 @@
+//! Planted marker problems: stale, unknown rule, and reason-less.
+
+pub fn clean() -> u32 {
+    // lint: allow-panic(fixture: nothing below panics, so this is stale)
+    let x = 1;
+    // lint: allow-typos(fixture: unknown rule name)
+    let y = 2;
+    x + y // lint: allow-panic
+}

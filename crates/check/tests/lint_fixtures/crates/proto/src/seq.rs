@@ -1,0 +1,6 @@
+//! The audited wraparound module: raw seq math is legal here (and only
+//! here), mirroring the real `crates/tcp/src/seq.rs`.
+
+pub fn add_seq(seq: u32, n: u32) -> u32 {
+    seq.wrapping_add(n)
+}

@@ -1,0 +1,18 @@
+//! Planted determinism violations plus the old scanner's blind spots:
+//! a HashMap in prose (this very line!) and one in a string must not fire.
+
+pub fn lookup() -> &'static str {
+    let label = "HashMap in a string";
+    label
+}
+
+pub fn stamp() {
+    let t = Instant::
+        now();
+    let _ = t;
+}
+
+pub fn table() {
+    let m: HashMap<u32, u32> = HashMap::new(); // lint: allow-determinism(fixture: suppresses exactly one of the two tokens)
+    let _ = m;
+}

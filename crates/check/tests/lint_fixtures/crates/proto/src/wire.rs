@@ -1,0 +1,10 @@
+//! Planted parser-surface violations: the strict wall forbids panicking
+//! macros, `unwrap`/`expect`, and expression indexing in this file.
+
+pub fn parse_header(b: &[u8]) -> u8 {
+    let first = b.first().unwrap();
+    let second = b[1];
+    // lint: allow-panic(fixture: suppresses exactly the first unwrap on the next line)
+    let pair = (b.first().unwrap(), b.last().unwrap());
+    *first + second + *pair.0 + *pair.1
+}

@@ -318,7 +318,7 @@ impl SubflowHooks {
             return None;
         }
         Some(DssMapping {
-            dseq: dseq + (abs_start - s),
+            dseq: dseq + (abs_start - s), // lint: allow-seq-arith(64-bit DSN offset cannot wrap)
             subflow_seq: SeqNum(0), // filled by convention: equals segment seq
             len: len as u16,
         })
@@ -379,6 +379,7 @@ impl TcpHooks for SubflowHooks {
                 debug_assert!(mapping.is_some(), "data segment without DSS mapping");
                 let fin_here = shared
                     .tx_data_fin
+                    // lint: allow-seq-arith(64-bit DSN end-offset cannot wrap)
                     .is_some_and(|f| mapping.map(|m| m.dseq + m.len as u64) == Some(f));
                 opts.push(TcpOption::Mptcp(MptcpOption::Dss {
                     data_ack: Some(shared.data_ack_value()),
@@ -1293,6 +1294,7 @@ impl MptcpConnection {
         let mut moved = std::mem::take(&mut self.moved_scratch);
         moved.clear();
         for &(dseq, ref a) in self.assignments.iter() {
+            // lint: allow-seq-arith(64-bit DSN end-offset cannot wrap)
             if dead.contains(&a.subflow) && dseq + a.len as u64 > base {
                 moved.push((dseq, a.len));
             }
@@ -1411,7 +1413,7 @@ impl MptcpConnection {
                 // Fault injection (test-only): shift the recorded mapping
                 // back one byte so the wire DSS overlaps its predecessor.
                 let map_dseq = if self.inject_overlapping_dss && dseq > 0 {
-                    dseq - 1
+                    dseq - 1 // lint: allow-seq-arith(fault injection; dseq > 0 guards underflow)
                 } else {
                     dseq
                 };
@@ -1907,6 +1909,7 @@ impl MptcpConnection {
     fn debug_check(&self, site: &str) {
         #[cfg(any(debug_assertions, feature = "check-invariants"))]
         if let Err(e) = self.validate() {
+            // lint: allow-panic(invariant oracle: aborting on a violated protocol invariant is the check)
             panic!(
                 "MPTCP invariant violated after {site} (conn {}): {e}",
                 self.conn_id

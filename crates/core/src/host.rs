@@ -713,18 +713,11 @@ impl Host {
             && !seg.has(tcp_flags::ACK)
             && Some(seg.dst_port) == self.listen_port
         {
-            let is_join = seg.options.iter().any(|o| {
-                matches!(o, TcpOption::Mptcp(MptcpOption::Join { .. }))
+            let join_token = seg.options.iter().find_map(|o| match o {
+                TcpOption::Mptcp(MptcpOption::Join { token, .. }) => Some(*token),
+                _ => None,
             });
-            if is_join {
-                let token = seg
-                    .options
-                    .iter()
-                    .find_map(|o| match o {
-                        TcpOption::Mptcp(MptcpOption::Join { token, .. }) => Some(*token),
-                        _ => None,
-                    })
-                    .expect("join checked above");
+            if let Some(token) = join_token {
                 if let Some(&slot) = self.tokens.get(&token) {
                     if let Transport::Mp(c) = &mut self.slots[slot].transport {
                         c.accept_join(local, remote, &seg, now);
@@ -824,7 +817,7 @@ impl Host {
                 local.port,
                 remote.port,
                 seg.ack,
-                seg.seq + seg.seq_len(),
+                seg.seq + seg.seq_len(), // lint: allow-seq-arith(SeqNum::add is the audited tcp/seq.rs impl)
                 tcp_flags::RST | tcp_flags::ACK,
             );
             let if_index = self

@@ -72,6 +72,7 @@ pub fn analyze_flows(records: &[(SimTime, TraceEvent)]) -> BTreeMap<FlowKey, Flo
                 fa.bytes += s.len as u64;
                 let base = *base_seq.entry(key).or_insert(s.seq);
                 let seqs = seen_seq.entry(key).or_default();
+                // lint: allow-seq-arith(offline analysis unwraps raw 32-bit wire seqs; no SeqNum here)
                 let expected_ack = unwrap(base, s.seq.wrapping_add(s.len));
                 if seqs.contains(&s.seq) {
                     fa.rexmit_segs += 1;
@@ -143,7 +144,7 @@ pub fn analyze_ofo_delays(records: &[(SimTime, TraceEvent)]) -> BTreeMap<u32, Ve
             continue;
         }
         let st = conns.entry(*conn).or_default();
-        let end = dseq + *len as u64;
+        let end = dseq + *len as u64; // lint: allow-seq-arith(64-bit DSN end-offset cannot wrap)
         if end <= st.next {
             continue; // duplicate
         }

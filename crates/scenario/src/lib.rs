@@ -22,6 +22,8 @@
 //! arbitrary input (it sits under the workspace's panic-free parser lint
 //! wall and has a structure-aware fuzz target).
 
+#![forbid(unsafe_code)]
+
 pub mod compile;
 pub mod driver;
 pub mod error;

@@ -55,6 +55,7 @@ impl ChaCha8 {
     fn from_seed(seed: [u8; 32]) -> Self {
         let mut key = [0u32; 8];
         for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            // lint: allow-panic(chunks_exact guarantees every chunk is 4 bytes)
             key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
         }
         ChaCha8 { key, counter: 0, buf: [0; 16], idx: 16 }

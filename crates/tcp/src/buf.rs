@@ -89,11 +89,11 @@ impl SendBuffer {
             let take = ((end - cursor) as usize).min(data.len() - begin_in_chunk);
             let slice = data.slice(begin_in_chunk..begin_in_chunk + take);
             cursor += take as u64;
-            match (&mut out, &first) {
+            match (&mut out, first.take()) {
                 (None, None) => first = Some(slice),
-                (None, Some(_)) => {
+                (None, Some(head)) => {
                     let mut buf = BytesMut::with_capacity((end - offset) as usize);
-                    buf.extend_from_slice(&first.take().unwrap());
+                    buf.extend_from_slice(&head);
                     buf.extend_from_slice(&slice);
                     out = Some(buf);
                 }
@@ -159,9 +159,10 @@ impl SendBuffer {
                 self.chunks.pop_front();
             } else if *start < new_base {
                 let trim = (new_base - start) as usize;
-                let (start, mut data) = self.chunks.pop_front().unwrap();
-                data = data.slice(trim..);
-                self.chunks.push_front((start + trim as u64, data));
+                if let Some((start, data)) = self.chunks.pop_front() {
+                    let data = data.slice(trim..);
+                    self.chunks.push_front((start + trim as u64, data));
+                }
                 break;
             } else {
                 break;

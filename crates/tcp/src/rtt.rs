@@ -60,22 +60,22 @@ impl RttEstimator {
         if let Some(v) = &mut self.samples {
             v.push((at, rtt));
         }
-        match self.srtt {
+        let srtt = match self.srtt {
             None => {
-                self.srtt = Some(rtt);
                 self.rttvar = rtt / 2;
+                rtt
             }
             Some(srtt) => {
                 let err = if rtt >= srtt { rtt - srtt } else { srtt - rtt };
                 self.rttvar = SimDuration::from_secs_f64(
                     (1.0 - BETA) * self.rttvar.as_secs_f64() + BETA * err.as_secs_f64(),
                 );
-                self.srtt = Some(SimDuration::from_secs_f64(
+                SimDuration::from_secs_f64(
                     (1.0 - ALPHA) * srtt.as_secs_f64() + ALPHA * rtt.as_secs_f64(),
-                ));
+                )
             }
-        }
-        let srtt = self.srtt.expect("set above");
+        };
+        self.srtt = Some(srtt);
         let var_term = self.granularity.max(self.rttvar.mul_f64(K));
         self.rto = (srtt + var_term).clamp(self.min_rto, self.max_rto);
         // Fresh sample clears exponential backoff.

@@ -748,6 +748,7 @@ impl TcpSocket {
     fn debug_check(&self, site: &str) {
         #[cfg(any(debug_assertions, feature = "check-invariants"))]
         if let Err(e) = self.validate() {
+            // lint: allow-panic(invariant oracle: aborting on a violated protocol invariant is the check)
             panic!(
                 "TCP invariant violated after {site} ({:?} {:?}->{:?}): {e}",
                 self.state, self.local, self.remote
@@ -1553,7 +1554,9 @@ impl TcpSocket {
                 break;
             }
             self.rexmit_queue.pop_front();
-            let entry = self.flight.get_mut(off).expect("checked above");
+            let Some(entry) = self.flight.get_mut(off) else {
+                continue;
+            };
             entry.queued = false;
             entry.rexmits += 1;
             entry.time_sent = now;

@@ -544,8 +544,8 @@ fn checksum(data: &[u8]) -> u16 {
 //
 // Every read of wire-derived bytes in the decode paths below goes through
 // these total accessors (or `slice::get`): no input, however truncated or
-// mangled, can panic the parser. The panic-free-parser lint
-// (`crates/check/src/parser_lint.rs`) forbids direct indexing and
+// mangled, can panic the parser. The `panic` lint wall
+// (`crates/check/src/lint_engine/`) forbids direct indexing and
 // unwrap/expect/panic in this file outside `#[cfg(test)]`.
 
 fn get_u8(b: &[u8], at: usize) -> Option<u8> {
