@@ -464,7 +464,7 @@ fn classify_new_subflow(
 /// Offset of `x` above the flow's base sequence number; valid while a
 /// subflow carries < 2³¹ bytes, as in the reference analyzer.
 fn unwrap_seq(base: u32, x: SeqNum) -> u64 {
-    u64::from(x.0.wrapping_sub(base))
+    u64::from(x - SeqNum(base))
 }
 
 /// Feed one DSS-mapped arrival into the connection's reassembly model and

@@ -114,7 +114,6 @@ impl PcapWriter {
     /// length back-patch, so a warmed-up writer appends packets without any
     /// intermediate per-block allocation.
     pub fn packet(&mut self, iface: u32, at: SimTime, data: &[u8], comment: Option<&str>) {
-        // lint: allow-panic(writer-side caller contract, not wire-derived input)
         assert!(iface < self.n_ifaces, "packet on undeclared interface");
         let ts = at.as_nanos();
         let start = self.begin_block(BT_EPB);

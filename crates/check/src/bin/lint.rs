@@ -1,21 +1,28 @@
-//! CLI for the token-level lint engine (DESIGN.md §5.12).
+//! CLI for the lint engine (DESIGN.md §5.12–§5.13).
 //!
-//! Runs all six walls — determinism, panic (surface + reachability),
-//! seq-arith, alloc, unsafe — over the workspace, prints the human
-//! report, optionally emits the JSON artifact, and gates against
+//! Runs all six walls — determinism, panic (strict decode surface +
+//! typed call-graph reachability), seq-arith (taint), handler-oracle,
+//! alloc, unsafe — over the workspace, prints the human report,
+//! optionally emits the JSON artifact, and gates against
 //! `LINT_budgets.json`: any unallowed finding fails, and per-rule
 //! allow-marker counts may not exceed their budgeted ceiling.
 //!
 //! ```text
 //! lint [--root DIR] [--json] [--out PATH] [--budgets PATH] [--no-gate]
+//!      [--dot PATH] [--explain ID]
 //! ```
 //!
+//! `--dot PATH` writes the resolved call graph as Graphviz. `--explain
+//! ID` (ID as printed in the JSON report: `rule@file:line:col`) prints
+//! the full story behind one finding — including suppressed ones — with
+//! the typed entry path for panic findings, then exits.
+//!
 //! Exit codes: 0 = clean and within budgets, 1 = findings or budget
-//! violations, 2 = I/O or usage error.
+//! violations, 2 = I/O or usage error (or unknown --explain id).
 
 use std::path::PathBuf;
 
-use mpw_check::lint_engine::{self, Config, Workspace};
+use mpw_check::lint_engine::{self, resolve::Resolved, rules, Config, Workspace};
 
 fn main() {
     let mut root = PathBuf::from(".");
@@ -23,10 +30,15 @@ fn main() {
     let mut out_path: Option<PathBuf> = None;
     let mut budgets_path: Option<PathBuf> = None;
     let mut gate = true;
+    let mut dot_path: Option<PathBuf> = None;
+    let mut explain: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let usage = || -> ! {
-        eprintln!("usage: lint [--root DIR] [--json] [--out PATH] [--budgets PATH] [--no-gate]");
+        eprintln!(
+            "usage: lint [--root DIR] [--json] [--out PATH] [--budgets PATH] [--no-gate] \
+             [--dot PATH] [--explain ID]"
+        );
         std::process::exit(2);
     };
     while i < args.len() {
@@ -46,6 +58,14 @@ fn main() {
                     Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage())));
             }
             "--no-gate" => gate = false,
+            "--dot" => {
+                i += 1;
+                dot_path = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage())));
+            }
+            "--explain" => {
+                i += 1;
+                explain = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
@@ -69,6 +89,20 @@ fn main() {
         }
     };
     let cfg = Config::default_workspace();
+
+    if let Some(p) = dot_path {
+        let r = Resolved::build(&ws);
+        if let Err(e) = std::fs::write(&p, r.to_dot(&ws)) {
+            eprintln!("lint: writing {} failed: {e}", p.display());
+            std::process::exit(2);
+        }
+        println!("lint: call graph written to {}", p.display());
+    }
+
+    if let Some(id) = explain {
+        std::process::exit(run_explain(&ws, &cfg, &id));
+    }
+
     let mut report = match lint_engine::run(&ws, &cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -117,4 +151,47 @@ fn main() {
         std::process::exit(1);
     }
     println!("lint: clean");
+}
+
+/// `--explain ID`: print the full story behind one finding, allowed or
+/// not. Returns the process exit code.
+fn run_explain(ws: &Workspace, cfg: &Config, id: &str) -> i32 {
+    let raw = lint_engine::raw_findings(ws, cfg);
+    let Some(f) = raw.iter().find(|f| f.id() == id) else {
+        eprintln!("lint: no finding with id {id} (ids look like panic@crates/x/src/a.rs:10:5)");
+        return 2;
+    };
+    println!("{f}");
+
+    // Is it suppressed by an allow marker?
+    let allow = ws
+        .file(&f.file)
+        .and_then(|sf| {
+            sf.allows
+                .iter()
+                .find(|a| a.rule == f.rule && a.target_line == f.line)
+        });
+    match allow {
+        Some(a) => println!(
+            "  suppressed by `allow-{}` on line {} (reason: {})",
+            a.rule, a.marker_line, a.reason
+        ),
+        None => println!("  not suppressed: this finding fails the gate"),
+    }
+
+    // Panic findings carry a typed entry path — print it hop by hop.
+    if f.rule == "panic" {
+        let r = Resolved::build(ws);
+        let (_, paths) = rules::panic_v2_with_paths(ws, cfg, &r);
+        if let Some(p) = paths
+            .iter()
+            .find(|p| p.file == f.file && p.lines.0 <= f.line && f.line <= p.lines.1)
+        {
+            println!("  typed call path from entry:");
+            for (qname, file, line) in &p.hops {
+                println!("    {qname} ({file}:{line})");
+            }
+        }
+    }
+    0
 }

@@ -13,12 +13,24 @@
 //!   token spans;
 //! * [`items`] — a lightweight item pass recovering fn boundaries, a
 //!   name-based call graph, and precise `#[cfg(test)]` ranges;
-//! * [`rules`] — the six walls, all grounded on tokens: `determinism`,
-//!   `panic` (strict parser surface **and** call-graph panic-reachability
-//!   from the protocol entry points), `seq-arith` (wraparound arithmetic
-//!   on sequence-number-named values must funnel through the audited
-//!   `tcp/seq.rs`), `alloc`, and `unsafe` (forbid-or-justify across all
-//!   first-party crates, `vendor/` exempt but inventoried);
+//! * [`parse`] — a total recursive-descent parser structuring every
+//!   workspace file into a real AST (zero fallbacks, verified by a token
+//!   fixpoint test);
+//! * [`resolve`] — name resolution over the AST: typed fn nodes, struct
+//!   field tables, and a call graph whose method edges are resolved
+//!   through receiver types (same-named methods on different types no
+//!   longer conflate), degrading soundly to name fallback;
+//! * [`flow`] — intraprocedural forward dataflow: seq-number *taint*
+//!   (values provably originating from wire sequence state, tracked
+//!   through locals, patterns, and return summaries) and the
+//!   handler/oracle exit analysis;
+//! * [`rules`] — the walls: `determinism`, `panic` (strict decode surface
+//!   **and** typed call-graph panic-reachability, both on the resolved
+//!   graph — see [`rules::panic_v2`]), `seq-arith` (taint-based, see
+//!   [`flow::seq_taint`]), `handler-oracle` (every handler exit must run
+//!   the `debug_check`/`validate` oracle, see [`flow::handler_oracle`]),
+//!   `alloc`, and `unsafe` (forbid-or-justify across all first-party
+//!   crates, `vendor/` exempt but inventoried);
 //! * [`report`] — human and machine-readable (JSON) output plus the
 //!   `LINT_budgets.json` ratchet on opt-out counts.
 //!
@@ -28,9 +40,12 @@
 //! Every marker must carry a reason; unused (stale) markers and unknown
 //! rule names are themselves findings, so the allowlist cannot rot.
 
+pub mod flow;
 pub mod items;
 pub mod lexer;
+pub mod parse;
 pub mod report;
+pub mod resolve;
 pub mod rules;
 
 use std::fmt;
@@ -40,7 +55,8 @@ use items::FileItems;
 use lexer::{lex, Tok};
 
 /// Rule names a marker may reference.
-pub const RULES: [&str; 5] = ["determinism", "panic", "seq-arith", "alloc", "unsafe"];
+pub const RULES: [&str; 6] =
+    ["determinism", "panic", "seq-arith", "alloc", "unsafe", "handler-oracle"];
 
 /// The marker prefix. A comment opts a token out with
 /// `lint: allow-<rule>(reason)`.
@@ -60,6 +76,13 @@ pub struct Finding {
     pub col: u32,
     /// What and why.
     pub message: String,
+}
+
+impl Finding {
+    /// Stable id used by `lint --explain`: `rule@file:line:col`.
+    pub fn id(&self) -> String {
+        format!("{}@{}:{}:{}", self.rule, self.file, self.line, self.col)
+    }
 }
 
 impl fmt::Display for Finding {
@@ -97,6 +120,8 @@ pub struct SourceFile {
     pub toks: Vec<Tok>,
     /// Fn items, call edges, test ranges.
     pub items: FileItems,
+    /// Structured AST (v2 engine layers build on this).
+    pub ast: parse::Ast,
     /// Opt-out markers (outside test code), in source order.
     pub allows: Vec<Allow>,
     /// Marker-syntax findings discovered while parsing allows.
@@ -108,11 +133,13 @@ impl SourceFile {
     pub fn parse(rel: &str, src: String) -> SourceFile {
         let toks = lex(&src);
         let items = items::scan_items(&src, &toks);
+        let ast = parse::parse(&src, &toks);
         let mut f = SourceFile {
             rel: rel.to_string(),
             src,
             toks,
             items,
+            ast,
             allows: Vec::new(),
             marker_findings: Vec::new(),
         };
@@ -336,6 +363,13 @@ pub struct Config {
     pub entry_files: Vec<String>,
     /// Fn-name prefixes marking an entry point within `entry_files`.
     pub entry_prefixes: Vec<String>,
+    /// Fn-name prefixes marking a *decode* entry point within the parser
+    /// modules. The strict panic surface covers exactly the
+    /// parser-module fns reachable from these (wire bytes flow through
+    /// them); encoder fns in the same files fall back to the relaxed
+    /// reachability rule, where asserts and indexing are the legal
+    /// invariant-oracle idiom.
+    pub parse_entry_prefixes: Vec<String>,
     /// Whether the unsafe wall runs (forbid-or-justify on every loaded
     /// crate).
     pub unsafe_wall: bool,
@@ -383,9 +417,37 @@ impl Config {
                 "crates/core/src/host.rs",
             ]),
             entry_prefixes: s(&["on_", "handle_"]),
+            parse_entry_prefixes: s(&["parse", "read", "decode"]),
             unsafe_wall: true,
         }
     }
+}
+
+/// Every wall's raw findings (before allow-marker filtering), sorted and
+/// deduped by position. `lint --explain` uses this to locate suppressed
+/// findings too.
+pub fn raw_findings(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let r = resolve::Resolved::build(ws);
+    let mut raw: Vec<Finding> = Vec::new();
+    raw.extend(rules::determinism(ws, cfg));
+    raw.extend(rules::panic_v2(ws, cfg, &r));
+    raw.extend(flow::seq_taint(ws, cfg, &r));
+    raw.extend(flow::handler_oracle(ws, cfg, &r));
+    raw.extend(rules::alloc(ws, cfg));
+    if cfg.unsafe_wall {
+        raw.extend(rules::unsafe_audit(ws, cfg));
+    }
+    // Deterministic order: by file, line, col, rule.
+    raw.sort_by(|a, b| {
+        (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule))
+    });
+    // One finding per (file, line, col, rule): nested fns can be reached
+    // twice (once via the outer body, once directly) with different call
+    // paths — keep the first.
+    raw.dedup_by(|a, b| {
+        (&a.file, a.line, a.col, &a.rule) == (&b.file, b.line, b.col, &b.rule)
+    });
+    raw
 }
 
 /// Run every wall over a loaded workspace: rule findings filtered through
@@ -400,26 +462,7 @@ pub fn run(ws: &Workspace, cfg: &Config) -> Result<report::Report, String> {
         }
     }
 
-    let mut raw: Vec<Finding> = Vec::new();
-    raw.extend(rules::determinism(ws, cfg));
-    raw.extend(rules::panic_surface(ws, cfg));
-    raw.extend(rules::panic_reachability(ws, cfg));
-    raw.extend(rules::seq_arith(ws, cfg));
-    raw.extend(rules::alloc(ws, cfg));
-    if cfg.unsafe_wall {
-        raw.extend(rules::unsafe_audit(ws, cfg));
-    }
-
-    // Deterministic order: by file, line, col, rule.
-    raw.sort_by(|a, b| {
-        (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule))
-    });
-    // One finding per (file, line, col, rule): nested fns can be reached
-    // twice (once via the outer body, once directly) with different call
-    // paths — keep the first.
-    raw.dedup_by(|a, b| {
-        (&a.file, a.line, a.col, &a.rule) == (&b.file, b.line, b.col, &b.rule)
-    });
+    let raw = raw_findings(ws, cfg);
 
     // Filter through allow markers: each marker suppresses exactly one
     // finding of its rule on its target line, in source order.

@@ -1,0 +1,2346 @@
+//! A hand-rolled recursive-descent Rust parser over the [`lexer`] token
+//! stream (DESIGN.md §5.13).
+//!
+//! The token-level walls (PR 7) could see *tokens* but not *structure*: a
+//! call graph keyed by bare names conflates `SendBuffer::read` with
+//! `PcapReader::read`, and "is this ident a sequence number" was a naming
+//! convention, not a type fact. This parser recovers the structure the
+//! precise walls need — items, impl blocks with their `Self` types, and fn
+//! bodies as real expression trees — while staying dependency-free and
+//! total over arbitrary input.
+//!
+//! Design rules:
+//!
+//! * **Every node carries an exact token span** (`[lo, hi)` in *original*
+//!   token indices, comments included in the numbering). The span-gap
+//!   printer ([`Ast::print`]) re-emits a file from its tree: each node
+//!   prints the raw tokens between its structural children. Re-lexing the
+//!   output must reproduce the original non-comment token stream — the
+//!   fixpoint test in `tests/parse_fixpoint.rs` runs that over every
+//!   workspace file, so a span bug or a dropped subtree fails loudly.
+//! * **Totality with *counted* fallbacks.** Constructs the grammar does not
+//!   cover parse into [`ExprKind::Err`]/[`ItemKind::Err`] nodes and are
+//!   recorded in [`Ast::fallbacks`]. The workspace must parse with **zero**
+//!   fallbacks (CI asserts it), so a future syntax gap fails the build
+//!   instead of silently weakening an analysis.
+//! * **Opaque where structure is not needed.** Attributes, generic
+//!   parameter lists, `where` clauses, and macro bodies are carved as
+//!   balanced token runs with spans; the analyses never look inside them,
+//!   and the gap printer reproduces them verbatim.
+
+use super::lexer::{Tok, TokKind};
+
+/// Original-token-index span, `[lo, hi)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl Span {
+    fn new(lo: usize, hi: usize) -> Span {
+        Span { lo, hi }
+    }
+}
+
+/// One parsed file.
+#[derive(Debug, Default)]
+pub struct Ast {
+    pub items: Vec<Item>,
+    /// Spans the parser could not structure (`UnsupportedConstruct`).
+    pub fallbacks: Vec<Span>,
+}
+
+/// A top-level or nested item.
+#[derive(Debug)]
+pub struct Item {
+    pub span: Span,
+    pub kind: ItemKind,
+}
+
+#[derive(Debug)]
+pub enum ItemKind {
+    /// `use a::b::{c, d as e, *};` flattened: each entry is
+    /// (path segments, local name; `*` imports have an empty local name).
+    Use(Vec<UseEntry>),
+    Fn(FnDef),
+    Struct(StructDef),
+    Enum(EnumDef),
+    /// `impl [Trait for] SelfTy { items }`.
+    Impl(ImplDef),
+    /// `trait Name { items }`.
+    Trait { name: String, items: Vec<Item> },
+    /// Inline `mod name { items }` or out-of-line `mod name;`.
+    Mod { name: String, items: Vec<Item>, inline: bool },
+    /// `const NAME: Ty = expr;` / `static NAME: Ty = expr;`.
+    Const { name: String, ty: Ty, init: Option<Expr> },
+    /// `type Name = Ty;` (free or associated).
+    TypeAlias { name: String },
+    /// Item-position macro invocation.
+    MacroCall { name: String, body: Span },
+    /// Inner attribute `#![...]` at file/module top.
+    InnerAttr,
+    /// Unsupported item — recorded in [`Ast::fallbacks`].
+    Err,
+}
+
+#[derive(Debug)]
+pub struct UseEntry {
+    /// Full path segments (`["mpw_tcp", "wire", "parse_packet"]`); a glob
+    /// import ends with `"*"`.
+    pub path: Vec<String>,
+    /// Name the import binds locally (last segment, or the `as` alias).
+    pub local: String,
+}
+
+#[derive(Debug)]
+pub struct FnDef {
+    pub name: String,
+    /// Token index of the name ident.
+    pub name_tok: usize,
+    /// Declared self receiver, if a method (`&self`, `&mut self`, `self`).
+    pub has_self: bool,
+    /// Non-self parameters: (binding name if simple, declared type).
+    pub params: Vec<(Option<String>, Ty)>,
+    /// Declared return type.
+    pub ret: Option<Ty>,
+    /// `None` for bodyless trait-method declarations.
+    pub body: Option<Block>,
+}
+
+#[derive(Debug)]
+pub struct StructDef {
+    pub name: String,
+    /// Named fields (empty for tuple/unit structs).
+    pub fields: Vec<(String, Ty)>,
+    /// Tuple-struct positional field types.
+    pub tuple_fields: Vec<Ty>,
+}
+
+#[derive(Debug)]
+pub struct EnumDef {
+    pub name: String,
+    /// Variant name plus tuple-field types (named-field variants record
+    /// their field types too, order only).
+    pub variants: Vec<(String, Vec<Ty>)>,
+}
+
+#[derive(Debug)]
+pub struct ImplDef {
+    /// Head ident of the implemented trait, if a trait impl.
+    pub trait_name: Option<String>,
+    /// Head ident of the self type (`TcpSocket` for `impl TcpSocket`,
+    /// `SeqNum` for `impl Add<u32> for SeqNum`).
+    pub self_ty: String,
+    pub items: Vec<Item>,
+}
+
+/// A type, structured just enough for resolution: the head path and
+/// generic arguments; reference/slice/tuple shells are unwrapped into
+/// `head` markers.
+#[derive(Clone, Debug)]
+pub struct Ty {
+    pub span: Span,
+    /// Path segments of the base type (`["wire", "TcpSegment"]`), or a
+    /// marker: `"&"` (reference), `"[]"` (slice/array), `"()"` (tuple),
+    /// `"fn"` (fn pointer), `"dyn"`/`"impl"` shells keep the inner head.
+    pub segs: Vec<String>,
+    /// Generic arguments (types only; lifetimes and bindings skipped).
+    pub args: Vec<Ty>,
+}
+
+impl Ty {
+    /// The bare head name (`TcpSegment` for `&mut wire::TcpSegment`).
+    pub fn head(&self) -> &str {
+        self.segs.last().map(|s| s.as_str()).unwrap_or("")
+    }
+}
+
+#[derive(Debug)]
+pub struct Block {
+    pub span: Span,
+    pub stmts: Vec<Stmt>,
+}
+
+#[derive(Debug)]
+pub struct Stmt {
+    pub span: Span,
+    pub kind: StmtKind,
+}
+
+#[derive(Debug)]
+pub enum StmtKind {
+    /// `let pat(: ty)? (= init (else else_block)?)? ;`
+    Let {
+        pat: Pat,
+        ty: Option<Ty>,
+        init: Option<Expr>,
+        else_block: Option<Block>,
+    },
+    /// Expression statement; `semi` records the trailing `;`.
+    Expr { expr: Expr, semi: bool },
+    Item(Item),
+    Empty,
+}
+
+#[derive(Debug)]
+pub struct Pat {
+    pub span: Span,
+    pub kind: PatKind,
+}
+
+#[derive(Debug)]
+pub enum PatKind {
+    Wild,
+    /// `..` rest pattern.
+    Rest,
+    /// Simple binding, possibly `name @ subpat`.
+    Ident { name: String, sub: Option<Box<Pat>> },
+    /// Literal or literal range pattern.
+    Lit,
+    /// Unit path pattern (`TcpState::Closed`, `None`).
+    Path(Vec<String>),
+    /// `Some(x)`, `Ok(a, b)`.
+    TupleStruct { path: Vec<String>, elems: Vec<Pat> },
+    /// `Point { x, y: py, .. }` — field name plus sub-pattern if renamed.
+    Struct { path: Vec<String>, fields: Vec<(String, Option<Pat>)> },
+    Tuple(Vec<Pat>),
+    Slice(Vec<Pat>),
+    Ref(Box<Pat>),
+    Or(Vec<Pat>),
+    Err,
+}
+
+#[derive(Debug)]
+pub struct Expr {
+    pub span: Span,
+    pub kind: ExprKind,
+}
+
+#[derive(Debug)]
+pub struct Arm {
+    pub span: Span,
+    pub pat: Pat,
+    pub guard: Option<Expr>,
+    pub body: Expr,
+}
+
+#[derive(Debug)]
+pub enum ExprKind {
+    /// Literal token (number, string, char, `true`/`false`).
+    Lit,
+    /// Path expression: segments with the token index of each segment.
+    Path(Vec<(String, usize)>),
+    Unary { op: String, operand: Box<Expr> },
+    Binary { op: String, op_tok: usize, lhs: Box<Expr>, rhs: Box<Expr> },
+    Assign { op: String, lhs: Box<Expr>, rhs: Box<Expr> },
+    Cast { expr: Box<Expr>, ty: Ty, as_tok: usize },
+    /// Free/path call: `callee(args)`.
+    Call { callee: Box<Expr>, args: Vec<Expr> },
+    /// `recv.name(args)` — `name_tok` is the method ident token.
+    MethodCall { recv: Box<Expr>, name: String, name_tok: usize, args: Vec<Expr> },
+    /// `base.name` — field access or tuple index.
+    Field { base: Box<Expr>, name: String },
+    Index { base: Box<Expr>, index: Box<Expr> },
+    /// `expr?`.
+    Try(Box<Expr>),
+    Ref { mutable: bool, expr: Box<Expr> },
+    Tuple(Vec<Expr>),
+    Paren(Box<Expr>),
+    /// `[a, b]` or `[elem; len]`.
+    Array { elems: Vec<Expr> },
+    StructLit { path: Vec<(String, usize)>, fields: Vec<(String, Option<Expr>)>, base: Option<Box<Expr>> },
+    Block(Block),
+    If { cond: Box<Expr>, then: Block, else_: Option<Box<Expr>> },
+    IfLet { pat: Pat, scrutinee: Box<Expr>, then: Block, else_: Option<Box<Expr>> },
+    Match { scrutinee: Box<Expr>, arms: Vec<Arm> },
+    While { cond: Box<Expr>, body: Block },
+    WhileLet { pat: Pat, scrutinee: Box<Expr>, body: Block },
+    Loop { body: Block },
+    For { pat: Pat, iter: Box<Expr>, body: Block },
+    Closure { params: Vec<(Option<String>, Option<Ty>)>, body: Box<Expr> },
+    Return(Option<Box<Expr>>),
+    Break(Option<Box<Expr>>),
+    Continue,
+    Range { lo: Option<Box<Expr>>, hi: Option<Box<Expr>> },
+    /// `name!(...)` / `name![...]` / `name! {...}`.
+    MacroCall { name: String, name_tok: usize, body: Span },
+    /// Unsupported expression — recorded in [`Ast::fallbacks`].
+    Err,
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parse a lexed file. Total: never panics, records fallbacks.
+pub fn parse(src: &str, toks: &[Tok]) -> Ast {
+    let code: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment())
+        .map(|(i, _)| i)
+        .collect();
+    let mut p = Parser {
+        src,
+        toks,
+        code,
+        pos: 0,
+        fallbacks: Vec::new(),
+        gt_debt: false,
+    };
+    let items = p.items_until_end();
+    Ast {
+        items,
+        fallbacks: p.fallbacks,
+    }
+}
+
+struct Parser<'s> {
+    src: &'s str,
+    toks: &'s [Tok],
+    /// Indices of non-comment tokens into `toks`.
+    code: Vec<usize>,
+    /// Position in `code`.
+    pos: usize,
+    fallbacks: Vec<Span>,
+    /// A `>>` token of which one `>` has been consumed (generics).
+    gt_debt: bool,
+}
+
+impl<'s> Parser<'s> {
+    // -- token helpers ---------------------------------------------------
+
+    fn eof(&self) -> bool {
+        self.pos >= self.code.len()
+    }
+
+    /// Original token index of the code token at `pos + n`.
+    fn tid(&self, n: usize) -> usize {
+        self.code.get(self.pos + n).copied().unwrap_or(self.toks.len())
+    }
+
+    /// Text of the code token at `pos + n` ("" past EOF). A pending `>>`
+    /// with one `>` consumed reads as `>` at offset 0.
+    fn at(&self, n: usize) -> &'s str {
+        if n == 0 && self.gt_debt {
+            return ">";
+        }
+        match self.code.get(self.pos + n) {
+            Some(&i) => self.toks[i].text(self.src),
+            None => "",
+        }
+    }
+
+    fn kind(&self, n: usize) -> Option<TokKind> {
+        self.code.get(self.pos + n).map(|&i| self.toks[i].kind)
+    }
+
+    /// Advance one code token (resolving `>` debt first).
+    fn bump(&mut self) -> usize {
+        let t = self.tid(0);
+        if self.gt_debt {
+            self.gt_debt = false;
+        }
+        self.pos += 1;
+        t
+    }
+
+    /// Consume one `>` where the lexer may have produced `>>`.
+    fn bump_gt(&mut self) {
+        if self.gt_debt {
+            self.gt_debt = false;
+            self.pos += 1;
+        } else if self.at(0) == ">>" {
+            self.gt_debt = true; // consumed the first `>` only
+        } else {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.at(0) == s {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Span starting at the current token.
+    fn start(&self) -> usize {
+        self.tid(0)
+    }
+
+    /// Span ending just past the previously consumed token.
+    fn end(&self) -> usize {
+        if self.pos == 0 {
+            0
+        } else if self.gt_debt {
+            // Mid-`>>`: the token is still current.
+            self.tid(0) + 1
+        } else {
+            self.code[self.pos - 1] + 1
+        }
+    }
+
+    fn is_ident(&self, n: usize) -> bool {
+        self.kind(n) == Some(TokKind::Ident)
+    }
+
+    /// Record a fallback spanning `lo..` current position after skipping
+    /// to a sync token.
+    fn fallback(&mut self, lo: usize, sync: &[&str]) -> Span {
+        // Skip tokens until a sync point at bracket depth 0.
+        let mut depth = 0i32;
+        while !self.eof() {
+            let t = self.at(0);
+            match t {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                _ if depth == 0 && sync.contains(&t) => {
+                    self.bump();
+                    break;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+        let sp = Span::new(lo, self.end().max(lo + 1));
+        self.fallbacks.push(sp);
+        sp
+    }
+
+    /// Skip a balanced `(..)`/`[..]`/`{..}` group (current token must be
+    /// the opener); returns once past the closer.
+    fn skip_group(&mut self) {
+        let open = self.at(0).to_string();
+        let close = match open.as_str() {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            _ => {
+                self.bump();
+                return;
+            }
+        };
+        self.bump();
+        let mut depth = 1;
+        while !self.eof() && depth > 0 {
+            let t = self.at(0);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+            }
+            self.bump();
+        }
+    }
+
+    /// Skip leading outer attributes `#[...]`; returns whether any.
+    fn skip_attrs(&mut self) -> bool {
+        let mut any = false;
+        while self.at(0) == "#" && self.at(1) == "[" {
+            self.bump(); // #
+            self.skip_group(); // [...]
+            any = true;
+        }
+        any
+    }
+
+    /// Skip a generics declaration `<...>` if present (balanced angles).
+    fn skip_generics(&mut self) {
+        if self.at(0) != "<" {
+            return;
+        }
+        let mut depth = 0i32;
+        while !self.eof() {
+            match self.at(0) {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                // `(` groups inside bounds (Fn traits) skip wholesale.
+                "(" | "[" => {
+                    self.skip_group();
+                    continue;
+                }
+                _ => {}
+            }
+            self.bump();
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// Skip a `where` clause: everything until `{` or `;` at depth 0.
+    fn skip_where(&mut self) {
+        if self.at(0) != "where" {
+            return;
+        }
+        self.bump();
+        while !self.eof() {
+            match self.at(0) {
+                "{" | ";" => return,
+                "(" | "[" => self.skip_group(),
+                "<" => self.skip_generics(),
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    // -- items -----------------------------------------------------------
+
+    fn items_until_end(&mut self) -> Vec<Item> {
+        let mut out = Vec::new();
+        while !self.eof() {
+            let before = self.pos;
+            out.push(self.item());
+            self.force_progress(before);
+        }
+        out
+    }
+
+    fn items_until_close(&mut self) -> Vec<Item> {
+        let mut out = Vec::new();
+        while !self.eof() && self.at(0) != "}" {
+            let before = self.pos;
+            out.push(self.item());
+            self.force_progress(before);
+        }
+        out
+    }
+
+    /// Termination backstop: if a loop iteration consumed nothing (a
+    /// desynced parse stuck on an unexpected token), consume one token and
+    /// record a fallback so the loop provably advances.
+    fn force_progress(&mut self, before: usize) {
+        if self.pos == before && !self.eof() {
+            let lo = self.start();
+            self.bump();
+            self.fallbacks.push(Span::new(lo, self.end().max(lo + 1)));
+        }
+    }
+
+    /// Parse one item (with attributes and visibility).
+    fn item(&mut self) -> Item {
+        let lo = self.start();
+        // Inner attributes `#![...]`.
+        if self.at(0) == "#" && self.at(1) == "!" {
+            self.bump();
+            self.bump();
+            if self.at(0) == "[" {
+                self.skip_group();
+            }
+            return Item { span: Span::new(lo, self.end()), kind: ItemKind::InnerAttr };
+        }
+        self.skip_attrs();
+        // Visibility.
+        if self.eat("pub") && self.at(0) == "(" {
+            self.skip_group();
+        }
+        // Modifiers.
+        let mut is_const_item = false;
+        loop {
+            match self.at(0) {
+                "unsafe" | "async" => {
+                    self.bump();
+                }
+                "extern" => {
+                    self.bump();
+                    if self.kind(0) == Some(TokKind::Str) {
+                        self.bump();
+                    }
+                }
+                "const" if self.at(1) == "fn" => {
+                    self.bump();
+                }
+                "const" => {
+                    is_const_item = true;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let kind = match self.at(0) {
+            "fn" => ItemKind::Fn(self.fn_def()),
+            "use" => self.use_item(),
+            "struct" => self.struct_item(),
+            "enum" => self.enum_item(),
+            "impl" => self.impl_item(),
+            "trait" => self.trait_item(),
+            "mod" => self.mod_item(),
+            "static" => self.const_item(),
+            "const" if is_const_item => self.const_item(),
+            "type" => {
+                self.bump();
+                let name = self.ident_or("_");
+                self.skip_generics();
+                while !self.eof() && self.at(0) != ";" {
+                    match self.at(0) {
+                        "(" | "[" | "{" => self.skip_group(),
+                        "<" => self.skip_generics(),
+                        _ => {
+                            self.bump();
+                        }
+                    }
+                }
+                self.eat(";");
+                ItemKind::TypeAlias { name }
+            }
+            _ if self.is_ident(0) && (self.at(1) == "!" || self.at(1) == "::") => {
+                // Item-position macro, possibly path-qualified:
+                // `name! { ... }` / `name!(...);` / `proptest::proptest! {}`.
+                let mut name = self.at(0).to_string();
+                self.bump();
+                while self.at(0) == "::" && self.is_ident(1) {
+                    self.bump();
+                    name = self.at(0).to_string();
+                    self.bump();
+                }
+                if !self.eat("!") {
+                    self.fallback(lo, &[";", "}"]);
+                    return Item { span: Span::new(lo, self.end()), kind: ItemKind::Err };
+                }
+                let blo = self.start();
+                if matches!(self.at(0), "(" | "[" | "{") {
+                    let brace = self.at(0) == "{";
+                    self.skip_group();
+                    if !brace {
+                        self.eat(";");
+                    }
+                } else {
+                    self.eat(";");
+                }
+                ItemKind::MacroCall { name, body: Span::new(blo, self.end()) }
+            }
+            _ => {
+                self.fallback(lo, &[";", "}"]);
+                ItemKind::Err
+            }
+        };
+        Item { span: Span::new(lo, self.end()), kind }
+    }
+
+    fn ident_or(&mut self, dflt: &str) -> String {
+        if self.is_ident(0) {
+            let s = self.at(0).trim_start_matches("r#").to_string();
+            self.bump();
+            s
+        } else {
+            dflt.to_string()
+        }
+    }
+
+    fn fn_def(&mut self) -> FnDef {
+        self.bump(); // fn
+        let name_tok = self.tid(0);
+        let name = self.ident_or("_");
+        self.skip_generics();
+        // Parameters.
+        let mut has_self = false;
+        let mut params = Vec::new();
+        if self.at(0) == "(" {
+            self.bump();
+            while !self.eof() && self.at(0) != ")" {
+                self.skip_attrs();
+                // Self receiver: `self`, `&self`, `&mut self`, `mut self`.
+                let save = self.pos;
+                let mut is_self = false;
+                while matches!(self.at(0), "&" | "&&" | "mut") || self.kind(0) == Some(TokKind::Lifetime) {
+                    self.bump();
+                }
+                if self.at(0) == "self" {
+                    self.bump();
+                    is_self = true;
+                    has_self = true;
+                    // `self: &Rc<Self>` style annotations: skip to , or ).
+                    while !self.eof() && self.at(0) != "," && self.at(0) != ")" {
+                        match self.at(0) {
+                            "(" | "[" => self.skip_group(),
+                            "<" => self.skip_generics(),
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                if !is_self {
+                    self.pos = save;
+                    // `pat: Ty`.
+                    let pat = self.pattern();
+                    let pname = match &pat.kind {
+                        PatKind::Ident { name, .. } => Some(name.clone()),
+                        _ => None,
+                    };
+                    let ty = if self.eat(":") {
+                        self.ty()
+                    } else {
+                        Ty { span: Span::new(self.end(), self.end()), segs: vec![], args: vec![] }
+                    };
+                    params.push((pname, ty));
+                }
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.eat(")");
+        }
+        let ret = if self.eat("->") { Some(self.ty()) } else { None };
+        self.skip_where();
+        let body = if self.at(0) == "{" {
+            Some(self.block())
+        } else {
+            self.eat(";");
+            None
+        };
+        FnDef { name, name_tok, has_self, params, ret, body }
+    }
+
+    fn use_item(&mut self) -> ItemKind {
+        self.bump(); // use
+        let mut entries = Vec::new();
+        let mut prefix = Vec::new();
+        self.use_tree(&mut prefix, &mut entries);
+        self.eat(";");
+        ItemKind::Use(entries)
+    }
+
+    fn use_tree(&mut self, prefix: &mut Vec<String>, out: &mut Vec<UseEntry>) {
+        let depth0 = prefix.len();
+        loop {
+            if self.at(0) == "{" {
+                self.bump();
+                while !self.eof() && self.at(0) != "}" {
+                    self.use_tree(prefix, out);
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.eat("}");
+                break;
+            }
+            if self.at(0) == "*" {
+                self.bump();
+                let mut path = prefix.clone();
+                path.push("*".into());
+                out.push(UseEntry { path, local: String::new() });
+                break;
+            }
+            if self.is_ident(0) || matches!(self.at(0), "crate" | "super" | "self") {
+                let seg = self.at(0).trim_start_matches("r#").to_string();
+                self.bump();
+                prefix.push(seg);
+                if self.eat("::") {
+                    continue;
+                }
+                // Terminal segment, maybe aliased.
+                let local = if self.eat("as") { self.ident_or("_") } else { prefix.last().cloned().unwrap_or_default() };
+                out.push(UseEntry { path: prefix.clone(), local });
+                break;
+            }
+            break;
+        }
+        prefix.truncate(depth0);
+    }
+
+    fn struct_item(&mut self) -> ItemKind {
+        self.bump(); // struct
+        let name = self.ident_or("_");
+        self.skip_generics();
+        self.skip_where();
+        let mut fields = Vec::new();
+        let mut tuple_fields = Vec::new();
+        if self.at(0) == "(" {
+            // Tuple struct.
+            self.bump();
+            while !self.eof() && self.at(0) != ")" {
+                self.skip_attrs();
+                if self.eat("pub") && self.at(0) == "(" && self.at(1) != ")" {
+                    // pub(crate) — but beware `pub (Ty)`: visibility parens
+                    // only contain crate/super/self/in.
+                    if matches!(self.at(1), "crate" | "super" | "self" | "in") {
+                        self.skip_group();
+                    }
+                }
+                tuple_fields.push(self.ty());
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.eat(")");
+            self.skip_where();
+            self.eat(";");
+        } else if self.at(0) == "{" {
+            self.bump();
+            while !self.eof() && self.at(0) != "}" {
+                self.skip_attrs();
+                if self.eat("pub") && self.at(0) == "(" {
+                    self.skip_group();
+                }
+                let fname = self.ident_or("_");
+                if self.eat(":") {
+                    fields.push((fname, self.ty()));
+                }
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.eat("}");
+        } else {
+            self.eat(";"); // unit struct
+        }
+        ItemKind::Struct(StructDef { name, fields, tuple_fields })
+    }
+
+    fn enum_item(&mut self) -> ItemKind {
+        self.bump(); // enum
+        let name = self.ident_or("_");
+        self.skip_generics();
+        self.skip_where();
+        let mut variants = Vec::new();
+        if self.at(0) == "{" {
+            self.bump();
+            while !self.eof() && self.at(0) != "}" {
+                self.skip_attrs();
+                let vname = self.ident_or("_");
+                let mut vtys = Vec::new();
+                if self.at(0) == "(" {
+                    self.bump();
+                    while !self.eof() && self.at(0) != ")" {
+                        self.skip_attrs();
+                        vtys.push(self.ty());
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                    self.eat(")");
+                } else if self.at(0) == "{" {
+                    // Named-field variant: record field types in order.
+                    self.bump();
+                    while !self.eof() && self.at(0) != "}" {
+                        self.skip_attrs();
+                        let _f = self.ident_or("_");
+                        if self.eat(":") {
+                            vtys.push(self.ty());
+                        }
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                    self.eat("}");
+                }
+                if self.eat("=") {
+                    // Discriminant expression.
+                    let _ = self.expr_bp(0, true);
+                }
+                variants.push((vname, vtys));
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.eat("}");
+        } else {
+            self.eat(";");
+        }
+        ItemKind::Enum(EnumDef { name, variants })
+    }
+
+    fn impl_item(&mut self) -> ItemKind {
+        self.bump(); // impl
+        self.skip_generics();
+        let first = self.ty();
+        let (trait_name, self_ty) = if self.eat("for") {
+            let st = self.ty();
+            (Some(first.head().to_string()), st.head().to_string())
+        } else {
+            (None, first.head().to_string())
+        };
+        self.skip_where();
+        let mut items = Vec::new();
+        if self.at(0) == "{" {
+            self.bump();
+            items = self.items_until_close();
+            self.eat("}");
+        }
+        ItemKind::Impl(ImplDef { trait_name, self_ty, items })
+    }
+
+    fn trait_item(&mut self) -> ItemKind {
+        self.bump(); // trait
+        let name = self.ident_or("_");
+        self.skip_generics();
+        // Supertraits `: Bound + Bound`.
+        if self.eat(":") {
+            while !self.eof() && self.at(0) != "{" && self.at(0) != "where" {
+                match self.at(0) {
+                    "(" | "[" => self.skip_group(),
+                    "<" => self.skip_generics(),
+                    _ => {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        self.skip_where();
+        let mut items = Vec::new();
+        if self.at(0) == "{" {
+            self.bump();
+            items = self.items_until_close();
+            self.eat("}");
+        }
+        ItemKind::Trait { name, items }
+    }
+
+    fn mod_item(&mut self) -> ItemKind {
+        self.bump(); // mod
+        let name = self.ident_or("_");
+        if self.at(0) == "{" {
+            self.bump();
+            let items = self.items_until_close();
+            self.eat("}");
+            ItemKind::Mod { name, items, inline: true }
+        } else {
+            self.eat(";");
+            ItemKind::Mod { name, items: Vec::new(), inline: false }
+        }
+    }
+
+    fn const_item(&mut self) -> ItemKind {
+        self.bump(); // const | static
+        self.eat("mut");
+        let name = self.ident_or("_");
+        let ty = if self.eat(":") {
+            self.ty()
+        } else {
+            Ty { span: Span::new(self.end(), self.end()), segs: vec![], args: vec![] }
+        };
+        let init = if self.eat("=") { Some(self.expr_bp(0, true)) } else { None };
+        self.eat(";");
+        ItemKind::Const { name, ty, init }
+    }
+
+    // -- types -----------------------------------------------------------
+
+    /// Parse a type. Total: unknown shapes consume one token and mark an
+    /// empty head (NOT counted as a fallback — type structure beyond the
+    /// head is advisory; the gap printer never relies on it).
+    fn ty(&mut self) -> Ty {
+        let lo = self.start();
+        let mut segs = Vec::new();
+        let mut args = Vec::new();
+        match self.at(0) {
+            "&" | "&&" => {
+                let double = self.at(0) == "&&";
+                self.bump();
+                if self.kind(0) == Some(TokKind::Lifetime) {
+                    self.bump();
+                }
+                self.eat("mut");
+                let inner = self.ty();
+                segs.push("&".into());
+                if double {
+                    // `&&T` — two references; model one level.
+                }
+                segs.extend(inner.segs);
+                args = inner.args;
+            }
+            "*" => {
+                self.bump();
+                let _ = self.eat("const") || self.eat("mut");
+                let inner = self.ty();
+                segs.push("*".into());
+                segs.extend(inner.segs);
+                args = inner.args;
+            }
+            "[" => {
+                self.bump();
+                let inner = self.ty();
+                if self.eat(";") {
+                    let _ = self.expr_bp(0, true);
+                }
+                self.eat("]");
+                segs.push("[]".into());
+                args.push(inner);
+            }
+            "(" => {
+                self.bump();
+                let mut elems = Vec::new();
+                while !self.eof() && self.at(0) != ")" {
+                    elems.push(self.ty());
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.eat(")");
+                if elems.len() == 1 {
+                    // Parenthesized type.
+                    let inner = elems.pop().unwrap_or(Ty {
+                        span: Span::new(lo, self.end()),
+                        segs: vec![],
+                        args: vec![],
+                    });
+                    segs = inner.segs;
+                    args = inner.args;
+                } else {
+                    segs.push("()".into());
+                    args = elems;
+                }
+            }
+            "fn" => {
+                self.bump();
+                if self.at(0) == "(" {
+                    self.skip_group();
+                }
+                if self.eat("->") {
+                    let _ = self.ty();
+                }
+                segs.push("fn".into());
+            }
+            "!" => {
+                self.bump();
+                segs.push("!".into());
+            }
+            "_" => {
+                self.bump();
+                segs.push("_".into());
+            }
+            "dyn" | "impl" => {
+                self.bump();
+                let inner = self.ty();
+                segs = inner.segs;
+                args = inner.args;
+                // Additional bounds `+ Send + 'a`.
+                while self.eat("+") {
+                    if self.kind(0) == Some(TokKind::Lifetime) {
+                        self.bump();
+                    } else if self.at(0) == "?" {
+                        self.bump();
+                        let _ = self.ty();
+                    } else {
+                        let _ = self.ty();
+                    }
+                }
+            }
+            "<" => {
+                // Qualified path `<T as Trait>::Out` — carve the angle
+                // group and the trailing path.
+                self.skip_generics();
+                while self.eat("::") {
+                    if self.is_ident(0) {
+                        segs.push(self.at(0).to_string());
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            _ if self.is_ident(0) || matches!(self.at(0), "crate" | "super" | "self" | "Self") => {
+                loop {
+                    let seg = self.at(0).trim_start_matches("r#").to_string();
+                    self.bump();
+                    segs.push(seg);
+                    // Generic args directly after a segment (type position).
+                    if self.at(0) == "<" {
+                        args = self.generic_args();
+                    }
+                    if self.at(0) == "::" && (self.is_ident(1) || self.at(1) == "<") {
+                        self.bump();
+                        if self.at(0) == "<" {
+                            args = self.generic_args();
+                            if !self.eat("::") {
+                                break;
+                            }
+                            continue;
+                        }
+                        continue;
+                    }
+                    break;
+                }
+                // `Fn(A) -> B` sugar.
+                if self.at(0) == "(" {
+                    self.skip_group();
+                    if self.eat("->") {
+                        let _ = self.ty();
+                    }
+                }
+            }
+            _ => {
+                // Unknown type token: consume one to guarantee progress.
+                if !self.eof() {
+                    self.bump();
+                }
+            }
+        }
+        Ty { span: Span::new(lo, self.end()), segs, args }
+    }
+
+    /// Parse `<...>` generic arguments in type position. Collects type
+    /// arguments; lifetimes, const-expr args, and `Ident = Ty` bindings are
+    /// skipped.
+    fn generic_args(&mut self) -> Vec<Ty> {
+        let mut out = Vec::new();
+        if self.at(0) != "<" {
+            return out;
+        }
+        self.bump();
+        loop {
+            if self.eof() {
+                break;
+            }
+            match self.at(0) {
+                ">" => {
+                    self.bump();
+                    break;
+                }
+                ">>" => {
+                    self.bump_gt();
+                    break;
+                }
+                "," => {
+                    self.bump();
+                }
+                _ if self.kind(0) == Some(TokKind::Lifetime) => {
+                    self.bump();
+                }
+                _ if self.is_ident(0) && self.at(1) == "=" => {
+                    // Associated binding `Item = Ty`.
+                    self.bump();
+                    self.bump();
+                    let _ = self.ty();
+                }
+                _ if self.kind(0) == Some(TokKind::Num) => {
+                    self.bump(); // const generic literal
+                }
+                "{" => self.skip_group(), // const generic block
+                _ => out.push(self.ty()),
+            }
+        }
+        out
+    }
+
+    // -- patterns --------------------------------------------------------
+
+    fn pattern(&mut self) -> Pat {
+        let lo = self.start();
+        let first = self.pattern_single();
+        if self.at(0) != "|" {
+            return first;
+        }
+        let mut alts = vec![first];
+        while self.eat("|") {
+            alts.push(self.pattern_single());
+        }
+        Pat { span: Span::new(lo, self.end()), kind: PatKind::Or(alts) }
+    }
+
+    fn pattern_single(&mut self) -> Pat {
+        let lo = self.start();
+        let kind = self.pattern_kind();
+        let mut pat = Pat { span: Span::new(lo, self.end()), kind };
+        // Range patterns `a..=b`, `a..b`, `..=b`.
+        if matches!(self.at(0), "..=" | "...") || (self.at(0) == ".." && self.at(1) != "}" && self.at(1) != ",") {
+            self.bump();
+            if self.kind(0) == Some(TokKind::Num)
+                || self.kind(0) == Some(TokKind::Char)
+                || self.is_ident(0)
+                || self.at(0) == "-"
+            {
+                let _ = self.pattern_kind();
+            }
+            pat = Pat { span: Span::new(lo, self.end()), kind: PatKind::Lit };
+        }
+        pat
+    }
+
+    fn pattern_kind(&mut self) -> PatKind {
+        match self.at(0) {
+            "_" => {
+                self.bump();
+                PatKind::Wild
+            }
+            ".." => {
+                self.bump();
+                PatKind::Rest
+            }
+            "&" | "&&" => {
+                let double = self.at(0) == "&&";
+                self.bump();
+                self.eat("mut");
+                let inner = self.pattern_single();
+                if double {
+                    return PatKind::Ref(Box::new(Pat {
+                        span: inner.span,
+                        kind: PatKind::Ref(Box::new(inner)),
+                    }));
+                }
+                PatKind::Ref(Box::new(inner))
+            }
+            "(" => {
+                self.bump();
+                let mut elems = Vec::new();
+                while !self.eof() && self.at(0) != ")" {
+                    elems.push(self.pattern());
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.eat(")");
+                if elems.len() == 1 {
+                    let p = elems.pop();
+                    p.map(|p| p.kind).unwrap_or(PatKind::Err)
+                } else {
+                    PatKind::Tuple(elems)
+                }
+            }
+            "[" => {
+                self.bump();
+                let mut elems = Vec::new();
+                while !self.eof() && self.at(0) != "]" {
+                    elems.push(self.pattern());
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.eat("]");
+                PatKind::Slice(elems)
+            }
+            "-" => {
+                // Negative literal pattern.
+                self.bump();
+                if !self.eof() {
+                    self.bump();
+                }
+                PatKind::Lit
+            }
+            "mut" | "ref" => {
+                self.bump();
+                self.eat("mut");
+                let name = self.ident_or("_");
+                let sub = if self.eat("@") { Some(Box::new(self.pattern_single())) } else { None };
+                PatKind::Ident { name, sub }
+            }
+            _ => {
+                if matches!(self.kind(0), Some(TokKind::Num) | Some(TokKind::Str) | Some(TokKind::Char)) {
+                    self.bump();
+                    return PatKind::Lit;
+                }
+                if self.is_ident(0) || matches!(self.at(0), "crate" | "super" | "self" | "Self") {
+                    if matches!(self.at(0), "true" | "false") {
+                        self.bump();
+                        return PatKind::Lit;
+                    }
+                    let mut segs = vec![self.at(0).trim_start_matches("r#").to_string()];
+                    self.bump();
+                    while self.at(0) == "::" {
+                        self.bump();
+                        if self.at(0) == "<" {
+                            let _ = self.generic_args();
+                            continue;
+                        }
+                        segs.push(self.ident_or("_"));
+                    }
+                    if self.at(0) == "(" {
+                        self.bump();
+                        let mut elems = Vec::new();
+                        while !self.eof() && self.at(0) != ")" {
+                            elems.push(self.pattern());
+                            if !self.eat(",") {
+                                break;
+                            }
+                        }
+                        self.eat(")");
+                        return PatKind::TupleStruct { path: segs, elems };
+                    }
+                    if self.at(0) == "{" {
+                        self.bump();
+                        let mut fields = Vec::new();
+                        while !self.eof() && self.at(0) != "}" {
+                            self.skip_attrs();
+                            if self.at(0) == ".." {
+                                self.bump();
+                                continue;
+                            }
+                            self.eat("ref");
+                            self.eat("mut");
+                            let fname = self.ident_or("_");
+                            let sub = if self.eat(":") { Some(self.pattern()) } else { None };
+                            fields.push((fname, sub));
+                            if !self.eat(",") {
+                                break;
+                            }
+                        }
+                        self.eat("}");
+                        return PatKind::Struct { path: segs, fields };
+                    }
+                    if segs.len() > 1 {
+                        return PatKind::Path(segs);
+                    }
+                    let name = segs.pop().unwrap_or_default();
+                    // A single capitalized segment with no payload is a
+                    // unit-variant path (None, Closed); heuristic: bindings
+                    // are snake_case in this workspace.
+                    let is_const_like = name.chars().next().is_some_and(|c| c.is_ascii_uppercase());
+                    if is_const_like {
+                        return PatKind::Path(vec![name]);
+                    }
+                    let sub = if self.eat("@") { Some(Box::new(self.pattern_single())) } else { None };
+                    return PatKind::Ident { name, sub };
+                }
+                // Unknown pattern token: consume one for progress.
+                if !self.eof() {
+                    self.bump();
+                }
+                PatKind::Err
+            }
+        }
+    }
+
+    // -- blocks & statements ----------------------------------------------
+
+    fn block(&mut self) -> Block {
+        let lo = self.start();
+        self.eat("{");
+        let mut stmts = Vec::new();
+        while !self.eof() && self.at(0) != "}" {
+            let before = self.pos;
+            stmts.push(self.stmt());
+            self.force_progress(before);
+        }
+        self.eat("}");
+        Block { span: Span::new(lo, self.end()), stmts }
+    }
+
+    fn stmt(&mut self) -> Stmt {
+        let lo = self.start();
+        // Inner attribute or outer attrs on the statement.
+        if self.at(0) == "#" {
+            if self.at(1) == "!" {
+                self.bump();
+                self.bump();
+                if self.at(0) == "[" {
+                    self.skip_group();
+                }
+                return Stmt { span: Span::new(lo, self.end()), kind: StmtKind::Empty };
+            }
+            self.skip_attrs();
+        }
+        if self.eat(";") {
+            return Stmt { span: Span::new(lo, self.end()), kind: StmtKind::Empty };
+        }
+        // Items in statement position.
+        let t = self.at(0);
+        let item_like = matches!(
+            t,
+            "fn" | "use" | "struct" | "enum" | "impl" | "trait" | "mod" | "static" | "type"
+        ) || (t == "const" && self.at(1) != "{")
+            || (t == "pub")
+            || (t == "unsafe" && self.at(1) == "fn")
+            || (t == "extern" && self.at(1) != "\"");
+        if item_like {
+            // Rewind attr skip: item() re-skips from `lo`? Attrs were
+            // already consumed above; item() tolerates their absence.
+            let it = self.item();
+            return Stmt { span: Span::new(lo, self.end()), kind: StmtKind::Item(it) };
+        }
+        if t == "let" {
+            self.bump();
+            let pat = self.pattern();
+            let ty = if self.eat(":") { Some(self.ty()) } else { None };
+            let mut init = None;
+            let mut else_block = None;
+            if self.eat("=") {
+                init = Some(self.expr_bp(0, true));
+                if self.at(0) == "else" && self.at(1) == "{" {
+                    self.bump();
+                    else_block = Some(self.block());
+                }
+            }
+            self.eat(";");
+            return Stmt {
+                span: Span::new(lo, self.end()),
+                kind: StmtKind::Let { pat, ty, init, else_block },
+            };
+        }
+        // Expression statement.
+        let expr = self.expr_bp(0, true);
+        let block_like = matches!(
+            expr.kind,
+            ExprKind::If { .. }
+                | ExprKind::IfLet { .. }
+                | ExprKind::Match { .. }
+                | ExprKind::While { .. }
+                | ExprKind::WhileLet { .. }
+                | ExprKind::Loop { .. }
+                | ExprKind::For { .. }
+                | ExprKind::Block(_)
+        );
+        let semi = self.eat(";");
+        let _ = block_like;
+        Stmt { span: Span::new(lo, self.end()), kind: StmtKind::Expr { expr, semi } }
+    }
+
+    // -- expressions ------------------------------------------------------
+
+    /// Pratt parser. `allow_struct` gates `Path { .. }` struct literals
+    /// (false inside `if`/`while`/`for`/`match` headers).
+    fn expr_bp(&mut self, min_bp: u8, allow_struct: bool) -> Expr {
+        let lo = self.start();
+        let mut lhs = self.prefix(allow_struct);
+        loop {
+            if self.eof() {
+                break;
+            }
+            // Postfix operators bind tightest.
+            match self.at(0) {
+                "." => {
+                    self.bump();
+                    if self.at(0) == "await" {
+                        self.bump();
+                        lhs = Expr { span: Span::new(lo, self.end()), kind: ExprKind::Try(Box::new(lhs)) };
+                        continue;
+                    }
+                    // Tuple index (possibly `0.1` lexed as a float).
+                    if self.kind(0) == Some(TokKind::Num) {
+                        let txt = self.at(0).to_string();
+                        self.bump();
+                        for (i, part) in txt.split('.').enumerate() {
+                            let _ = i;
+                            lhs = Expr {
+                                span: Span::new(lo, self.end()),
+                                kind: ExprKind::Field { base: Box::new(lhs), name: part.to_string() },
+                            };
+                        }
+                        continue;
+                    }
+                    let name = self.at(0).trim_start_matches("r#").to_string();
+                    let name_tok = self.tid(0);
+                    self.bump();
+                    // Method turbofish.
+                    if self.at(0) == "::" && self.at(1) == "<" {
+                        self.bump();
+                        let _ = self.generic_args();
+                    }
+                    if self.at(0) == "(" {
+                        let args = self.call_args();
+                        lhs = Expr {
+                            span: Span::new(lo, self.end()),
+                            kind: ExprKind::MethodCall { recv: Box::new(lhs), name, name_tok, args },
+                        };
+                    } else {
+                        lhs = Expr {
+                            span: Span::new(lo, self.end()),
+                            kind: ExprKind::Field { base: Box::new(lhs), name },
+                        };
+                    }
+                    continue;
+                }
+                "?" => {
+                    self.bump();
+                    lhs = Expr { span: Span::new(lo, self.end()), kind: ExprKind::Try(Box::new(lhs)) };
+                    continue;
+                }
+                "(" => {
+                    let args = self.call_args();
+                    lhs = Expr {
+                        span: Span::new(lo, self.end()),
+                        kind: ExprKind::Call { callee: Box::new(lhs), args },
+                    };
+                    continue;
+                }
+                "[" => {
+                    self.bump();
+                    let index = self.expr_bp(0, true);
+                    self.eat("]");
+                    lhs = Expr {
+                        span: Span::new(lo, self.end()),
+                        kind: ExprKind::Index { base: Box::new(lhs), index: Box::new(index) },
+                    };
+                    continue;
+                }
+                "as" => {
+                    if 23 < min_bp {
+                        break;
+                    }
+                    let as_tok = self.tid(0);
+                    self.bump();
+                    let ty = self.cast_ty();
+                    lhs = Expr {
+                        span: Span::new(lo, self.end()),
+                        kind: ExprKind::Cast { expr: Box::new(lhs), ty, as_tok },
+                    };
+                    continue;
+                }
+                _ => {}
+            }
+            // Binary / assignment / range operators.
+            let op = self.at(0).to_string();
+            let (lbp, rbp, assign, range) = match op.as_str() {
+                "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>=" => (2, 1, true, false),
+                ".." | "..=" => (3, 4, false, true),
+                "||" => (5, 6, false, false),
+                "&&" => (7, 8, false, false),
+                "==" | "!=" | "<" | ">" | "<=" | ">=" => (9, 10, false, false),
+                "|" => (11, 12, false, false),
+                "^" => (13, 14, false, false),
+                "&" => (15, 16, false, false),
+                "<<" | ">>" => (17, 18, false, false),
+                "+" | "-" => (19, 20, false, false),
+                "*" | "/" | "%" => (21, 22, false, false),
+                _ => break,
+            };
+            if lbp < min_bp {
+                break;
+            }
+            let op_tok = self.tid(0);
+            self.bump();
+            if range {
+                // Open-ended `a..` when no operand can follow.
+                let hi_expr = if self.expr_can_start(allow_struct) {
+                    Some(Box::new(self.expr_bp(rbp, allow_struct)))
+                } else {
+                    None
+                };
+                lhs = Expr {
+                    span: Span::new(lo, self.end()),
+                    kind: ExprKind::Range { lo: Some(Box::new(lhs)), hi: hi_expr },
+                };
+                continue;
+            }
+            let rhs = self.expr_bp(rbp, allow_struct);
+            lhs = Expr {
+                span: Span::new(lo, self.end()),
+                kind: if assign {
+                    ExprKind::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+                } else {
+                    ExprKind::Binary { op, op_tok, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+                },
+            };
+        }
+        lhs
+    }
+
+    /// Whether the current token can begin an expression (used for
+    /// open-ended ranges).
+    fn expr_can_start(&self, _allow_struct: bool) -> bool {
+        if self.eof() {
+            return false;
+        }
+        !matches!(
+            self.at(0),
+            ")" | "]"
+                | "}"
+                | ","
+                | ";"
+                | "{"
+                | "=>"
+                | ".."
+                | "..="
+                | "="
+                | "=="
+                | "&&"
+                | "||"
+                | "as"
+                | "?"
+                | "."
+        )
+    }
+
+    fn call_args(&mut self) -> Vec<Expr> {
+        self.eat("(");
+        let mut args = Vec::new();
+        while !self.eof() && self.at(0) != ")" {
+            args.push(self.expr_bp(0, true));
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.eat(")");
+        args
+    }
+
+    /// Cast target type: like [`Parser::ty`] but a `<` after a primitive
+    /// head is a comparison, not generics (`len as u32 > limit`).
+    fn cast_ty(&mut self) -> Ty {
+        const PRIMITIVE: [&str; 17] = [
+            "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+            "isize", "f32", "f64", "bool", "char", "str",
+        ];
+        if self.is_ident(0) && PRIMITIVE.contains(&self.at(0)) && self.at(1) != "::" {
+            let lo = self.start();
+            let seg = self.at(0).to_string();
+            self.bump();
+            return Ty { span: Span::new(lo, self.end()), segs: vec![seg], args: vec![] };
+        }
+        self.ty()
+    }
+
+    fn prefix(&mut self, allow_struct: bool) -> Expr {
+        let lo = self.start();
+        let kind = match self.at(0) {
+            "-" | "!" | "*" => {
+                let op = self.at(0).to_string();
+                self.bump();
+                let operand = self.expr_bp(25, allow_struct);
+                ExprKind::Unary { op, operand: Box::new(operand) }
+            }
+            "&" | "&&" => {
+                let double = self.at(0) == "&&";
+                self.bump();
+                let mutable = self.eat("mut");
+                let expr = self.expr_bp(25, allow_struct);
+                if double {
+                    ExprKind::Ref {
+                        mutable: false,
+                        expr: Box::new(Expr {
+                            span: Span::new(lo, self.end()),
+                            kind: ExprKind::Ref { mutable, expr: Box::new(expr) },
+                        }),
+                    }
+                } else {
+                    ExprKind::Ref { mutable, expr: Box::new(expr) }
+                }
+            }
+            ".." | "..=" => {
+                self.bump();
+                let hi = if self.expr_can_start(allow_struct) {
+                    Some(Box::new(self.expr_bp(4, allow_struct)))
+                } else {
+                    None
+                };
+                ExprKind::Range { lo: None, hi }
+            }
+            "(" => {
+                self.bump();
+                let mut elems = Vec::new();
+                let mut trailing_comma = false;
+                while !self.eof() && self.at(0) != ")" {
+                    elems.push(self.expr_bp(0, true));
+                    if self.eat(",") {
+                        trailing_comma = true;
+                    } else {
+                        trailing_comma = false;
+                        break;
+                    }
+                }
+                self.eat(")");
+                if elems.len() == 1 && !trailing_comma {
+                    ExprKind::Paren(Box::new(elems.pop().expect("len checked")))
+                } else {
+                    ExprKind::Tuple(elems)
+                }
+            }
+            "[" => {
+                self.bump();
+                let mut elems = Vec::new();
+                while !self.eof() && self.at(0) != "]" {
+                    let e = self.expr_bp(0, true);
+                    elems.push(e);
+                    if self.eat(";") {
+                        // `[elem; len]` repeat.
+                        elems.push(self.expr_bp(0, true));
+                        break;
+                    }
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.eat("]");
+                ExprKind::Array { elems }
+            }
+            "{" => ExprKind::Block(self.block()),
+            "unsafe" | "const" if self.at(1) == "{" => {
+                // `unsafe { … }` block or inline-const expression.
+                self.bump();
+                ExprKind::Block(self.block())
+            }
+            "if" => return self.if_expr(),
+            "match" => {
+                self.bump();
+                let scrutinee = self.expr_bp(0, false);
+                let mut arms = Vec::new();
+                self.eat("{");
+                while !self.eof() && self.at(0) != "}" {
+                    let before = self.pos;
+                    let alo = self.start();
+                    self.skip_attrs();
+                    let pat = self.pattern();
+                    let guard = if self.eat("if") { Some(self.expr_bp(0, false)) } else { None };
+                    self.eat("=>");
+                    let body = self.expr_bp(0, true);
+                    self.eat(",");
+                    arms.push(Arm { span: Span::new(alo, self.end()), pat, guard, body });
+                    self.force_progress(before);
+                }
+                self.eat("}");
+                ExprKind::Match { scrutinee: Box::new(scrutinee), arms }
+            }
+            "while" => {
+                self.bump();
+                if self.eat("let") {
+                    let pat = self.pattern();
+                    self.eat("=");
+                    let scrutinee = self.expr_bp(0, false);
+                    let body = self.block();
+                    ExprKind::WhileLet { pat, scrutinee: Box::new(scrutinee), body }
+                } else {
+                    let cond = self.expr_bp(0, false);
+                    let body = self.block();
+                    ExprKind::While { cond: Box::new(cond), body }
+                }
+            }
+            "loop" => {
+                self.bump();
+                ExprKind::Loop { body: self.block() }
+            }
+            "for" => {
+                self.bump();
+                let pat = self.pattern();
+                self.eat("in");
+                let iter = self.expr_bp(0, false);
+                let body = self.block();
+                ExprKind::For { pat, iter: Box::new(iter), body }
+            }
+            "return" => {
+                self.bump();
+                let v = if self.expr_can_start(allow_struct) {
+                    Some(Box::new(self.expr_bp(0, allow_struct)))
+                } else {
+                    None
+                };
+                ExprKind::Return(v)
+            }
+            "break" => {
+                self.bump();
+                if self.kind(0) == Some(TokKind::Lifetime) {
+                    self.bump();
+                }
+                let v = if self.expr_can_start(allow_struct) {
+                    Some(Box::new(self.expr_bp(0, allow_struct)))
+                } else {
+                    None
+                };
+                ExprKind::Break(v)
+            }
+            "continue" => {
+                self.bump();
+                if self.kind(0) == Some(TokKind::Lifetime) {
+                    self.bump();
+                }
+                ExprKind::Continue
+            }
+            "move" | "|" | "||" => {
+                let _ = self.eat("move");
+                let mut params = Vec::new();
+                if self.eat("||") {
+                    // no params
+                } else {
+                    self.eat("|");
+                    while !self.eof() && self.at(0) != "|" {
+                        // Closure params cannot carry top-level `|`
+                        // or-patterns (ambiguous with the closing pipe).
+                        let pat = self.pattern_single();
+                        let pname = match &pat.kind {
+                            PatKind::Ident { name, .. } => Some(name.clone()),
+                            _ => None,
+                        };
+                        let ty = if self.eat(":") { Some(self.ty()) } else { None };
+                        params.push((pname, ty));
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                    self.eat("|");
+                }
+                let body = if self.eat("->") {
+                    let _ = self.ty();
+                    Expr { span: Span::new(self.start(), self.start()), kind: ExprKind::Block(self.block()) }
+                } else {
+                    self.expr_bp(1, allow_struct)
+                };
+                ExprKind::Closure { params, body: Box::new(body) }
+            }
+            "<" => {
+                // Qualified path expression `<S as T>::h(...)`: carve the
+                // angle group, then collect trailing path segments.
+                self.skip_generics();
+                let mut segs: Vec<(String, usize)> = Vec::new();
+                while self.at(0) == "::" {
+                    self.bump();
+                    if self.at(0) == "<" {
+                        let _ = self.generic_args();
+                        continue;
+                    }
+                    if self.is_ident(0) {
+                        segs.push((self.at(0).to_string(), self.tid(0)));
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                ExprKind::Path(segs)
+            }
+            _ if self.kind(0) == Some(TokKind::Lifetime) && self.at(1) == ":" => {
+                // Labeled loop.
+                self.bump();
+                self.bump();
+                return self.expr_bp(25, allow_struct);
+            }
+            _ if matches!(
+                self.kind(0),
+                Some(TokKind::Num) | Some(TokKind::Str) | Some(TokKind::Char)
+            ) =>
+            {
+                self.bump();
+                ExprKind::Lit
+            }
+            _ if self.is_ident(0) || matches!(self.at(0), "crate" | "super" | "self" | "Self") => {
+                return self.path_expr(allow_struct);
+            }
+            _ => {
+                self.fallback(lo, &[";"]);
+                ExprKind::Err
+            }
+        };
+        Expr { span: Span::new(lo, self.end()), kind }
+    }
+
+    fn if_expr(&mut self) -> Expr {
+        let lo = self.start();
+        self.bump(); // if
+        let kind = if self.eat("let") {
+            let pat = self.pattern();
+            self.eat("=");
+            let scrutinee = self.expr_bp(0, false);
+            let then = self.block();
+            let else_ = self.else_tail();
+            ExprKind::IfLet { pat, scrutinee: Box::new(scrutinee), then, else_ }
+        } else {
+            let cond = self.expr_bp(0, false);
+            let then = self.block();
+            let else_ = self.else_tail();
+            ExprKind::If { cond: Box::new(cond), then, else_ }
+        };
+        Expr { span: Span::new(lo, self.end()), kind }
+    }
+
+    fn else_tail(&mut self) -> Option<Box<Expr>> {
+        if !self.eat("else") {
+            return None;
+        }
+        if self.at(0) == "if" {
+            return Some(Box::new(self.if_expr()));
+        }
+        let b = self.block();
+        Some(Box::new(Expr { span: b.span, kind: ExprKind::Block(b) }))
+    }
+
+    /// Path-headed expression: path, macro call, struct literal, or the
+    /// literal keywords.
+    fn path_expr(&mut self, allow_struct: bool) -> Expr {
+        let lo = self.start();
+        if matches!(self.at(0), "true" | "false") {
+            self.bump();
+            return Expr { span: Span::new(lo, self.end()), kind: ExprKind::Lit };
+        }
+        let mut segs: Vec<(String, usize)> = Vec::new();
+        loop {
+            if self.is_ident(0) || matches!(self.at(0), "crate" | "super" | "self" | "Self") {
+                segs.push((self.at(0).trim_start_matches("r#").to_string(), self.tid(0)));
+                self.bump();
+            } else {
+                break;
+            }
+            if self.at(0) == "::" {
+                if self.at(1) == "<" {
+                    // Turbofish.
+                    self.bump();
+                    let _ = self.generic_args();
+                    if self.at(0) == "::" {
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                if self.is_ident(1) || matches!(self.at(1), "crate" | "super" | "self" | "Self") {
+                    self.bump();
+                    continue;
+                }
+                break;
+            }
+            break;
+        }
+        // Macro call (`vec![…]`, `wire::err!(…)` — last segment names it).
+        if self.at(0) == "!" && matches!(self.at(1), "(" | "[" | "{") && !segs.is_empty() {
+            let (name, name_tok) = segs.pop().expect("non-empty checked");
+            self.bump(); // !
+            let blo = self.start();
+            self.skip_group();
+            return Expr {
+                span: Span::new(lo, self.end()),
+                kind: ExprKind::MacroCall { name, name_tok, body: Span::new(blo, self.end()) },
+            };
+        }
+        // Struct literal.
+        if self.at(0) == "{" && allow_struct && self.struct_lit_ahead() {
+            self.bump();
+            let mut fields = Vec::new();
+            let mut base = None;
+            while !self.eof() && self.at(0) != "}" {
+                self.skip_attrs();
+                if self.at(0) == ".." {
+                    self.bump();
+                    if self.expr_can_start(true) {
+                        base = Some(Box::new(self.expr_bp(0, true)));
+                    }
+                    break;
+                }
+                let fname = self.ident_or("_");
+                let val = if self.eat(":") { Some(self.expr_bp(0, true)) } else { None };
+                fields.push((fname, val));
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.eat("}");
+            return Expr {
+                span: Span::new(lo, self.end()),
+                kind: ExprKind::StructLit { path: segs, fields, base },
+            };
+        }
+        Expr { span: Span::new(lo, self.end()), kind: ExprKind::Path(segs) }
+    }
+
+    /// Disambiguate `Path {` struct literal from a path followed by a
+    /// block: inside the braces a struct literal has `ident:`, `ident,`,
+    /// `ident}`, or `..`.
+    fn struct_lit_ahead(&self) -> bool {
+        // at(0) == "{"
+        if self.at(1) == "}" {
+            return true; // `Path {}`
+        }
+        if self.at(1) == ".." {
+            return true;
+        }
+        if self.kind(1) == Some(TokKind::Ident) {
+            return matches!(self.at(2), ":" | "," | "}") && self.at(3) != ":";
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span-gap printer
+// ---------------------------------------------------------------------------
+
+/// Emit a parsed file back to text by walking the tree and printing the raw
+/// tokens between each node's structural children. Re-lexing the output
+/// yields the original non-comment token stream iff every span is correct —
+/// the parse-fixpoint property.
+pub fn print(src: &str, toks: &[Tok], ast: &Ast) -> String {
+    let mut pr = Printer { src, toks, out: String::new(), cursor: 0 };
+    for it in &ast.items {
+        pr.item(it);
+    }
+    pr.emit_upto(toks.len());
+    pr.out
+}
+
+struct Printer<'s> {
+    src: &'s str,
+    toks: &'s [Tok],
+    out: String,
+    cursor: usize,
+}
+
+impl Printer<'_> {
+    /// Emit raw tokens `[cursor, to)`, space-separated, skipping comments.
+    fn emit_upto(&mut self, to: usize) {
+        while self.cursor < to.min(self.toks.len()) {
+            let t = &self.toks[self.cursor];
+            if !t.is_comment() {
+                self.out.push_str(t.text(self.src));
+                self.out.push(' ');
+            } else {
+                // Newline keeps any following line intact if a comment
+                // boundary bug ever slipped a line comment into output.
+                self.out.push('\n');
+            }
+            self.cursor += 1;
+        }
+    }
+
+    fn item(&mut self, it: &Item) {
+        match &it.kind {
+            ItemKind::Fn(f) => {
+                if let Some(b) = &f.body {
+                    self.emit_upto(b.span.lo);
+                    self.block(b);
+                }
+            }
+            ItemKind::Impl(d) => {
+                for sub in &d.items {
+                    self.item(sub);
+                }
+            }
+            ItemKind::Trait { items, .. } | ItemKind::Mod { items, .. } => {
+                for sub in items {
+                    self.item(sub);
+                }
+            }
+            ItemKind::Const { init: Some(e), .. } => {
+                self.emit_upto(e.span.lo);
+                self.expr(e);
+            }
+            _ => {}
+        }
+        self.emit_upto(it.span.hi);
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.emit_upto(b.span.lo);
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+        self.emit_upto(b.span.hi);
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        self.emit_upto(s.span.lo);
+        match &s.kind {
+            StmtKind::Let { init, else_block, .. } => {
+                if let Some(e) = init {
+                    self.emit_upto(e.span.lo);
+                    self.expr(e);
+                }
+                if let Some(b) = else_block {
+                    self.emit_upto(b.span.lo);
+                    self.block(b);
+                }
+            }
+            StmtKind::Expr { expr, .. } => {
+                self.emit_upto(expr.span.lo);
+                self.expr(expr);
+            }
+            StmtKind::Item(it) => self.item(it),
+            StmtKind::Empty => {}
+        }
+        self.emit_upto(s.span.hi);
+    }
+
+    fn opt_expr(&mut self, e: &Option<Box<Expr>>) {
+        if let Some(e) = e {
+            self.emit_upto(e.span.lo);
+            self.expr(e);
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        self.emit_upto(e.span.lo);
+        match &e.kind {
+            ExprKind::Unary { operand, .. } => {
+                self.emit_upto(operand.span.lo);
+                self.expr(operand);
+            }
+            ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.emit_upto(rhs.span.lo);
+                self.expr(rhs);
+            }
+            ExprKind::Cast { expr, .. } => self.expr(expr),
+            ExprKind::Call { callee, args } => {
+                self.expr(callee);
+                for a in args {
+                    self.emit_upto(a.span.lo);
+                    self.expr(a);
+                }
+            }
+            ExprKind::MethodCall { recv, args, .. } => {
+                self.expr(recv);
+                for a in args {
+                    self.emit_upto(a.span.lo);
+                    self.expr(a);
+                }
+            }
+            ExprKind::Field { base, .. } => self.expr(base),
+            ExprKind::Index { base, index } => {
+                self.expr(base);
+                self.emit_upto(index.span.lo);
+                self.expr(index);
+            }
+            ExprKind::Try(x) | ExprKind::Ref { expr: x, .. } | ExprKind::Paren(x) => self.expr(x),
+            ExprKind::Tuple(xs) | ExprKind::Array { elems: xs } => {
+                for x in xs {
+                    self.emit_upto(x.span.lo);
+                    self.expr(x);
+                }
+            }
+            ExprKind::StructLit { fields, base, .. } => {
+                for (_, v) in fields {
+                    if let Some(v) = v {
+                        self.emit_upto(v.span.lo);
+                        self.expr(v);
+                    }
+                }
+                if let Some(b) = base {
+                    self.emit_upto(b.span.lo);
+                    self.expr(b);
+                }
+            }
+            ExprKind::Block(b) => self.block(b),
+            ExprKind::If { cond, then, else_ } => {
+                self.emit_upto(cond.span.lo);
+                self.expr(cond);
+                self.block(then);
+                self.opt_expr(else_);
+            }
+            ExprKind::IfLet { scrutinee, then, else_, .. } => {
+                self.emit_upto(scrutinee.span.lo);
+                self.expr(scrutinee);
+                self.block(then);
+                self.opt_expr(else_);
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                self.emit_upto(scrutinee.span.lo);
+                self.expr(scrutinee);
+                for a in arms {
+                    self.emit_upto(a.span.lo);
+                    if let Some(g) = &a.guard {
+                        self.emit_upto(g.span.lo);
+                        self.expr(g);
+                    }
+                    self.emit_upto(a.body.span.lo);
+                    self.expr(&a.body);
+                    self.emit_upto(a.span.hi);
+                }
+            }
+            ExprKind::While { cond, body } => {
+                self.emit_upto(cond.span.lo);
+                self.expr(cond);
+                self.block(body);
+            }
+            ExprKind::WhileLet { scrutinee, body, .. } => {
+                self.emit_upto(scrutinee.span.lo);
+                self.expr(scrutinee);
+                self.block(body);
+            }
+            ExprKind::Loop { body } => self.block(body),
+            ExprKind::For { iter, body, .. } => {
+                self.emit_upto(iter.span.lo);
+                self.expr(iter);
+                self.block(body);
+            }
+            ExprKind::Closure { body, .. } => {
+                self.emit_upto(body.span.lo);
+                self.expr(body);
+            }
+            ExprKind::Return(v) | ExprKind::Break(v) => self.opt_expr(v),
+            ExprKind::Range { lo, hi } => {
+                if let Some(l) = lo {
+                    self.expr(l);
+                }
+                self.opt_expr(hi);
+            }
+            ExprKind::Lit
+            | ExprKind::Path(_)
+            | ExprKind::Continue
+            | ExprKind::MacroCall { .. }
+            | ExprKind::Err => {}
+        }
+        self.emit_upto(e.span.hi);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_engine::lexer::lex;
+
+    fn parse_src(src: &str) -> Ast {
+        parse(src, &lex(src))
+    }
+
+    fn roundtrip(src: &str) {
+        let toks = lex(src);
+        let ast = parse(src, &toks);
+        assert!(ast.fallbacks.is_empty(), "fallbacks on {src:?}: {:?}", ast.fallbacks);
+        let printed = print(src, &toks, &ast);
+        let orig: Vec<String> = toks
+            .iter()
+            .filter(|t| !t.is_comment())
+            .map(|t| t.text(src).to_string())
+            .collect();
+        let re = lex(&printed);
+        let new: Vec<String> = re
+            .iter()
+            .filter(|t| !t.is_comment())
+            .map(|t| t.text(&printed).to_string())
+            .collect();
+        assert_eq!(orig, new, "token fixpoint broken for {src:?}");
+    }
+
+    #[test]
+    fn fn_items_and_bodies() {
+        let ast = parse_src("pub fn f(x: u32, seg: &TcpSegment) -> u32 { x + 1 }");
+        let ItemKind::Fn(f) = &ast.items[0].kind else { panic!() };
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[1].1.head(), "TcpSegment");
+        assert_eq!(f.ret.as_ref().map(|t| t.head().to_string()), Some("u32".into()));
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn impl_blocks_record_self_type() {
+        let ast = parse_src(
+            "impl SendBuffer { fn read(&mut self) -> u8 { 0 } }\n\
+             impl Iterator for PcapReader { fn next(&mut self) -> Option<u8> { None } }",
+        );
+        let ItemKind::Impl(a) = &ast.items[0].kind else { panic!() };
+        assert_eq!(a.self_ty, "SendBuffer");
+        assert_eq!(a.trait_name, None);
+        let ItemKind::Impl(b) = &ast.items[1].kind else { panic!() };
+        assert_eq!(b.self_ty, "PcapReader");
+        assert_eq!(b.trait_name.as_deref(), Some("Iterator"));
+        let ItemKind::Fn(m) = &a.items[0].kind else { panic!() };
+        assert!(m.has_self);
+    }
+
+    #[test]
+    fn use_trees_flatten() {
+        let ast = parse_src("use mpw_tcp::wire::{parse_packet, TcpSegment as Seg, options::*};");
+        let ItemKind::Use(es) = &ast.items[0].kind else { panic!() };
+        assert_eq!(es.len(), 3);
+        assert_eq!(es[0].path, ["mpw_tcp", "wire", "parse_packet"]);
+        assert_eq!(es[0].local, "parse_packet");
+        assert_eq!(es[1].local, "Seg");
+        assert_eq!(es[2].path, ["mpw_tcp", "wire", "options", "*"]);
+    }
+
+    #[test]
+    fn struct_fields_and_types() {
+        let ast = parse_src("struct S { seq: SeqNum, dseq: u64, buf: Vec<u8> }");
+        let ItemKind::Struct(s) = &ast.items[0].kind else { panic!() };
+        assert_eq!(s.fields[0].1.head(), "SeqNum");
+        assert_eq!(s.fields[1].1.head(), "u64");
+        assert_eq!(s.fields[2].1.head(), "Vec");
+        assert_eq!(s.fields[2].1.args[0].head(), "u8");
+    }
+
+    #[test]
+    fn method_calls_and_fields() {
+        let src = "fn f(s: &S) { s.buf.read(1, 2); t::g::<u8>(3); }";
+        let ast = parse_src(src);
+        let ItemKind::Fn(f) = &ast.items[0].kind else { panic!() };
+        let b = f.body.as_ref().unwrap();
+        let StmtKind::Expr { expr, .. } = &b.stmts[0].kind else { panic!() };
+        let ExprKind::MethodCall { recv, name, .. } = &expr.kind else { panic!() };
+        assert_eq!(name, "read");
+        assert!(matches!(recv.kind, ExprKind::Field { .. }));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn let_else_match_guards_nested_closures() {
+        roundtrip(
+            "fn f(v: &[u8]) -> u32 {\n\
+               let Some(x) = v.first() else { return 0; };\n\
+               let g = |a: u32| v.iter().map(|b| *b as u32 + a).sum::<u32>();\n\
+               match *x { 0 => g(1), n if n > 5 => n as u32, _ => 2 }\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn multiline_generics_and_where() {
+        roundtrip(
+            "fn g<T, U>(x: T, y: U) -> impl Iterator<Item = (T, U)>\n\
+             where\n  T: Clone + Send,\n  U: Default,\n\
+             { std::iter::once((x, y)) }",
+        );
+    }
+
+    #[test]
+    fn struct_literals_vs_blocks() {
+        roundtrip("fn f() -> S { if x == y { return S { a: 1, ..d }; } S { a: 2, b } }");
+        roundtrip("fn f() { for i in 0..n { h(i); } while a < b { a += 1; } }");
+        roundtrip("fn f() { match e { E::V { x, .. } => x, _ => 0 }; }");
+    }
+
+    #[test]
+    fn ranges_casts_shifts() {
+        roundtrip("fn f(a: u32) -> u32 { let b = &x[1..4]; (a as u64 >> 2) as u32 + b[0] as u32 }");
+        roundtrip("fn f() { q(..); r(..=3); s(1..); }");
+    }
+
+    #[test]
+    fn if_let_chains_loops_labels() {
+        roundtrip("fn f() { if let Some(v) = o { g(v); } else if c { h(); } else { k(); } }");
+        roundtrip("fn f() { loop { break; } while let Some(x) = it.next() { use_x(x); } }");
+    }
+
+    #[test]
+    fn macros_attrs_and_nested_items() {
+        roundtrip(
+            "#[derive(Clone, Debug)]\nstruct S;\n\
+             fn f() { println!(\"{} {}\", a, b); vec![1, 2]; assert!(x, \"m\"); }\n\
+             #[cfg(test)]\nmod t { use super::*; #[test] fn u() { f(); } }",
+        );
+    }
+
+    #[test]
+    fn enums_and_const_items() {
+        let src = "enum Transport { Mp(MptcpConnection), Sp(TcpSocket), Named { a: u32 } }\n\
+                   const N: usize = 4 * 2;\nstatic Z: &str = \"s\";";
+        let ast = parse_src(src);
+        let ItemKind::Enum(e) = &ast.items[0].kind else { panic!() };
+        assert_eq!(e.variants[0].0, "Mp");
+        assert_eq!(e.variants[0].1[0].head(), "MptcpConnection");
+        roundtrip(src);
+    }
+
+    #[test]
+    fn zero_fallbacks_on_tricky_constructs() {
+        for src in [
+            "fn f() { let v: Vec<Vec<u8>> = Vec::new(); }",
+            "fn f() { x.collect::<Vec<_>>(); }",
+            "fn f() { let (a, mut b): (u32, u8) = (1, 2); }",
+            "fn f() { let [a, b, rest @ ..] = arr; }",
+            "fn f() { s.0.wrapping_add(1); t.1.0; }",
+            "fn f() { let c = move || -> u32 { 1 }; }",
+            "fn f(x: &dyn Fn(u32) -> u32) { x(1); }",
+            "fn f() { m.entry(k).or_insert_with(Vec::new).push(v); }",
+            "trait T { type Out; fn d(&self) -> Self::Out; }",
+            "impl T for S { type Out = u8; fn d(&self) -> u8 { 0 } }",
+            "fn f() { if a && (b || !c) { } }",
+            "fn f() { let _ = matches!(x, A | B); }",
+            "fn f() { let s: &'static str = \"x\"; }",
+            "fn f<'a>(x: &'a [u8]) -> &'a [u8] { &x[..] }",
+            "fn f() { arr.iter().rev().enumerate().find(|(_, t)| t.is_x()); }",
+            "fn f() { Self::g(1); <S as T>::h(); }",
+            "fn f() { r#type(); let r#match = 1; }",
+            "fn f() { a = b'x' as u32; }",
+            "fn f() { 'outer: for i in 0..3 { break 'outer; } }",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn fallback_is_counted_not_fatal() {
+        // Genuinely unsupported garbage still parses to an Err node.
+        let ast = parse_src("fn f() { @ @ @; let x = 1; }");
+        assert!(!ast.fallbacks.is_empty());
+    }
+}

@@ -31,6 +31,9 @@ pub struct Report {
     pub files: usize,
     /// Fn items discovered.
     pub fns: usize,
+    /// AST parse fallbacks across the workspace (must be zero: a fallback
+    /// is a construct the v2 analyses silently cannot see into).
+    pub parse_fallbacks: usize,
     /// `unsafe` token counts per vendored crate (exempt, inventoried).
     pub vendor_unsafe: BTreeMap<String, usize>,
 }
@@ -49,6 +52,7 @@ impl Report {
             allow_counts,
             files: ws.files.len(),
             fns: ws.files.iter().map(|f| f.items.fns.len()).sum(),
+            parse_fallbacks: ws.files.iter().map(|f| f.ast.fallbacks.len()).sum(),
             vendor_unsafe: BTreeMap::new(),
         }
     }
@@ -103,13 +107,14 @@ impl Report {
             .map(|(c, n)| format!("{c}={n}"))
             .collect();
         out.push_str(&format!(
-            "lint: {} finding(s), {} allow marker(s) [{}] across {} files / {} fns; \
-             vendor unsafe inventory [{}]\n",
+            "lint: {} finding(s), {} allow marker(s) [{}] across {} files / {} fns \
+             ({} parse fallbacks); vendor unsafe inventory [{}]\n",
             self.findings.len(),
             self.allow_counts.values().sum::<usize>(),
             allows.join(", "),
             self.files,
             self.fns,
+            self.parse_fallbacks,
             vendor.join(", "),
         ));
         out
@@ -123,7 +128,9 @@ impl Report {
                 s.push(',');
             }
             s.push_str(&format!(
-                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+                "\n    {{\"id\": {}, \"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \
+                 \"message\": {}}}",
+                js(&f.id()),
                 js(&f.rule),
                 js(&f.file),
                 f.line,
@@ -162,7 +169,10 @@ impl Report {
             s.push_str(&format!("{}: {}", js(c), n));
         }
         s.push_str("},\n");
-        s.push_str(&format!("  \"files\": {},\n  \"fns\": {}\n}}\n", self.files, self.fns));
+        s.push_str(&format!(
+            "  \"files\": {},\n  \"fns\": {},\n  \"parse_fallbacks\": {}\n}}\n",
+            self.files, self.fns, self.parse_fallbacks
+        ));
         s
     }
 

@@ -9,6 +9,7 @@
 
 use super::items::FnItem;
 use super::lexer::{Tok, TokKind};
+use super::resolve::Resolved;
 use super::{Config, Finding, SourceFile, Workspace};
 
 /// Keywords that can directly precede `[` without it being an index
@@ -315,6 +316,165 @@ pub fn panic_reachability(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------------
+// panic v2 (strict decode surface + relaxed reachability, both on the
+// resolved call graph)
+// ---------------------------------------------------------------------------
+
+/// One fn's rendered call path for `lint --explain`: every hop from the
+/// entry point down to the fn containing the finding.
+pub struct PanicPath {
+    /// Qualified name of the fn the findings sit in.
+    pub qname: String,
+    /// File of that fn.
+    pub file: String,
+    /// 1-based line range of the fn body (inclusive).
+    pub lines: (u32, u32),
+    /// Hops entry-first: (qualified name, file, line of the fn item).
+    pub hops: Vec<(String, String, u32)>,
+}
+
+/// The v2 panic wall on the resolved call graph (DESIGN.md §5.13).
+///
+/// Two tiers, both BFS over [`Resolved::calls`] (typed edges where the
+/// receiver resolves, name fallback otherwise — so same-named methods on
+/// different types no longer conflate):
+///
+/// * **Strict decode surface.** Parser-module fns reachable from
+///   parser-module fns whose name starts with a
+///   [`Config::parse_entry_prefixes`] prefix (`parse_packet`,
+///   `read_pcapng`, …). Wire bytes flow through these unsanitized: every
+///   panicking macro, `.unwrap()`/`.expect(`, and expression index is
+///   forbidden. Encoder fns in the same files are *not* decode-reachable
+///   and drop to the relaxed tier — their asserts are invariant oracles
+///   on data the program itself built.
+/// * **Relaxed reachability.** Everything else reachable from the decode
+///   entries or the `on_*`/`handle_*` handler entries: aborting macros
+///   and `unwrap`/`expect` are flagged; asserts and indexing are the
+///   legal oracle idiom.
+pub fn panic_v2(ws: &Workspace, cfg: &Config, r: &Resolved) -> Vec<Finding> {
+    panic_v2_with_paths(ws, cfg, r).0
+}
+
+/// [`panic_v2`] plus the per-fn entry paths (for `lint --explain`).
+pub fn panic_v2_with_paths(
+    ws: &Workspace,
+    cfg: &Config,
+    r: &Resolved,
+) -> (Vec<Finding>, Vec<PanicPath>) {
+    let in_scope = |fid: usize| -> bool {
+        let node = &r.fns[fid];
+        if node.is_test {
+            return false;
+        }
+        let f = &ws.files[node.file];
+        f.under_any(&cfg.reach_paths)
+            || cfg.parser_modules.contains(&f.rel)
+            || cfg.entry_files.contains(&f.rel)
+    };
+    let bfs = |starts: &[usize]| -> (Vec<bool>, Vec<Option<usize>>) {
+        let mut seen = vec![false; r.fns.len()];
+        let mut parent: Vec<Option<usize>> = vec![None; r.fns.len()];
+        let mut queue: std::collections::VecDeque<usize> = Default::default();
+        for &s in starts {
+            if !seen[s] {
+                seen[s] = true;
+                queue.push_back(s);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for e in &r.calls[n] {
+                if !seen[e.to] && in_scope(e.to) {
+                    seen[e.to] = true;
+                    parent[e.to] = Some(n);
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        (seen, parent)
+    };
+
+    let is_parser = |fid: usize| cfg.parser_modules.contains(&ws.files[r.fns[fid].file].rel);
+    let decode_entries: Vec<usize> = (0..r.fns.len())
+        .filter(|&fid| {
+            in_scope(fid)
+                && is_parser(fid)
+                && cfg
+                    .parse_entry_prefixes
+                    .iter()
+                    .any(|p| r.fns[fid].name.starts_with(p.as_str()))
+        })
+        .collect();
+    let handler_entries: Vec<usize> = (0..r.fns.len())
+        .filter(|&fid| {
+            in_scope(fid)
+                && cfg.entry_files.contains(&ws.files[r.fns[fid].file].rel)
+                && cfg.entry_prefixes.iter().any(|p| r.fns[fid].name.starts_with(p.as_str()))
+        })
+        .collect();
+
+    let (decode_seen, decode_parent) = bfs(&decode_entries);
+    let all_entries: Vec<usize> =
+        decode_entries.iter().chain(&handler_entries).copied().collect();
+    let (all_seen, all_parent) = bfs(&all_entries);
+
+    let render = |fid: usize, parent: &[Option<usize>]| -> (String, Vec<(String, String, u32)>) {
+        let mut chain = vec![fid];
+        let mut cur = fid;
+        while let Some(p) = parent[cur] {
+            chain.push(p);
+            cur = p;
+            if chain.len() > 12 {
+                break;
+            }
+        }
+        chain.reverse();
+        let hops: Vec<(String, String, u32)> = chain
+            .iter()
+            .map(|&h| {
+                let n = &r.fns[h];
+                (n.qname.clone(), ws.files[n.file].rel.clone(), n.line)
+            })
+            .collect();
+        let names: Vec<&str> = hops.iter().map(|(q, _, _)| q.as_str()).collect();
+        (names.join(" → "), hops)
+    };
+
+    let mut out = Vec::new();
+    let mut paths = Vec::new();
+    for fid in 0..r.fns.len() {
+        if !all_seen[fid] && !decode_seen[fid] {
+            continue;
+        }
+        let node = &r.fns[fid];
+        let Some((lo, hi)) = node.body else { continue };
+        let f = &ws.files[node.file];
+        let strict = decode_seen[fid] && is_parser(fid);
+        let parent = if strict { &decode_parent } else { &all_parent };
+        let (path, hops) = render(fid, parent);
+        let via = if strict {
+            format!(" on wire-derived data (decode path: {path})")
+        } else {
+            format!(" (reachable from entry point: {path})")
+        };
+        let found = panic_tokens_in(f, lo..hi, strict, &via);
+        if !found.is_empty() {
+            let lines = (
+                f.toks.get(lo).map(|t| t.line).unwrap_or(0),
+                f.toks.get(hi.saturating_sub(1)).map(|t| t.line).unwrap_or(u32::MAX),
+            );
+            paths.push(PanicPath {
+                qname: node.qname.clone(),
+                file: f.rel.clone(),
+                lines,
+                hops,
+            });
+        }
+        out.extend(found);
+    }
+    (out, paths)
+}
+
+// ---------------------------------------------------------------------------
 // seq-arith
 // ---------------------------------------------------------------------------
 
@@ -571,6 +731,7 @@ mod tests {
             reach_paths: vec!["crates/x/src".into()],
             entry_files: vec![],
             entry_prefixes: vec![],
+            parse_entry_prefixes: vec!["parse".into(), "read".into(), "decode".into()],
             unsafe_wall: true,
         }
     }

@@ -1,16 +1,19 @@
 //! End-to-end proof that every lint wall fires and every opt-out works.
 //!
-//! `tests/lint_fixtures/` holds a miniature workspace with exactly one
-//! planted violation per rule — including the three constructs the old
+//! `tests/lint_fixtures/` holds a miniature workspace with planted
+//! violations per rule — including the three constructs the old
 //! line-based scanners got wrong (tokens inside strings/comments, one
-//! marker suppressing a whole line, multi-line constructs) — and this
-//! suite pins the engine's behavior on it. The last test then runs the
-//! real workspace config against the real repo and asserts the walls are
+//! marker suppressing a whole line, multi-line constructs) and the three
+//! constructs the v1 token scanners got wrong (same-named methods
+//! conflated in the call graph, taint hidden behind a renamed local, an
+//! early return that skips the invariant oracle) — and this suite pins
+//! the engine's behavior on it. The last test then runs the real
+//! workspace config against the real repo and asserts the walls are
 //! green and within `LINT_budgets.json`.
 
 use std::path::{Path, PathBuf};
 
-use mpw_check::lint_engine::{self, report::Report, Config, Workspace};
+use mpw_check::lint_engine::{self, report::Report, resolve::Resolved, rules, Config, Workspace};
 
 fn fixture_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_fixtures")
@@ -27,13 +30,17 @@ fn fixture_cfg() -> Config {
         reach_paths: s(&["crates/proto/src"]),
         entry_files: s(&["crates/proto/src/engine.rs"]),
         entry_prefixes: s(&["on_"]),
+        parse_entry_prefixes: s(&["parse", "read", "decode"]),
         unsafe_wall: true,
     }
 }
 
+fn fixture_ws() -> Workspace {
+    Workspace::load(&fixture_root()).expect("fixture tree loads")
+}
+
 fn run_fixtures() -> Report {
-    let ws = Workspace::load(&fixture_root()).expect("fixture tree loads");
-    lint_engine::run(&ws, &fixture_cfg()).expect("engine runs")
+    lint_engine::run(&fixture_ws(), &fixture_cfg()).expect("engine runs")
 }
 
 fn count(rep: &Report, rule: &str) -> usize {
@@ -47,10 +54,13 @@ fn every_wall_fires_on_its_planted_violation() {
     assert_eq!(count(&rep, "panic"), 4, "{by_rule:#?}");
     assert_eq!(count(&rep, "determinism"), 2, "{by_rule:#?}");
     assert_eq!(count(&rep, "seq-arith"), 2, "{by_rule:#?}");
+    assert_eq!(count(&rep, "handler-oracle"), 1, "{by_rule:#?}");
     assert_eq!(count(&rep, "alloc"), 2, "{by_rule:#?}");
     assert_eq!(count(&rep, "unsafe"), 2, "{by_rule:#?}");
     assert_eq!(count(&rep, "marker"), 3, "{by_rule:#?}");
-    assert_eq!(rep.findings.len(), 15, "{by_rule:#?}");
+    assert_eq!(rep.findings.len(), 16, "{by_rule:#?}");
+    // The hand-rolled parser understood every fixture construct.
+    assert_eq!(rep.parse_fallbacks, 0);
 }
 
 #[test]
@@ -72,9 +82,11 @@ fn marker_suppresses_exactly_one_token() {
         .filter(|f| f.file == "crates/proto/src/state.rs" && f.line == 16)
         .collect();
     assert_eq!(on_map_line.len(), 1, "{on_map_line:?}");
-    // Both markers were consumed (not stale) and carry their reasons.
-    assert_eq!(rep.allow_counts.get("panic"), Some(&1));
+    // All markers were consumed (not stale) and carry their reasons.
+    assert_eq!(rep.allow_counts.get("panic"), Some(&2));
     assert_eq!(rep.allow_counts.get("determinism"), Some(&1));
+    assert_eq!(rep.allow_counts.get("seq-arith"), Some(&1));
+    assert_eq!(rep.allow_counts.get("handler-oracle"), Some(&1));
     assert!(rep
         .allows
         .iter()
@@ -87,26 +99,129 @@ fn panic_reachability_renders_the_two_hop_path() {
     let f = rep
         .findings
         .iter()
-        .find(|f| f.file == "crates/proto/src/engine.rs")
+        .find(|f| f.rule == "panic" && f.file == "crates/proto/src/engine.rs")
         .expect("two-hop panic found");
-    assert_eq!(f.line, 12);
     assert!(
-        f.message.contains("on_frame → relay → sink"),
+        f.message
+            .contains("engine::on_frame → engine::relay → engine::sink"),
         "path not rendered: {}",
         f.message
     );
 }
 
 #[test]
+fn conflated_methods_stay_separate_in_v2() {
+    // Two `commit` methods, both unwrapping; the handler chain reaches
+    // only `Hot::commit` through a typed receiver. v1's name-keyed graph
+    // flags both bodies; v2 flags exactly the live one.
+    let ws = fixture_ws();
+    let cfg = fixture_cfg();
+    let hot_line = fixture_line("crates/proto/src/conflated.rs", "*v.first().unwrap()");
+    let cold_line = fixture_line("crates/proto/src/conflated.rs", "*v.last().unwrap()");
+
+    let v1 = rules::panic_reachability(&ws, &cfg);
+    let at = |fs: &[lint_engine::Finding], line: u32| {
+        fs.iter()
+            .filter(|f| f.file == "crates/proto/src/conflated.rs" && f.line == line)
+            .count()
+    };
+    assert_eq!(at(&v1, hot_line), 1, "v1 must flag the live method");
+    assert_eq!(at(&v1, cold_line), 1, "v1 conflates: the dead method too");
+
+    let r = Resolved::build(&ws);
+    let v2 = rules::panic_v2(&ws, &cfg, &r);
+    assert_eq!(at(&v2, hot_line), 1, "v2 must keep the live method");
+    assert_eq!(at(&v2, cold_line), 0, "v2 must not conflate the dead one");
+}
+
+#[test]
+fn v2_panic_findings_are_a_subset_of_v1() {
+    // The typed call graph only ever *removes* name-conflated paths; on
+    // any corpus every v2 panic site must also be a v1 panic site.
+    let ws = fixture_ws();
+    let cfg = fixture_cfg();
+    let mut v1: Vec<(String, u32, u32)> = rules::panic_surface(&ws, &cfg)
+        .into_iter()
+        .chain(rules::panic_reachability(&ws, &cfg))
+        .map(|f| (f.file, f.line, f.col))
+        .collect();
+    v1.sort();
+    let r = Resolved::build(&ws);
+    let v2 = rules::panic_v2(&ws, &cfg, &r);
+    for f in &v2 {
+        assert!(
+            v1.binary_search(&(f.file.clone(), f.line, f.col)).is_ok(),
+            "v2 finding absent from v1: {f}"
+        );
+    }
+    assert!(v2.len() < v1.len(), "v2 must prune at least the conflated site");
+}
+
+#[test]
+fn taint_flows_through_a_renamed_local() {
+    // `h.seq` → `cursor` → `cursor + 1`: no contract name adjacent to the
+    // operator, so only dataflow can catch it. Exactly one finding,
+    // suppressed by exactly one allow.
+    let ws = fixture_ws();
+    let cfg = fixture_cfg();
+    let arith_line = fixture_line("crates/proto/src/taint.rs", "cursor + 1");
+    let raw = lint_engine::raw_findings(&ws, &cfg);
+    let planted: Vec<_> = raw
+        .iter()
+        .filter(|f| f.file == "crates/proto/src/taint.rs")
+        .collect();
+    assert_eq!(planted.len(), 1, "{planted:?}");
+    assert_eq!(planted[0].rule, "seq-arith");
+    assert_eq!(planted[0].line, arith_line);
+    // And the checked-in allow suppresses it.
+    let rep = run_fixtures();
+    assert!(!rep.findings.iter().any(|f| f.file == "crates/proto/src/taint.rs"));
+    assert_eq!(
+        rep.allows
+            .iter()
+            .filter(|(file, a)| file == "crates/proto/src/taint.rs" && a.rule == "seq-arith")
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn early_return_skipping_the_oracle_is_one_finding() {
+    let ws = fixture_ws();
+    let cfg = fixture_cfg();
+    let return_line = fixture_line("crates/proto/src/engine.rs", "return;");
+    let raw = lint_engine::raw_findings(&ws, &cfg);
+    let on_tick: Vec<_> = raw
+        .iter()
+        .filter(|f| f.rule == "handler-oracle" && f.message.contains("on_tick`"))
+        .collect();
+    assert_eq!(on_tick.len(), 1, "{on_tick:?}");
+    assert_eq!(on_tick[0].line, return_line);
+    assert!(on_tick[0].message.contains("returns early"));
+    // Suppressed by its one allow; `on_frame`'s fall-off-the-end finding
+    // (no allow) is the wall's planted unallowed violation.
+    let rep = run_fixtures();
+    let survivors: Vec<_> = rep
+        .findings
+        .iter()
+        .filter(|f| f.rule == "handler-oracle")
+        .collect();
+    assert_eq!(survivors.len(), 1, "{survivors:?}");
+    assert!(survivors[0].message.contains("on_frame`"), "{survivors:?}");
+}
+
+#[test]
 fn multi_line_constructs_are_caught() {
     // Regression vs the old line-based scanners, which matched substrings
-    // within single lines and missed all three of these.
+    // within single lines and missed all three of these. (The seq finding
+    // sits on the operator's line — line 6, where the `+` landed after
+    // the line break.)
     let rep = run_fixtures();
     assert!(
         rep.findings
             .iter()
             .any(|f| f.file == "crates/proto/src/flow.rs"
-                && f.line == 5
+                && f.line == 6
                 && f.message.contains("raw `+`")),
         "multi-line seq expression missed"
     );
@@ -197,10 +312,19 @@ fn gate_fails_on_findings_and_json_carries_them() {
         "{violations:?}"
     );
     let json = rep.json();
-    for rule in ["panic", "determinism", "seq-arith", "alloc", "unsafe", "marker"] {
+    for rule in [
+        "panic",
+        "determinism",
+        "seq-arith",
+        "handler-oracle",
+        "alloc",
+        "unsafe",
+        "marker",
+    ] {
         assert!(json.contains(&format!("\"rule\": \"{rule}\"")), "{rule} missing from JSON");
     }
     assert!(json.contains("fixture: suppresses exactly the first unwrap"));
+    assert!(json.contains("\"parse_fallbacks\": 0"));
 }
 
 #[test]
@@ -219,9 +343,24 @@ fn real_workspace_is_clean_and_within_budgets() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+    // Every construct in the real tree must parse: a fallback is code the
+    // v2 analyses silently cannot see into.
+    assert_eq!(rep.parse_fallbacks, 0, "parse fallbacks in the real workspace");
     let budgets = std::fs::read_to_string(root.join("LINT_budgets.json")).expect("budgets file");
     let (violations, _) = rep.gate(&budgets);
     assert!(violations.is_empty(), "{violations:?}");
     // Every vendored crate is inventoried even though it is exempt.
     assert!(!rep.vendor_unsafe.is_empty());
+}
+
+/// 1-based line of the first occurrence of `needle` in a fixture file —
+/// keeps the tests pinned to constructs, not hard-coded line numbers.
+fn fixture_line(rel: &str, needle: &str) -> u32 {
+    let src = std::fs::read_to_string(fixture_root().join(rel)).expect("fixture file");
+    for (i, l) in src.lines().enumerate() {
+        if l.contains(needle) {
+            return (i + 1) as u32;
+        }
+    }
+    panic!("{needle:?} not found in {rel}");
 }

@@ -1,4 +1,7 @@
-//! Planted panic reachable from an event handler through two call hops.
+//! Planted panic reachable from an event handler through two call hops,
+//! plus the handler-oracle fixtures: `on_frame` falls off the end without
+//! the invariant oracle (unallowed), and `on_tick` skips it on one early
+//! return (suppressed by exactly one allow).
 
 pub fn on_frame(data: &[u8]) {
     relay(data);
@@ -6,8 +9,21 @@ pub fn on_frame(data: &[u8]) {
 
 fn relay(data: &[u8]) {
     sink(data);
+    let hot = crate::conflated::Hot;
+    let _ = crate::conflated::drive(&hot, data);
 }
 
 fn sink(data: &[u8]) {
     let _ = data.first().unwrap();
 }
+
+pub fn on_tick(n: u32) {
+    if n == 0 {
+        // lint: allow-handler-oracle(fixture: the early return that skips the oracle)
+        return;
+    }
+    relay(&[1]);
+    debug_check();
+}
+
+fn debug_check() {}

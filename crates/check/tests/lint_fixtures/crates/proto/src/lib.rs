@@ -4,9 +4,11 @@
 #![forbid(unsafe_code)]
 
 pub mod alloc_path;
+pub mod conflated;
 pub mod engine;
 pub mod flow;
 pub mod markers;
 pub mod seq;
 pub mod state;
+pub mod taint;
 pub mod wire;

@@ -1,0 +1,16 @@
+//! Planted taint-through-local violation: the sequence number leaves its
+//! contract-named field, travels through an innocently named local, and
+//! only then hits raw arithmetic. The v1 scanner keyed on the *names*
+//! adjacent to the operator and missed this; v2's dataflow carries the
+//! taint through the rename.
+
+pub struct Hdr {
+    pub seq: u32,
+}
+
+pub fn advance_cursor(h: &Hdr) -> u32 {
+    let cursor = h.seq;
+    // lint: allow-seq-arith(fixture: taint flows through the renamed local)
+    let next = cursor + 1;
+    next
+}

@@ -537,6 +537,11 @@ impl Host {
     }
 
     fn on_host_timer(&mut self, ctx: &mut Ctx<'_>) {
+        self.on_host_timer_inner(ctx);
+        self.debug_check("on_host_timer");
+    }
+
+    fn on_host_timer_inner(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         // The handle is consumed by firing; rearm_timer will arm a fresh one.
         self.armed = None;
@@ -650,6 +655,11 @@ impl Host {
     }
 
     fn handle_ping(&mut self, ctx: &mut Ctx<'_>, ip: IpHeader, ping: PingPacket) {
+        self.handle_ping_inner(ctx, ip, ping);
+        self.debug_check("handle_ping");
+    }
+
+    fn handle_ping_inner(&mut self, ctx: &mut Ctx<'_>, ip: IpHeader, ping: PingPacket) {
         if !ping.reply {
             // Echo it back.
             let reply_ip = IpHeader {
@@ -680,6 +690,11 @@ impl Host {
     }
 
     fn handle_tcp(&mut self, ctx: &mut Ctx<'_>, ip: IpHeader, seg: TcpSegment) {
+        self.handle_tcp_inner(ctx, ip, seg);
+        self.debug_check("handle_tcp");
+    }
+
+    fn handle_tcp_inner(&mut self, ctx: &mut Ctx<'_>, ip: IpHeader, seg: TcpSegment) {
         let now = ctx.now();
         let local = Endpoint::new(ip.dst, seg.dst_port);
         let remote = Endpoint::new(ip.src, seg.src_port);
@@ -817,7 +832,7 @@ impl Host {
                 local.port,
                 remote.port,
                 seg.ack,
-                seg.seq + seg.seq_len(), // lint: allow-seq-arith(SeqNum::add is the audited tcp/seq.rs impl)
+                seg.seq + seg.seq_len(),
                 tcp_flags::RST | tcp_flags::ACK,
             );
             let if_index = self
@@ -826,6 +841,49 @@ impl Host {
                 .position(|a| *a == local.addr)
                 .unwrap_or(0) as u8;
             self.emit_segment(ctx, u32::MAX, 0, local, remote, if_index, &rst);
+        }
+    }
+
+    /// Host-level structural invariants: every demux and token entry must
+    /// point at a live slot, and the two warm-up ping maps (token →
+    /// interface, token → send time) must track the same token set — they
+    /// are always inserted and removed together.
+    fn validate(&self) -> Result<(), String> {
+        for (&(local, remote), &(slot, _)) in &self.demux {
+            if slot >= self.slots.len() {
+                return Err(format!(
+                    "demux ({local:?},{remote:?}) -> dead slot {slot} (have {})",
+                    self.slots.len()
+                ));
+            }
+        }
+        for (&token, &slot) in &self.tokens {
+            if slot >= self.slots.len() {
+                return Err(format!(
+                    "token {token:#x} -> dead slot {slot} (have {})",
+                    self.slots.len()
+                ));
+            }
+        }
+        if self.pings_inflight.len() != self.ping_sent_at.len()
+            || !self.pings_inflight.keys().eq(self.ping_sent_at.keys())
+        {
+            return Err(format!(
+                "ping bookkeeping diverged: {} inflight vs {} send times",
+                self.pings_inflight.len(),
+                self.ping_sent_at.len()
+            ));
+        }
+        Ok(())
+    }
+
+    #[inline]
+    #[allow(unused_variables)]
+    fn debug_check(&self, site: &str) {
+        #[cfg(any(debug_assertions, feature = "check-invariants"))]
+        if let Err(e) = self.validate() {
+            // lint: allow-panic(invariant oracle: aborting on a violated host invariant is the check)
+            panic!("host invariant violated after {site}: {e}");
         }
     }
 }

@@ -265,7 +265,7 @@ impl<'a> Ctx<'a> {
 
     fn push(&mut self, at: SimTime, dst: AgentId, ev: QueuedEv) {
         let seq = *self.seq;
-        *self.seq += 1; // lint: allow-seq-arith(event-ordering tiebreaker, not a sequence number)
+        *self.seq += 1;
         self.out.push(Queued { at, seq, dst, ev });
     }
 
@@ -414,7 +414,7 @@ impl World {
 
     fn push_event(&mut self, at: SimTime, dst: AgentId, ev: QueuedEv) {
         let q = Queued { at, seq: self.seq, dst, ev };
-        self.seq += 1; // lint: allow-seq-arith(event-ordering tiebreaker, not a sequence number)
+        self.seq += 1;
         self.heap.push(Reverse(q));
     }
 

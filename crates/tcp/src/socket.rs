@@ -327,6 +327,7 @@ impl TcpSocket {
         s.stats.segs_received = 1;
         s.hooks.on_rx(syn, 0, now);
         s.arm_rto(now);
+        s.debug_check("accept");
         s
     }
 
@@ -520,9 +521,10 @@ impl TcpSocket {
     pub fn close(&mut self) {
         if self.state == TcpState::SynSent {
             self.enter_closed(self.stats.opened_at);
-            return;
+        } else {
+            self.fin_queued = true;
         }
-        self.fin_queued = true;
+        self.debug_check("close");
     }
 
     /// Highest cumulatively acknowledged stream offset.

@@ -869,24 +869,17 @@ pub fn encode_packet(ip: &IpHeader, seg: &TcpSegment) -> Bytes {
     out.put_u16(0); // urgent
 
     let opt_len = encode_options(seg.options.as_slice(), &mut out);
-    // lint: allow-panic(encode-side caller contract, not wire-derived input)
     assert!(opt_len <= MAX_OPTIONS_LEN, "TCP options exceed 40 bytes ({opt_len})");
     out.extend_from_slice(&seg.payload);
 
     // Back-patch the length-dependent fields, then the checksums.
     let total = out.len();
     let data_off_words = ((TCP_HEADER_LEN + opt_len) / 4) as u8;
-    // lint: allow-panic(encoder patches fields of a buffer it just built)
     out[2..4].copy_from_slice(&(total as u16).to_be_bytes());
-    // lint: allow-panic(encoder patches fields of a buffer it just built)
     out[tcp_start + 12] = data_off_words << 4;
-    // lint: allow-panic(encoder patches fields of a buffer it just built)
     let ip_sum = checksum(&out[..IP_HEADER_LEN]);
-    // lint: allow-panic(encoder patches fields of a buffer it just built)
     out[12..14].copy_from_slice(&ip_sum.to_be_bytes());
-    // lint: allow-panic(encoder patches fields of a buffer it just built)
     let tcp_sum = checksum(&out[tcp_start..]);
-    // lint: allow-panic(encoder patches fields of a buffer it just built)
     out[tcp_start + 16..tcp_start + 18].copy_from_slice(&tcp_sum.to_be_bytes());
 
     out.freeze()
@@ -988,9 +981,7 @@ pub fn encode_ping(ip: &IpHeader, ping: &PingPacket) -> Bytes {
     out.put_u32(ip.dst.0);
     out.put_u16(0);
     out.put_u16(0);
-    // lint: allow-panic(encoder patches checksum into a buffer it just built)
     let ip_sum = checksum(&out[..IP_HEADER_LEN]);
-    // lint: allow-panic(encoder patches checksum into a buffer it just built)
     out[12..14].copy_from_slice(&ip_sum.to_be_bytes());
     out.put_u8(ping.reply as u8);
     out.put_u64(ping.token);
