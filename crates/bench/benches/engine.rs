@@ -155,6 +155,28 @@ fn alloc_probe(capture: bool, seed: u64) -> (u64, u64) {
     (snaps[1] - snaps[0], probe.window_segments)
 }
 
+/// Steady-state fleet pump probe: a 20-client mixed fleet mid-transfer.
+/// Arrivals are done by 1 s and the 4 MB downloads are nowhere near
+/// finished inside the window, so [2 s, 3 s] measures the many-flow pump
+/// (shared-link multiplexing, switch fan-out, per-tick sampling) with no
+/// handshake or harvest edges. The denominator is events processed over
+/// the whole run — the fleet has no single-flow segment counter — so the
+/// per-"segment" ratio in the JSON reads as allocs per event.
+fn fleet_alloc_probe(seed: u64) -> (u64, u64) {
+    let mut spec = mpw_fleet::FleetSpec::smoke(20, seed);
+    spec.workload = mpw_fleet::FleetWorkload::Download { size: 4 << 20 };
+    spec.arrival = mpw_fleet::Arrival::Staggered { gap_ms: 50 };
+    spec.horizon_ms = 3_200;
+    let window = (SimTime::from_millis(2_000), SimTime::from_millis(3_000));
+    let mut snaps = [0u64; 2];
+    let run = mpw_fleet::run_fleet_windowed(&spec, Some(window), &mut |phase| {
+        snaps[usize::from(phase)] = alloc_ops();
+    });
+    assert!(snaps[1] >= snaps[0], "window marks fired out of order");
+    assert!(run.report.bytes > 0, "fleet probe moved no bytes");
+    (snaps[1] - snaps[0], run.world.events_processed())
+}
+
 /// Run the allocation probes: one warm-up pass per configuration populates
 /// the thread-local buffer pool and grows every ring and queue to
 /// steady-state capacity, then the measured pass counts heap operations
@@ -173,6 +195,16 @@ fn run_alloc_probes() -> Vec<AllocRow> {
             ALLOC_WINDOW_MS.0, ALLOC_WINDOW_MS.1
         );
         rows.push(AllocRow { id, allocs_in_window: allocs, window_segments: segs });
+    }
+    {
+        let _ = fleet_alloc_probe(7);
+        let (allocs, events) = fleet_alloc_probe(7);
+        eprintln!("alloc/fleet_pump_allocs: {allocs} heap ops over {events} events in the 2000..3000 ms window");
+        rows.push(AllocRow {
+            id: "alloc/fleet_pump_allocs",
+            allocs_in_window: allocs,
+            window_segments: events,
+        });
     }
     rows
 }
@@ -587,10 +619,46 @@ fn bench_full_transfer(c: &mut Criterion) {
     g.finish();
 }
 
+/// Fleet scaling rows: wall-clock flows/sec and events/sec for a full
+/// mixed-population fleet run (build + drive + harvest) at N=100 and
+/// N=1000. Timed directly — one fleet run is far too coarse for
+/// criterion's iteration model — with the fastest of `reps` runs, and the
+/// flow/event counts read from the (deterministic) run itself.
+fn bench_fleet_scale() -> Vec<String> {
+    let mut rows = Vec::new();
+    for (n, reps) in [(100u32, 3u32), (1000, 2)] {
+        let spec = mpw_fleet::FleetSpec::smoke(n, 1);
+        let mut best_ns = u64::MAX;
+        let mut flows = 0u64;
+        let mut events = 0u64;
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            let run = mpw_fleet::run_fleet(&spec);
+            let dt = t0.elapsed().as_nanos() as u64;
+            best_ns = best_ns.min(dt);
+            flows = run.report.flows_started;
+            events = run.world.events_processed();
+        }
+        let secs = best_ns as f64 / 1e9;
+        let flows_per_sec = flows as f64 / secs;
+        let events_per_sec = events as f64 / secs;
+        eprintln!(
+            "bench fleet/scale_n{n}: {flows} flows, {events} events in {secs:.2}s \
+             ({flows_per_sec:.0} flows/s, {events_per_sec:.0} events/s)"
+        );
+        rows.push(format!(
+            "  {{\"id\": \"fleet/scale_n{n}\", \"ns_per_iter\": {best_ns}, \"iters\": {reps}, \
+             \"flows\": {flows}, \"events\": {events}, \"flows_per_second\": {flows_per_sec:.1}, \
+             \"events_per_second\": {events_per_sec:.1}}}"
+        ));
+    }
+    rows
+}
+
 /// Export machine-readable results at the workspace root so CI and the
 /// docs can track engine throughput across changes. Allocation-gate rows
 /// ride along after the timing rows.
-fn write_summary(c: &Criterion, alloc_rows: &[AllocRow]) {
+fn write_summary(c: &Criterion, alloc_rows: &[AllocRow], extra_rows: &[String]) {
     let mut rows: Vec<String> = c
         .results()
         .iter()
@@ -605,6 +673,7 @@ fn write_summary(c: &Criterion, alloc_rows: &[AllocRow]) {
             )
         })
         .collect();
+    rows.extend(extra_rows.iter().cloned());
     for a in alloc_rows {
         let per_seg = a.allocs_in_window as f64 / a.window_segments.max(1) as f64;
         rows.push(format!(
@@ -634,5 +703,6 @@ fn main() {
     bench_assembler(&mut criterion);
     bench_full_transfer(&mut criterion);
     bench_capture_overhead(&mut criterion);
-    write_summary(&criterion, &alloc_rows);
+    let fleet_rows = bench_fleet_scale();
+    write_summary(&criterion, &alloc_rows, &fleet_rows);
 }

@@ -380,7 +380,7 @@ impl Config {
     pub fn default_workspace() -> Config {
         let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect();
         Config {
-            determinism_paths: s(&["crates/tcp", "crates/core", "crates/sim"]),
+            determinism_paths: s(&["crates/tcp", "crates/core", "crates/sim", "crates/fleet"]),
             parser_modules: s(&[
                 "crates/tcp/src/wire.rs",
                 "crates/capture/src/pcapng.rs",
@@ -401,6 +401,7 @@ impl Config {
                 "crates/scenario/src",
                 "crates/link/src",
                 "crates/http/src",
+                "crates/fleet/src",
             ]),
             seq_audited: s(&["crates/tcp/src/seq.rs"]),
             reach_paths: s(&[

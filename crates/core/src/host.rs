@@ -10,7 +10,7 @@
 //! the kernel implementation does.
 
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use mpw_sim::trace::{Dir, DropReason, SegmentRecord, TraceEvent, TraceLevel};
 use mpw_sim::{Agent, AgentId, Ctx, Event, Frame, SimDuration, SimRng, SimTime, TimerHandle};
@@ -199,6 +199,13 @@ struct Slot {
     transport: Transport,
     app: Box<dyn App>,
     conn_id: u32,
+    /// Subflows already present in the demux. Subflow endpoints are
+    /// immutable and the subflow vector only grows (replacements append),
+    /// so registration is append-only: each call covers only the tail.
+    registered_subflows: usize,
+    /// The deadline currently recorded for this slot in the host's
+    /// deadline index (min of transport timeout and app wakeup).
+    deadline: Option<SimTime>,
 }
 
 /// A queued outgoing connection request (activated by a scheduled timer).
@@ -239,7 +246,8 @@ pub struct Host {
     /// Per-interface egress link agent (clients; also server default).
     iface_links: Vec<Option<AgentId>>,
     /// Destination-address routes (servers: client addr → downlink agent).
-    routes: Vec<(Addr, AgentId)>,
+    /// Keyed so lookup stays O(log n) with one route per fleet client.
+    routes: BTreeMap<Addr, AgentId>,
     /// Listening port (servers).
     listen_port: Option<u16>,
     listen_mptcp_cfg: MptcpConfig,
@@ -267,6 +275,16 @@ pub struct Host {
     /// earliest deadline moves, so no stale timer events ever fire.
     armed: Option<(TimerHandle, SimTime)>,
     is_client_role: bool,
+    /// Slots touched since the last flush (incoming segment, fired timer,
+    /// external mutation, fresh open). `flush` pumps exactly these, in
+    /// ascending slot order, so per-event work scales with the slots an
+    /// event actually concerns — not with the host's total population.
+    dirty: BTreeSet<usize>,
+    /// (deadline, slot) index over every slot with a pending transport
+    /// timeout or app wakeup. `rearm_timer` reads only the first entry and
+    /// the host timer pops due entries, replacing the former O(slots) scan
+    /// per event.
+    deadlines: BTreeMap<(SimTime, usize), ()>,
     /// Count of frames that found no matching socket.
     pub no_socket_drops: u64,
 }
@@ -280,7 +298,7 @@ impl Host {
         Host {
             addrs,
             iface_links: vec![None; n],
-            routes: Vec::new(),
+            routes: BTreeMap::new(),
             listen_port: None,
             listen_mptcp_cfg: MptcpConfig::default(),
             listen_plain_tcp: (TcpConfig::default(), CcConfig::default()),
@@ -298,6 +316,8 @@ impl Host {
             rng,
             armed: None,
             is_client_role: is_client,
+            dirty: BTreeSet::new(),
+            deadlines: BTreeMap::new(),
             no_socket_drops: 0,
         }
     }
@@ -309,7 +329,7 @@ impl Host {
 
     /// Add a destination route (server → client access network).
     pub fn add_route(&mut self, dst: Addr, link: AgentId) {
-        self.routes.push((dst, link));
+        self.routes.insert(dst, link);
     }
 
     /// Listen on `port`, accepting both MPTCP and plain TCP, creating one
@@ -360,8 +380,14 @@ impl Host {
         self.slots.get(slot).map(|s| &s.transport)
     }
 
-    /// Mutable transport access.
+    /// Mutable transport access. Marks the slot dirty: external mutators
+    /// (the handover runner's cross-layer signals, the lifecycle manager)
+    /// may produce frames or move deadlines, so the next flush must pump
+    /// this slot even though no network event touched it.
     pub fn transport_mut(&mut self, slot: usize) -> Option<&mut Transport> {
+        if slot < self.slots.len() {
+            self.dirty.insert(slot);
+        }
         self.slots.get_mut(slot).map(|s| &mut s.transport)
     }
 
@@ -370,8 +396,12 @@ impl Host {
         self.slots.get(slot)?.app.as_any().downcast_ref()
     }
 
-    /// Mutable application access.
+    /// Mutable application access. Dirties the slot like
+    /// [`Host::transport_mut`] — a mutated app may have fresh data to send.
     pub fn app_mut<T: 'static>(&mut self, slot: usize) -> Option<&mut T> {
+        if slot < self.slots.len() {
+            self.dirty.insert(slot);
+        }
         self.slots.get_mut(slot)?.app.as_any_mut().downcast_mut()
     }
 
@@ -383,7 +413,7 @@ impl Host {
     // ------------------------------------------------------------------
 
     fn egress_for(&self, if_index: u8, dst: Addr) -> Option<AgentId> {
-        if let Some(&(_, link)) = self.routes.iter().find(|(a, _)| *a == dst) {
+        if let Some(&link) = self.routes.get(&dst) {
             return Some(link);
         }
         self.iface_links
@@ -427,7 +457,14 @@ impl Host {
 
     fn flush(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
-        for i in 0..self.slots.len() {
+        // Pump exactly the slots this event touched, in ascending slot
+        // order (a BTreeSet, so the order — and therefore the emitted
+        // frame sequence — is deterministic). Every site that can give a
+        // slot work marks it dirty: segment arrival, fired timer, fresh
+        // open/accept, and external mutation through `transport_mut` /
+        // `app_mut`. Anything else cannot have changed a slot's state, so
+        // skipping it emits the exact frame sequence the full scan did.
+        while let Some(i) = self.dirty.pop_first() {
             // Alternate app polls and transmit pumping until neither makes
             // progress. An app may write *in response to* data consumed in
             // this very flush (e.g. the streaming client requesting the
@@ -474,35 +511,66 @@ impl Host {
                     break;
                 }
             }
+            self.update_deadline(i);
         }
         self.rearm_timer(ctx);
     }
 
+    /// Register any demux entries this slot does not have yet. Subflow
+    /// endpoints never change and the subflow vector only grows, so only
+    /// the tail past `registered_subflows` needs inserting — O(log n) per
+    /// *new* subflow instead of a full rescan per received segment.
     fn register_demux(&mut self, slot: usize) {
-        match &self.slots[slot].transport {
+        let from = self.slots[slot].registered_subflows;
+        let upto = match &self.slots[slot].transport {
             Transport::Mp(c) => {
-                for (sf, s) in c.subflows.iter().enumerate() {
+                if from == 0 {
+                    self.tokens.insert(c.token(), slot);
+                }
+                for (sf, s) in c.subflows.iter().enumerate().skip(from) {
                     self.demux.insert((s.local, s.remote), (slot, sf));
                 }
-                self.tokens.insert(c.token(), slot);
+                c.subflows.len()
             }
             Transport::Sp(s) => {
-                self.demux.insert((s.local(), s.remote()), (slot, 0));
+                if from == 0 {
+                    self.demux.insert((s.local(), s.remote()), (slot, 0));
+                }
+                1
             }
+        };
+        self.slots[slot].registered_subflows = upto;
+    }
+
+    /// Refresh the deadline index entry for one slot after pumping it.
+    fn update_deadline(&mut self, i: usize) {
+        let s = &self.slots[i];
+        let next = match (s.transport.next_timeout(), s.app.next_wakeup()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if next == s.deadline {
+            return;
         }
+        if let Some(old) = s.deadline {
+            self.deadlines.remove(&(old, i));
+        }
+        if let Some(new) = next {
+            self.deadlines.insert((new, i), ());
+        }
+        self.slots[i].deadline = next;
     }
 
     fn rearm_timer(&mut self, ctx: &mut Ctx<'_>) {
-        let mut next: Option<SimTime> = None;
+        // The deadline index keeps every slot's earliest deadline sorted;
+        // only the queued opens (a handful at a time) still need a fold.
+        let mut next: Option<SimTime> =
+            self.deadlines.keys().next().map(|&(t, _)| t);
         let mut fold = |t: Option<SimTime>| {
             if let Some(t) = t {
                 next = Some(next.map_or(t, |c: SimTime| c.min(t)));
             }
         };
-        for s in &self.slots {
-            fold(s.transport.next_timeout());
-            fold(s.app.next_wakeup());
-        }
         for p in &self.pending_opens {
             match p {
                 PendingOpen::Queued(r) => fold(Some(r.at)),
@@ -545,10 +613,23 @@ impl Host {
         let now = ctx.now();
         // The handle is consumed by firing; rearm_timer will arm a fresh one.
         self.armed = None;
-        for s in &mut self.slots {
-            if s.transport.next_timeout().is_some_and(|d| d <= now) {
-                s.transport.on_timer(now);
+        // Pop exactly the due slots off the deadline index instead of
+        // scanning every slot. Each popped slot is marked dirty so the
+        // flush below pumps it and re-derives its next deadline.
+        while let Some(&(t, i)) = self.deadlines.keys().next() {
+            if t > now {
+                break;
             }
+            self.deadlines.remove(&(t, i));
+            self.slots[i].deadline = None;
+            if self.slots[i]
+                .transport
+                .next_timeout()
+                .is_some_and(|d| d <= now)
+            {
+                self.slots[i].transport.on_timer(now);
+            }
+            self.dirty.insert(i);
         }
         self.process_opens(ctx);
         self.flush(ctx);
@@ -650,7 +731,10 @@ impl Host {
             transport,
             app: req.app,
             conn_id,
+            registered_subflows: 0,
+            deadline: None,
         });
+        self.dirty.insert(slot);
         self.register_demux(slot);
     }
 
@@ -719,6 +803,7 @@ impl Host {
                 Transport::Mp(c) => c.on_segment(sf, &seg, now),
                 Transport::Sp(s) => s.on_segment(&seg, now),
             }
+            self.dirty.insert(slot);
             self.register_demux(slot);
             return;
         }
@@ -738,6 +823,7 @@ impl Host {
                         c.accept_join(local, remote, &seg, now);
                         c.post_event(now);
                     }
+                    self.dirty.insert(slot);
                     self.register_demux(slot);
                 } else {
                     // Simultaneous-SYN mode: the JOIN may beat the
@@ -795,7 +881,10 @@ impl Host {
                 transport,
                 app,
                 conn_id,
+                registered_subflows: 0,
+                deadline: None,
             });
+            self.dirty.insert(slot);
             self.register_demux(slot);
             // Any JOINs that raced ahead of this MP_CAPABLE?
             let token = match &self.slots[slot].transport {
@@ -873,6 +962,50 @@ impl Host {
                 self.pings_inflight.len(),
                 self.ping_sent_at.len()
             ));
+        }
+        // Deadline index ↔ per-slot deadline cache must agree exactly:
+        // every index entry names a live slot that recorded that instant,
+        // and every recorded instant appears in the index.
+        for &(t, slot) in self.deadlines.keys() {
+            if slot >= self.slots.len() {
+                return Err(format!(
+                    "deadline index ({t:?}, {slot}) -> dead slot (have {})",
+                    self.slots.len()
+                ));
+            }
+            if self.slots[slot].deadline != Some(t) {
+                return Err(format!(
+                    "deadline index ({t:?}, {slot}) disagrees with slot cache {:?}",
+                    self.slots[slot].deadline
+                ));
+            }
+        }
+        for (i, s) in self.slots.iter().enumerate() {
+            if let Some(t) = s.deadline {
+                if !self.deadlines.contains_key(&(t, i)) {
+                    return Err(format!(
+                        "slot {i} caches deadline {t:?} missing from the index"
+                    ));
+                }
+            }
+            let have = match &s.transport {
+                Transport::Mp(c) => c.subflows.len(),
+                Transport::Sp(_) => 1,
+            };
+            if s.registered_subflows > have {
+                return Err(format!(
+                    "slot {i} claims {} registered subflows but has {have}",
+                    s.registered_subflows
+                ));
+            }
+        }
+        if let Some(&i) = self.dirty.iter().next_back() {
+            if i >= self.slots.len() {
+                return Err(format!(
+                    "dirty set names dead slot {i} (have {})",
+                    self.slots.len()
+                ));
+            }
         }
         Ok(())
     }

@@ -14,10 +14,12 @@
 //! | `backlog`    | fig11                | 512 MB infinite-backlog flows     |
 //! | `streaming`  | tab7                 | Netflix/YouTube session model     |
 //! | `handover`   | handover             | scripted WiFi-fade → LTE mobility |
+//! | `fleet`      | fleet                | shared-bottleneck contention sweep|
 //! | `inventory`  | tab1                 | (static: preset registry)         |
 
 pub mod backlog;
 pub mod baseline;
+pub mod fleet;
 pub mod handover;
 pub mod hotspot;
 pub mod inventory;
@@ -154,6 +156,11 @@ pub fn groups() -> Vec<Group> {
             name: "handover",
             artifacts: &["handover"],
             run: handover::run,
+        },
+        Group {
+            name: "fleet",
+            artifacts: &["fleet"],
+            run: fleet::run,
         },
     ]
 }

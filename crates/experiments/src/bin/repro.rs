@@ -12,7 +12,7 @@ use mpw_experiments::Scale;
 
 fn usage() -> ! {
     eprintln!("usage: repro <artifact|group|all|ablations|capture> [--scale quick|default|full] [--seed N] [--workers N] [--out DIR]");
-    eprintln!("artifacts: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 tab1 tab2 tab3 tab4 tab5 tab6 tab7 handover");
+    eprintln!("artifacts: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 tab1 tab2 tab3 tab4 tab5 tab6 tab7 handover fleet");
     eprintln!(
         "groups: {}",
         groups().iter().map(|g| g.name).collect::<Vec<_>>().join(" ")

@@ -24,7 +24,7 @@ use crate::message::{parse_response, HeaderReader, Request};
 /// assert_eq!(p.prefetch, 15_000_000);
 /// assert_eq!(p.block, 1_800_000);
 /// ```
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StreamingProfile {
     /// Prefetch size in bytes.
     pub prefetch: u64,

@@ -76,6 +76,23 @@ pub fn build_path(
     }
 }
 
+/// Instantiate `spec` as a *shared* access network: many client hosts
+/// transmit into the one returned uplink (so the drop-tail queue, and with
+/// it bufferbloat and loss, reflects their aggregate load), and the
+/// downlink fans out through `switch` — typically an [`mpw_sim::Switch`]
+/// routing on destination address. Identical wiring to [`build_path`]
+/// except that "the client" is the switch; it exists to make fleet
+/// topologies read as what they are.
+pub fn build_shared_access(
+    world: &mut World,
+    spec: &PathSpec,
+    switch: (AgentId, u16),
+    server: (AgentId, u16),
+    label: &str,
+) -> BuiltPath {
+    build_path(world, spec, switch, server, label)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +135,67 @@ mod tests {
         assert!(bg.frames > 100, "background produced {}", bg.frames);
         assert_eq!(w.agent::<NullSink>(client_sink).unwrap().frames, 0);
         assert_eq!(w.agent::<NullSink>(server_sink).unwrap().frames, 0);
+    }
+
+    #[test]
+    fn shared_access_multiplexes_and_fans_out() {
+        use mpw_sim::Switch;
+
+        // Two "clients" share one uplink; the downlink egress is a switch
+        // fanning frames back out by their first payload byte (standing in
+        // for the IP destination the fleet engine routes on — the meta tag
+        // is reserved for background traffic on the link itself).
+        fn by_first_byte(f: &Frame) -> Option<u64> {
+            f.bytes.first().map(|&b| b as u64)
+        }
+        let mut w = World::new(7, TraceLevel::Off);
+        let server_sink = w.add_agent(Box::new(NullSink::recording()));
+        let c1 = w.add_agent(Box::new(NullSink::recording()));
+        let c2 = w.add_agent(Box::new(NullSink::recording()));
+        let mut sw = Switch::new(by_first_byte);
+        sw.add_route(1, (c1, 0));
+        sw.add_route(2, (c2, 0));
+        let sw = w.add_agent(Box::new(sw));
+        // Loss-free variant so the counts below are exact; the drop-tail
+        // behaviour of the shared queue under overload is covered by
+        // `link::tests::overflow_drops_excess`.
+        let mut spec = wifi_home(0.0);
+        spec.up.loss = crate::LossModel::None;
+        spec.down.loss = crate::LossModel::None;
+        let built = build_shared_access(&mut w, &spec, (sw, 0), (server_sink, 0), "shared");
+        // Both clients send into the same uplink queue (paced under the
+        // 6 Mbps service rate so nothing overflows)...
+        for i in 0..20u64 {
+            for client in [1u8, 2] {
+                w.schedule(
+                    SimTime::from_millis(i * 5),
+                    built.uplink,
+                    Event::Frame {
+                        port: 0,
+                        frame: Frame::new(Bytes::from(vec![client; 1400])),
+                    },
+                );
+            }
+        }
+        // ...and the server answers each back down through the switch.
+        for i in 0..20u64 {
+            for client in [1u8, 2] {
+                w.schedule(
+                    SimTime::from_millis(i * 5),
+                    built.downlink,
+                    Event::Frame {
+                        port: 0,
+                        frame: Frame::new(Bytes::from(vec![client; 1400])),
+                    },
+                );
+            }
+        }
+        w.run_until(SimTime::from_secs(2));
+        assert_eq!(w.agent::<NullSink>(server_sink).unwrap().frames, 40);
+        assert_eq!(w.agent::<NullSink>(c1).unwrap().frames, 20);
+        assert_eq!(w.agent::<NullSink>(c2).unwrap().frames, 20);
+        let sw = w.agent::<Switch>(sw).unwrap();
+        assert_eq!((sw.forwarded, sw.unrouted), (40, 0));
     }
 
     #[test]

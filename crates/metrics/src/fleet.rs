@@ -1,0 +1,440 @@
+//! Fleet-scale aggregation: flow-completion-time distributions, Jain's
+//! fairness, per-technology byte shares, and an aggregate goodput timeline
+//! over hundreds-to-thousands of concurrent flows (DESIGN.md §5.14).
+//!
+//! Everything here folds in **integer** arithmetic (u64 adds and exact
+//! histogram-bucket counts), so aggregation is associative and commutative:
+//! a [`FleetReport`] merged from K shards in any order is byte-identical to
+//! the unsharded fold. That property is what lets sharded campaigns run on
+//! any worker count and still gate CI on exact JSON equality — the same
+//! bar the single-scenario replay check sets. (The floating-point
+//! [`StreamingStats`](crate::StreamingStats) Chan-merge is deliberately
+//! *not* used here: it is accurate but not associative.)
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::stream::LogHistogram;
+
+/// An exactly-mergeable distribution over integer samples (flow-completion
+/// times in microseconds, per-flow rates in kbit/s).
+///
+/// Count/sum/min/max are exact u64 folds; quantiles come from the shared
+/// fixed-layout [`LogHistogram`], whose element-wise merge is also exact.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExactDist {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Fixed-layout histogram for quantile queries.
+    pub hist: LogHistogram,
+}
+
+impl Default for ExactDist {
+    fn default() -> Self {
+        ExactDist::new()
+    }
+}
+
+impl ExactDist {
+    /// Empty distribution.
+    pub fn new() -> Self {
+        ExactDist {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            hist: LogHistogram::new(),
+        }
+    }
+
+    /// Absorb one sample.
+    pub fn push(&mut self, x: u64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        self.sum += x;
+        self.hist.push(x as f64);
+    }
+
+    /// Fold another distribution in (exact; any merge order gives the same
+    /// bytes).
+    pub fn merge(&mut self, other: &ExactDist) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.hist.merge(&other.hist);
+    }
+
+    /// Sample mean (0 when empty). Display-only — never folded back in.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile from the histogram (exact min/max at the ends).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if q <= 0.0 {
+            return self.min as f64;
+        }
+        if q >= 1.0 {
+            return self.max as f64;
+        }
+        self.hist.quantile(q)
+    }
+}
+
+/// Jain's fairness index over per-flow rates, folded exactly.
+///
+/// Keeps `Σx` and `Σx²` as integers; the index `(Σx)² / (n·Σx²)` is only
+/// materialized on read. Rates are kbit/s, so `Σx²` stays far below u64
+/// range for any plausible fleet (10⁶ kbit/s per flow squared is 10¹²;
+/// 10⁶ flows of those still fit).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Fairness {
+    /// Number of flows.
+    pub n: u64,
+    /// Exact Σ rate.
+    pub sum_kbps: u64,
+    /// Exact Σ rate².
+    pub sum_sq_kbps: u64,
+}
+
+impl Fairness {
+    /// Absorb one flow's achieved rate.
+    pub fn push(&mut self, rate_kbps: u64) {
+        self.n += 1;
+        self.sum_kbps += rate_kbps;
+        self.sum_sq_kbps += rate_kbps * rate_kbps;
+    }
+
+    /// Fold another accumulator in.
+    pub fn merge(&mut self, other: &Fairness) {
+        self.n += other.n;
+        self.sum_kbps += other.sum_kbps;
+        self.sum_sq_kbps += other.sum_sq_kbps;
+    }
+
+    /// Jain's index in (0, 1]; 1.0 means perfectly equal rates. Returns
+    /// 1.0 for an empty or all-zero population (nothing to be unfair
+    /// about).
+    pub fn jain(&self) -> f64 {
+        if self.n == 0 || self.sum_sq_kbps == 0 {
+            return 1.0;
+        }
+        let s = self.sum_kbps as f64;
+        (s * s) / (self.n as f64 * self.sum_sq_kbps as f64)
+    }
+}
+
+/// Aggregate delivered-bytes timeline in fixed wall-of-sim-time buckets.
+///
+/// Keyed by bucket *start time* in milliseconds, so reports built with the
+/// same bucket width merge by plain addition whatever their horizons.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GoodputTimeline {
+    /// Bucket width (ms).
+    pub bucket_ms: u64,
+    /// bucket start (ms) → bytes delivered in that bucket.
+    pub buckets: BTreeMap<u64, u64>,
+}
+
+impl GoodputTimeline {
+    /// Empty timeline with the given bucket width (0 is coerced to 1).
+    pub fn new(bucket_ms: u64) -> Self {
+        GoodputTimeline {
+            bucket_ms: bucket_ms.max(1),
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// Record `bytes` delivered at sim-time `at_ms`.
+    pub fn add(&mut self, at_ms: u64, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let start = at_ms - at_ms % self.bucket_ms;
+        *self.buckets.entry(start).or_insert(0) += bytes;
+    }
+
+    /// Fold another timeline in (same bucket width by construction — both
+    /// sides of every merge come from the same [`FleetSpec`]-derived
+    /// report shape).
+    pub fn merge(&mut self, other: &GoodputTimeline) {
+        for (&start, &bytes) in &other.buckets {
+            *self.buckets.entry(start).or_insert(0) += bytes;
+        }
+    }
+
+    /// Mean goodput in kbit/s over the covered span (0 when empty).
+    pub fn mean_kbps(&self) -> f64 {
+        let (Some((&first, _)), Some((&last, _))) =
+            (self.buckets.first_key_value(), self.buckets.last_key_value())
+        else {
+            return 0.0;
+        };
+        let span_ms = last + self.bucket_ms - first;
+        let bytes: u64 = self.buckets.values().sum();
+        (bytes as f64 * 8.0) / span_ms as f64
+    }
+}
+
+/// One finished (or cut-off) flow, as harvested from a fleet world.
+///
+/// Records are the unit of aggregation: a [`FleetReport`] is a pure fold
+/// over them plus the engine's goodput samples, which is what makes
+/// sharding transparent.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Owning client index within the fleet.
+    pub client: u32,
+    /// Population class label ("wifi", "lte", "mp2", ...).
+    pub class: String,
+    /// When the flow's transport opened (sim ms).
+    pub started_ms: u64,
+    /// Whether the workload ran to completion before the horizon.
+    pub completed: bool,
+    /// Flow completion time in µs (meaningful when `completed`).
+    pub fct_us: u64,
+    /// Application bytes delivered.
+    pub bytes: u64,
+    /// Bytes delivered over WiFi subflows/paths.
+    pub wifi_bytes: u64,
+    /// Bytes delivered over cellular subflows/paths.
+    pub cell_bytes: u64,
+    /// Achieved goodput in kbit/s (meaningful when `completed`).
+    pub rate_kbps: u64,
+    /// Streaming-workload blocks that missed their deadline.
+    pub late_blocks: u64,
+}
+
+/// The fleet-wide aggregate: everything the contention artifacts and the
+/// CI smoke gate read. Built by folding [`FlowRecord`]s (plus goodput
+/// samples) and merged across shards with [`FleetReport::merge`] — both
+/// folds are integer-exact, so any sharding of the same records yields
+/// byte-identical JSON.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Clients simulated.
+    pub clients: u64,
+    /// Flows opened.
+    pub flows_started: u64,
+    /// Flows that completed their workload.
+    pub flows_completed: u64,
+    /// Total application bytes delivered.
+    pub bytes: u64,
+    /// Bytes carried by WiFi.
+    pub wifi_bytes: u64,
+    /// Bytes carried by cellular.
+    pub cell_bytes: u64,
+    /// Flow-completion times (µs) over completed flows.
+    pub fct: ExactDist,
+    /// Completion times split by population class.
+    pub fct_by_class: BTreeMap<String, ExactDist>,
+    /// Jain's fairness over completed flows' rates.
+    pub fairness: Fairness,
+    /// Aggregate delivered-bytes timeline.
+    pub goodput: GoodputTimeline,
+    /// Total streaming blocks delivered late.
+    pub late_blocks: u64,
+}
+
+impl FleetReport {
+    /// Empty report with the given goodput bucket width.
+    pub fn new(bucket_ms: u64) -> Self {
+        FleetReport {
+            clients: 0,
+            flows_started: 0,
+            flows_completed: 0,
+            bytes: 0,
+            wifi_bytes: 0,
+            cell_bytes: 0,
+            fct: ExactDist::new(),
+            fct_by_class: BTreeMap::new(),
+            fairness: Fairness::default(),
+            goodput: GoodputTimeline::new(bucket_ms),
+            late_blocks: 0,
+        }
+    }
+
+    /// Fold one flow in.
+    pub fn absorb(&mut self, r: &FlowRecord) {
+        self.flows_started += 1;
+        self.bytes += r.bytes;
+        self.wifi_bytes += r.wifi_bytes;
+        self.cell_bytes += r.cell_bytes;
+        self.late_blocks += r.late_blocks;
+        if r.completed {
+            self.flows_completed += 1;
+            self.fct.push(r.fct_us);
+            self.fct_by_class
+                .entry(r.class.clone())
+                .or_default()
+                .push(r.fct_us);
+            self.fairness.push(r.rate_kbps);
+        }
+    }
+
+    /// Record aggregate delivered bytes at a sim instant (the engine's
+    /// sampling tick calls this once per tick with the fleet-wide delta).
+    pub fn absorb_goodput(&mut self, at_ms: u64, bytes: u64) {
+        self.goodput.add(at_ms, bytes);
+    }
+
+    /// Build a report from records alone (no timeline samples) — the shape
+    /// the merge proptest exercises.
+    pub fn from_records(bucket_ms: u64, clients: u64, records: &[FlowRecord]) -> Self {
+        let mut r = FleetReport::new(bucket_ms);
+        r.clients = clients;
+        for rec in records {
+            r.absorb(rec);
+        }
+        r
+    }
+
+    /// Fold a shard's report in. Clients are disjoint across shards, so
+    /// counts add.
+    pub fn merge(&mut self, other: &FleetReport) {
+        self.clients += other.clients;
+        self.flows_started += other.flows_started;
+        self.flows_completed += other.flows_completed;
+        self.bytes += other.bytes;
+        self.wifi_bytes += other.wifi_bytes;
+        self.cell_bytes += other.cell_bytes;
+        self.late_blocks += other.late_blocks;
+        self.fct.merge(&other.fct);
+        for (class, dist) in &other.fct_by_class {
+            self.fct_by_class
+                .entry(class.clone())
+                .or_default()
+                .merge(dist);
+        }
+        self.fairness.merge(&other.fairness);
+        self.goodput.merge(&other.goodput);
+    }
+
+    /// Cellular share of delivered bytes (the paper's Figure-9 axis,
+    /// fleet-wide). 0 when nothing was delivered.
+    pub fn cellular_share(&self) -> f64 {
+        let total = self.wifi_bytes + self.cell_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.cell_bytes as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(client: u32, class: &str, fct_us: u64, bytes: u64) -> FlowRecord {
+        FlowRecord {
+            client,
+            class: class.into(),
+            started_ms: client as u64,
+            completed: true,
+            fct_us,
+            bytes,
+            wifi_bytes: bytes / 2,
+            cell_bytes: bytes - bytes / 2,
+            rate_kbps: (bytes * 8_000).checked_div(fct_us).unwrap_or(0),
+            late_blocks: 0,
+        }
+    }
+
+    #[test]
+    fn exact_dist_merge_equals_sequential_fold() {
+        let xs: Vec<u64> = (1..=500).map(|i| i * 37 % 9973).collect();
+        let mut whole = ExactDist::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = ExactDist::new();
+        let mut right = ExactDist::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 3 == 0 {
+                left.push(x);
+            } else {
+                right.push(x);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        let mut f = Fairness::default();
+        assert_eq!(f.jain(), 1.0);
+        for _ in 0..10 {
+            f.push(500);
+        }
+        assert!((f.jain() - 1.0).abs() < 1e-12);
+        let mut g = Fairness::default();
+        g.push(1000);
+        for _ in 0..9 {
+            g.push(0);
+        }
+        assert!((g.jain() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_buckets_and_mean() {
+        let mut t = GoodputTimeline::new(100);
+        t.add(0, 1000);
+        t.add(99, 1000);
+        t.add(100, 500);
+        assert_eq!(t.buckets.get(&0), Some(&2000));
+        assert_eq!(t.buckets.get(&100), Some(&500));
+        // 2500 bytes over 200 ms = 100 kbit/s.
+        assert!((t.mean_kbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_merge_is_exact() {
+        let records: Vec<FlowRecord> = (0..200)
+            .map(|i| rec(i, if i % 2 == 0 { "mp2" } else { "wifi" }, 1000 + i as u64 * 13, 10_000))
+            .collect();
+        let whole = FleetReport::from_records(50, 200, &records);
+        let mut a = FleetReport::from_records(50, 120, &records[..120]);
+        let b = FleetReport::from_records(50, 80, &records[120..]);
+        a.merge(&b);
+        assert_eq!(crate::to_json(&a), crate::to_json(&whole));
+    }
+
+    #[test]
+    fn incomplete_flows_count_bytes_but_not_fct() {
+        let mut r = rec(0, "lte", 5000, 4096);
+        r.completed = false;
+        let report = FleetReport::from_records(100, 1, &[r]);
+        assert_eq!(report.flows_started, 1);
+        assert_eq!(report.flows_completed, 0);
+        assert_eq!(report.bytes, 4096);
+        assert_eq!(report.fct.count, 0);
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod analyze;
 pub mod ccdf;
+pub mod fleet;
 pub mod handover;
 pub mod stats;
 pub mod stream;
@@ -20,6 +21,7 @@ pub mod table;
 
 pub use analyze::{analyze_flows, analyze_ofo_delays, FlowAnalysis, FlowKey};
 pub use ccdf::Ccdf;
+pub use fleet::{ExactDist, Fairness, FleetReport, FlowRecord, GoodputTimeline};
 pub use handover::{
     bytes_in_transition, epoch_shares, stall_report, EpochShare, EpochSpan, HandoverReport,
     Outage, PathBytes, PathEvent, PathEventKind, StallReport, StallSpan,

@@ -1,0 +1,99 @@
+//! Property: a [`FleetReport`] assembled by merging K shard reports — for
+//! *arbitrary* K and an arbitrary assignment of flows to shards — is
+//! byte-identical (as JSON) to the unsharded fold over the same records.
+//! This is the contract the fleet campaign's worker pool relies on: worker
+//! count and shard split must be pure implementation detail.
+
+use mpw_metrics::{to_json, FleetReport, FlowRecord};
+use proptest::prelude::*;
+
+const CLASSES: [&str; 4] = ["wifi", "lte", "mp2", "mp4"];
+
+fn arb_record() -> impl Strategy<Value = FlowRecord> {
+    (
+        0u32..2000,
+        0usize..CLASSES.len(),
+        0u64..600_000,
+        any::<bool>(),
+        0u64..120_000_000,
+        0u64..64_000_000,
+        0u64..10_000,
+        0u64..20,
+    )
+        .prop_map(
+            |(client, class, started_ms, completed, fct_us, bytes, rate_kbps, late_blocks)| {
+                let wifi_bytes = bytes / 3;
+                FlowRecord {
+                    client,
+                    class: CLASSES[class].into(),
+                    started_ms,
+                    completed,
+                    fct_us,
+                    bytes,
+                    wifi_bytes,
+                    cell_bytes: bytes - wifi_bytes,
+                    rate_kbps,
+                    late_blocks,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn sharded_merge_is_byte_identical(
+        records in proptest::collection::vec(arb_record(), 0..300),
+        shards in 1usize..9,
+        assignment in proptest::collection::vec(0usize..8, 0..300),
+        merge_order_rev in any::<bool>(),
+    ) {
+        let whole = FleetReport::from_records(100, records.len() as u64, &records);
+
+        // Deal each record to a shard (the assignment vector may be shorter
+        // than the record list; wrap it).
+        let mut parts: Vec<Vec<FlowRecord>> = vec![Vec::new(); shards];
+        for (i, r) in records.iter().enumerate() {
+            let s = assignment.get(i).copied().unwrap_or(i) % shards;
+            parts[s].push(r.clone());
+        }
+        let mut reports: Vec<FleetReport> = parts
+            .iter()
+            .map(|p| FleetReport::from_records(100, p.len() as u64, p))
+            .collect();
+        if merge_order_rev {
+            reports.reverse();
+        }
+
+        let mut merged = FleetReport::new(100);
+        // `clients` is the one field shards don't own disjointly in this
+        // synthetic split, so align it by hand before comparing.
+        for r in &reports {
+            merged.merge(r);
+        }
+        merged.clients = whole.clients;
+
+        prop_assert_eq!(to_json(&merged), to_json(&whole));
+    }
+
+    #[test]
+    fn goodput_samples_merge_exactly(
+        samples in proptest::collection::vec((0u64..100_000, 0u64..1_000_000), 0..200),
+        split in 0usize..200,
+    ) {
+        let mut whole = FleetReport::new(250);
+        for &(at, b) in &samples {
+            whole.absorb_goodput(at, b);
+        }
+        let cut = split.min(samples.len());
+        let mut a = FleetReport::new(250);
+        let mut b = FleetReport::new(250);
+        for &(at, bytes) in &samples[..cut] {
+            a.absorb_goodput(at, bytes);
+        }
+        for &(at, bytes) in &samples[cut..] {
+            b.absorb_goodput(at, bytes);
+        }
+        a.merge(&b);
+        prop_assert_eq!(to_json(&a), to_json(&whole));
+    }
+}

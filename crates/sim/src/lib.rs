@@ -20,10 +20,12 @@
 
 mod engine;
 pub mod rng;
+pub mod switch;
 pub mod tap;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Agent, AgentId, Ctx, EngineStats, Event, Frame, RunOutcome, TimerHandle, World};
 pub use rng::{RngFactory, SimRng};
+pub use switch::{Classifier, Switch};
 pub use time::{serialization_delay, SimDuration, SimTime};

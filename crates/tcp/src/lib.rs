@@ -32,6 +32,6 @@ pub use seq::SeqNum;
 pub use socket::{SocketStats, TcpConfig, TcpSocket, TcpState};
 pub use wire::{
     encode_packet, encode_ping, parse_any, parse_any_shared, parse_packet, parse_packet_shared,
-    strip_mptcp_options, Addr, DssMapping, Endpoint, IpHeader, MptcpOption, OptionList, Packet,
-    PingPacket, SackBlocks, TcpOption, TcpSegment, WireError,
+    peek_ip_dst, strip_mptcp_options, Addr, DssMapping, Endpoint, IpHeader, MptcpOption,
+    OptionList, Packet, PingPacket, SackBlocks, TcpOption, TcpSegment, WireError,
 };

@@ -1022,6 +1022,19 @@ pub fn parse_any_shared(data: &Bytes) -> Result<Packet, WireError> {
     parse_packet_shared(data).map(|(ip, seg)| Packet::Tcp(ip, seg))
 }
 
+/// Read just the destination address of a serialized packet — the routing
+/// key a shared-access switch fans frames out on. Total: truncated or
+/// non-IPv4 bytes yield `None` instead of an error (the switch counts them
+/// as unrouted). Deliberately skips checksum validation: routing happens
+/// per hop and the receiving host re-validates everything anyway.
+pub fn peek_ip_dst(data: &[u8]) -> Option<Addr> {
+    let b0 = get_u8(data, 0)?;
+    if b0 >> 4 != 4 {
+        return None;
+    }
+    Some(Addr(get_be32(data, 8)?))
+}
+
 /// The ping fast-path of [`parse_any`]: `Ok(None)` means "not a ping —
 /// try TCP".
 fn parse_ping(data: &[u8]) -> Result<Option<Packet>, WireError> {

@@ -50,6 +50,7 @@
 
 pub use mpw_capture as capture;
 pub use mpw_experiments as experiments;
+pub use mpw_fleet as fleet;
 pub use mpw_http as http;
 pub use mpw_link as link;
 pub use mpw_metrics as metrics;

@@ -70,6 +70,7 @@ fn every_artifact_id_resolves_to_exactly_one_group() {
     let ids = [
         "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
         "fig12", "fig13", "tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7", "handover",
+        "fleet",
     ];
     for id in ids {
         let g = group_for(id).unwrap_or_else(|| panic!("{id} has no group"));
@@ -84,11 +85,11 @@ fn every_artifact_id_resolves_to_exactly_one_group() {
     for g in groups() {
         assert_eq!(group_for(g.name).expect("group by name").name, g.name);
     }
-    // The registry covers all 20 artifacts exactly once.
+    // The registry covers all 21 artifacts exactly once.
     let all: Vec<&str> = groups().iter().flat_map(|g| g.artifacts).copied().collect();
-    assert_eq!(all.len(), 20);
+    assert_eq!(all.len(), 21);
     let unique: std::collections::HashSet<&str> = all.iter().copied().collect();
-    assert_eq!(unique.len(), 20);
+    assert_eq!(unique.len(), 21);
 }
 
 #[test]

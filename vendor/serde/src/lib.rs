@@ -359,6 +359,33 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     }
 }
 
+// Integer-keyed maps render with decimal string keys (JSON object keys are
+// always strings — matches real serde_json's behaviour). Iteration order is
+// the BTreeMap's numeric order, so output stays deterministic.
+impl<V: Serialize> Serialize for BTreeMap<u64, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<u64, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        expect_map(v, "BTreeMap")?
+            .iter()
+            .map(|(k, v)| {
+                let k = k
+                    .parse::<u64>()
+                    .map_err(|_| DeError(format!("bad u64 map key `{k}`")))?;
+                V::from_value(v).map(|v| (k, v))
+            })
+            .collect()
+    }
+}
+
 macro_rules! impl_tuple {
     ($(($($n:tt $t:ident),+),)*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
